@@ -1,0 +1,30 @@
+//! Criterion bench regenerating Figure 10's data series: each benchmark
+//! under (a) λrc-simplified input, (b) rgn optimizations only, and (c) no
+//! optimization.
+//!
+//! `cargo bench -p lssa-bench --bench fig10_rgn_opts`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lssa_bench::{build, fig10_configs, MAX_STEPS};
+use lssa_driver::workloads::{all, Scale};
+use std::time::Duration;
+
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for w in all(Scale::Bench) {
+        for (label, config) in fig10_configs() {
+            let program = build(&w, config);
+            group.bench_function(format!("{}/{label}", w.name), |b| {
+                b.iter(|| lssa_vm::run_program(&program, "main", MAX_STEPS).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench regenerating Figure 9's data series: each benchmark
+//! compiled by the leanc-style baseline and by the lp+rgn pipeline.
+//!
+//! `cargo bench -p lssa-bench --bench fig9_speedup`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lssa_bench::{build, MAX_STEPS};
+use lssa_driver::pipelines::CompilerConfig;
+use lssa_driver::workloads::{all, Scale};
+use std::time::Duration;
+
+fn fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for w in all(Scale::Bench) {
+        let base = build(&w, CompilerConfig::leanc());
+        let mlir = build(&w, CompilerConfig::mlir());
+        group.bench_function(format!("{}/leanc", w.name), |b| {
+            b.iter(|| lssa_vm::run_program(&base, "main", MAX_STEPS).unwrap())
+        });
+        group.bench_function(format!("{}/mlir", w.name), |b| {
+            b.iter(|| lssa_vm::run_program(&mlir, "main", MAX_STEPS).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

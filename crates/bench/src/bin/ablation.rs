@@ -1,0 +1,81 @@
+//! Ablation study over the design choices DESIGN.md calls out:
+//!
+//! - region optimizations (§IV-B) on/off,
+//! - generic CFG-level passes on/off,
+//! - guaranteed vs heuristic tail calls (§III-E).
+//!
+//! Reports deterministic VM instruction counts and static code size per
+//! knob, per benchmark — wall-clock-free, so the ablation is exactly
+//! reproducible anywhere.
+//!
+//! ```text
+//! cargo run --release -p lssa-bench --bin ablation [-- --scale test]
+//! ```
+
+use lssa_core::PipelineOptions;
+use lssa_driver::pipelines::{compile, Backend, CompilerConfig};
+use lssa_driver::workloads::{all, Scale};
+use lssa_lambda::SimplifyOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.windows(2).any(|w| w[0] == "--scale" && w[1] == "bench") {
+        Scale::Bench
+    } else {
+        Scale::Test
+    };
+    let knobs: Vec<(&str, PipelineOptions)> = vec![
+        ("full", PipelineOptions::full()),
+        (
+            "-region-opts",
+            PipelineOptions {
+                region_opts: false,
+                ..PipelineOptions::full()
+            },
+        ),
+        (
+            "-generic-opts",
+            PipelineOptions {
+                generic_opts: false,
+                ..PipelineOptions::full()
+            },
+        ),
+        (
+            "-guaranteed-tco",
+            PipelineOptions {
+                guaranteed_tco: false,
+                ..PipelineOptions::full()
+            },
+        ),
+        ("none", PipelineOptions::no_opt()),
+    ];
+    println!("Ablation over the rgn pipeline's design knobs (instruction counts, deterministic)");
+    println!();
+    print!("{:<20}", "benchmark");
+    for (label, _) in &knobs {
+        print!(" {label:>16}");
+    }
+    println!();
+    for w in all(scale) {
+        print!("{:<20}", w.name);
+        for (_, opts) in &knobs {
+            let config = CompilerConfig {
+                simplify: Some(SimplifyOptions::all()),
+                backend: Backend::Mlir(*opts),
+            };
+            let program = compile(&w.src, config).expect("compile");
+            let out =
+                lssa_vm::run_program(&program, "main", lssa_bench::MAX_STEPS).expect("run");
+            print!(
+                " {:>10}/{:<5}",
+                out.stats.instructions,
+                program.code_size()
+            );
+        }
+        println!();
+    }
+    println!();
+    println!("cells are: dynamic instructions / static code size");
+    println!("expected shape: -region-opts and none never beat full; -guaranteed-tco only");
+    println!("affects stack depth (instruction counts are within noise of full).");
+}

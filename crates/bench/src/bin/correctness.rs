@@ -1,0 +1,46 @@
+//! §V-A correctness: runs the full conformance corpus (the analogue of the
+//! LEAN test suite's 648 cases) differentially across all pipelines and
+//! prints the pass rate.
+//!
+//! ```text
+//! cargo run --release -p lssa-bench --bin correctness [-- --count 648]
+//! ```
+
+use lssa_driver::conformance::full_corpus;
+use lssa_driver::diff::run_differential;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let count = args
+        .iter()
+        .position(|a| a == "--count")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(648);
+    let corpus = full_corpus(count, 0x5e5a_2022);
+    let total = corpus.len();
+    let mut passed = 0usize;
+    let mut failures = Vec::new();
+    for case in &corpus {
+        let r = run_differential(&case.name, &case.src, 500_000_000);
+        if r.passed() {
+            passed += 1;
+        } else {
+            failures.push((case.name.clone(), r.failure.unwrap()));
+        }
+    }
+    println!(
+        "{:.0}% tests passed, {} tests failed out of {}",
+        100.0 * passed as f64 / total as f64,
+        total - passed,
+        total
+    );
+    for (name, why) in &failures {
+        println!("FAIL {name}: {why}");
+    }
+    if failures.is_empty() {
+        println!("(paper: \"100% tests passed, 0 tests failed out of 648\")");
+    } else {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Regenerates Figure 10: speedup of the rgn dialect optimizations over the
+//! λrc simplifier (and of running no optimizer at all).
+//!
+//! Three pipeline variants, as §V-B describes:
+//! (a) the MLIR pipeline fed λrc-simplifier-optimized code (the baseline),
+//! (b) unoptimized λrc (simpcase disabled) optimized by rgn,
+//! (c) unoptimized λrc left unoptimized.
+//!
+//! ```text
+//! cargo run --release -p lssa-bench --bin fig10_table [-- --runs 10 --scale bench]
+//! ```
+
+use lssa_bench::{bar, fig10_rows, geomean};
+use lssa_driver::workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs = arg_value(&args, "--runs").unwrap_or(10);
+    let scale = if args.windows(2).any(|w| w[0] == "--scale" && w[1] == "test") {
+        Scale::Test
+    } else {
+        Scale::Bench
+    };
+    println!("Figure 10: Speedup of rgn dialect optimizations over the λrc simplifier");
+    println!("(a) λrc-simplified input  (b) rgn optimizations only  (c) no optimization");
+    println!("bars show a/b (rgn, red in the paper) and a/c (none, gray); median of {runs} runs");
+    println!();
+    println!(
+        "{:<20} {:>9} {:>10}   {:<32} {:>9}",
+        "benchmark", "rgn ×", "instrs ×", "rgn vs λrc-simplifier", "none ×"
+    );
+    let rows = fig10_rows(scale, runs);
+    for (name, rgn, none) in &rows {
+        println!(
+            "{:<20} {:>9.2} {:>10.2}   |{}| {:>9.2}",
+            name,
+            rgn.speedup_time,
+            rgn.speedup_instr,
+            bar(rgn.speedup_time, 30),
+            none.speedup_time
+        );
+    }
+    let rgn_times: Vec<f64> = rows.iter().map(|(_, r, _)| r.speedup_time).collect();
+    let rgn_instrs: Vec<f64> = rows.iter().map(|(_, r, _)| r.speedup_instr).collect();
+    let none_times: Vec<f64> = rows.iter().map(|(_, _, n)| n.speedup_time).collect();
+    println!(
+        "{:<20} {:>9.2} {:>10.2}   |{}| {:>9.2}",
+        "geomean",
+        geomean(&rgn_times),
+        geomean(&rgn_instrs),
+        bar(geomean(&rgn_times), 30),
+        geomean(&none_times)
+    );
+    println!();
+    println!("paper reports rgn-vs-λrc: 1.05 1.0 0.98 1.05 0.95 0.97 1.0 0.98, geomean 1.0");
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,59 @@
+//! Regenerates Figure 9: speedup of the lp+rgn backend over the leanc-style
+//! baseline, per benchmark plus geomean.
+//!
+//! ```text
+//! cargo run --release -p lssa-bench --bin fig9_table [-- --runs 10 --scale bench]
+//! ```
+
+use lssa_bench::{bar, fig9_rows, geomean};
+use lssa_driver::workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs = arg_value(&args, "--runs").unwrap_or(10);
+    let scale = match args.iter().any(|a| a == "--scale")
+        && args.windows(2).any(|w| w[0] == "--scale" && w[1] == "test")
+    {
+        true => Scale::Test,
+        false => Scale::Bench,
+    };
+    println!("Figure 9: Speedup of our runtimes in comparison to LEAN4's existing C backend");
+    println!("(lp+rgn MLIR-style pipeline vs leanc-style direct lowering; median of {runs} runs)");
+    println!();
+    println!(
+        "{:<20} {:>10} {:>12}   speedup over leanc",
+        "benchmark", "time ×", "instrs ×"
+    );
+    let rows = fig9_rows(scale, runs);
+    for r in &rows {
+        println!(
+            "{:<20} {:>10.2} {:>12.2}   |{}| {:.2}",
+            r.name,
+            r.speedup_time,
+            r.speedup_instr,
+            bar(r.speedup_time, 30),
+            r.speedup_time
+        );
+    }
+    let times: Vec<f64> = rows.iter().map(|r| r.speedup_time).collect();
+    let instrs: Vec<f64> = rows.iter().map(|r| r.speedup_instr).collect();
+    println!(
+        "{:<20} {:>10.2} {:>12.2}   |{}| {:.2}",
+        "geomean",
+        geomean(&times),
+        geomean(&instrs),
+        bar(geomean(&times), 30),
+        geomean(&times)
+    );
+    println!();
+    println!(
+        "paper reports: 1.05 1.12 1.01 1.04 0.93 0.99 1.39 1.27, geomean 1.09 (performance parity)"
+    );
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,358 @@
+//! Lowering λrc to the `lp` dialect (§III of the paper).
+//!
+//! Each λrc function becomes an SSA function over `!lp.t` values whose body
+//! is *structured*: blocks end in `lp.ret`, `lp.jump`, or the region-carrying
+//! terminators `lp.switch` / `lp.joinpoint`. No `cf` dialect appears at this
+//! level — all control flow is expressed through nested regions, which is
+//! precisely what makes the `rgn` lowering (Figure 8) and its optimizations
+//! applicable.
+
+use lssa_ir::prelude::*;
+use lssa_lambda::ast::{Expr, FnDef, Program, Value};
+use std::collections::HashMap;
+
+/// Lowers a λrc program to an lp-dialect module.
+///
+/// # Panics
+///
+/// Panics on malformed input (run [`lssa_lambda::wellformed::check_program`]
+/// first); the result verifies by construction.
+pub fn lower_program(program: &Program) -> Module {
+    let mut module = Module::new();
+    super::declare_externs(&mut module);
+    // Pre-declare every function so calls can reference any order.
+    for f in &program.fns {
+        module.intern(&f.name);
+    }
+    // First create all signatures (needed for callee checks), then bodies.
+    let sigs: Vec<Signature> = program.fns.iter().map(|f| Signature::obj(f.arity())).collect();
+    for (f, sig) in program.fns.iter().zip(&sigs) {
+        let body = lower_fn(&mut module, program, f);
+        module.add_function(&f.name, sig.clone(), body);
+    }
+    module
+}
+
+fn lower_fn(module: &mut Module, program: &Program, f: &FnDef) -> Body {
+    let (mut body, params) = Body::new(&vec![Type::Obj; f.arity()]);
+    let mut env: HashMap<u32, ValueId> = HashMap::new();
+    for (&p, &v) in f.params.iter().zip(&params) {
+        env.insert(p, v);
+    }
+    let entry = body.entry_block();
+    let mut ctx = LowerCtx {
+        module,
+        program,
+        fname: &f.name,
+    };
+    ctx.lower_expr(&mut body, entry, &f.body, &mut env);
+    body
+}
+
+struct LowerCtx<'a> {
+    module: &'a mut Module,
+    program: &'a Program,
+    fname: &'a str,
+}
+
+impl LowerCtx<'_> {
+    /// Unique label symbol for a join point of this function.
+    fn label_sym(&mut self, label: u32) -> Symbol {
+        self.module.intern(&format!("{}.jp{label}", self.fname))
+    }
+
+    fn get(&self, env: &HashMap<u32, ValueId>, v: u32) -> ValueId {
+        *env.get(&v)
+            .unwrap_or_else(|| panic!("@{}: unbound λ variable x{v}", self.fname))
+    }
+
+    /// Lowers `e` into `block` (which must be unterminated); always leaves
+    /// the block terminated.
+    fn lower_expr(
+        &mut self,
+        body: &mut Body,
+        block: BlockId,
+        e: &Expr,
+        env: &mut HashMap<u32, ValueId>,
+    ) {
+        match e {
+            Expr::Let { var, val, body: rest } => {
+                let v = self.lower_value(body, block, val, env);
+                env.insert(*var, v);
+                self.lower_expr(body, block, rest, env);
+            }
+            Expr::LetJoin {
+                label,
+                params,
+                jp_body,
+                body: rest,
+            } => {
+                let sym = self.label_sym(*label);
+                let (op, jp_entry, body_entry);
+                {
+                    let mut b = Builder::at_end(body, block);
+                    (op, jp_entry, body_entry) =
+                        b.lp_joinpoint(sym, &vec![Type::Obj; params.len()]);
+                }
+                let _ = op;
+                // Join-point body: parameters map to the region's block args.
+                let mut jp_env = HashMap::new();
+                for (i, &p) in params.iter().enumerate() {
+                    jp_env.insert(p, body.blocks[jp_entry.index()].args[i]);
+                }
+                self.lower_expr(body, jp_entry, jp_body, &mut jp_env);
+                // Pre-jump code: same environment as the outer scope.
+                self.lower_expr(body, body_entry, rest, env);
+            }
+            Expr::Case {
+                scrutinee,
+                alts,
+                default,
+            } => {
+                let s = self.get(env, *scrutinee);
+                let tag = {
+                    let mut b = Builder::at_end(body, block);
+                    b.lp_getlabel(s)
+                };
+                // lp.switch needs a default region: if the source case is
+                // exhaustive without one, the last alternative serves as the
+                // default (LEAN does the same).
+                let (cases, arms, def): (Vec<i64>, Vec<&Expr>, &Expr) = match default {
+                    Some(d) => (
+                        alts.iter().map(|a| a.tag as i64).collect(),
+                        alts.iter().map(|a| &a.body).collect(),
+                        d,
+                    ),
+                    None => {
+                        let (last, init) = alts.split_last().expect("case with no arms");
+                        (
+                            init.iter().map(|a| a.tag as i64).collect(),
+                            init.iter().map(|a| &a.body).collect(),
+                            &last.body,
+                        )
+                    }
+                };
+                let blocks = {
+                    let mut b = Builder::at_end(body, block);
+                    let (_op, blocks) = b.lp_switch(tag, cases);
+                    blocks
+                };
+                for (arm, &arm_block) in arms.iter().zip(&blocks) {
+                    let mut arm_env = env.clone();
+                    self.lower_expr(body, arm_block, arm, &mut arm_env);
+                }
+                let mut def_env = env.clone();
+                self.lower_expr(body, *blocks.last().unwrap(), def, &mut def_env);
+            }
+            Expr::Jump { label, args } => {
+                let sym = self.label_sym(*label);
+                let vals: Vec<ValueId> = args.iter().map(|&a| self.get(env, a)).collect();
+                let mut b = Builder::at_end(body, block);
+                b.lp_jump(sym, vals);
+            }
+            Expr::Ret(v) => {
+                let v = self.get(env, *v);
+                let mut b = Builder::at_end(body, block);
+                b.lp_ret(v);
+            }
+            Expr::Inc { var, n, body: rest } => {
+                let v = self.get(env, *var);
+                {
+                    let mut b = Builder::at_end(body, block);
+                    for _ in 0..*n {
+                        b.lp_inc(v);
+                    }
+                }
+                self.lower_expr(body, block, rest, env);
+            }
+            Expr::Dec { var, body: rest } => {
+                let v = self.get(env, *var);
+                {
+                    let mut b = Builder::at_end(body, block);
+                    b.lp_dec(v);
+                }
+                self.lower_expr(body, block, rest, env);
+            }
+        }
+    }
+
+    fn lower_value(
+        &mut self,
+        body: &mut Body,
+        block: BlockId,
+        val: &Value,
+        env: &HashMap<u32, ValueId>,
+    ) -> ValueId {
+        let mut b = Builder::at_end(body, block);
+        match val {
+            Value::Var(v) => *env.get(v).expect("unbound alias"),
+            Value::LitInt(n) => b.lp_int(*n),
+            Value::LitBig(s) => b.lp_bigint(s),
+            Value::LitStr(s) => b.lp_str(s),
+            Value::Ctor { tag, args } => {
+                let fields = args.iter().map(|&a| self.get(env, a)).collect();
+                b.lp_construct(*tag as i64, fields)
+            }
+            Value::Proj { var, idx } => {
+                let s = self.get(env, *var);
+                b.lp_project(s, *idx as i64)
+            }
+            Value::Call { func, args } => {
+                let callee = self.module.intern(func);
+                let vals = args.iter().map(|&a| self.get(env, a)).collect();
+                let mut b = Builder::at_end(body, block);
+                b.call(callee, vals, Type::Obj)
+            }
+            Value::Pap { func, args } => {
+                let callee = self.module.intern(func);
+                let arity = self
+                    .program
+                    .arity_of(func)
+                    .unwrap_or_else(|| panic!("pap of unknown @{func}"))
+                    as i64;
+                let vals = args.iter().map(|&a| self.get(env, a)).collect();
+                let mut b = Builder::at_end(body, block);
+                b.lp_pap(callee, arity, vals)
+            }
+            Value::App { closure, args } => {
+                let c = self.get(env, *closure);
+                let vals = args.iter().map(|&a| self.get(env, a)).collect();
+                b.lp_papextend(c, vals)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lssa_ir::printer::print_module;
+    use lssa_ir::verifier::verify_module;
+    use lssa_lambda::{insert_rc, parse_program};
+
+    fn lower(src: &str) -> Module {
+        let p = parse_program(src).unwrap();
+        lssa_lambda::check_program(&p).unwrap();
+        let rc = insert_rc(&p);
+        let m = lower_program(&rc);
+        if let Err(errs) = verify_module(&m) {
+            let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+            panic!("lowered module does not verify:\n{}\n{}", msgs.join("\n"), print_module(&m));
+        }
+        m
+    }
+
+    #[test]
+    fn figure6_singleton_and_length() {
+        let m = lower(
+            r#"
+inductive List := Nil | Cons(i, l)
+def singleton(n) := Cons(n, Nil)
+def length(xs) :=
+  case xs of
+  | Nil => 0
+  | Cons(n, l) => 1 + length(l)
+  end
+"#,
+        );
+        let text = print_module(&m);
+        assert!(text.contains("lp.construct"), "{text}");
+        assert!(text.contains("{tag = 1}"), "{text}");
+        assert!(text.contains("lp.getlabel"), "{text}");
+        assert!(text.contains("lp.switch"), "{text}");
+        assert!(text.contains("lp.project"), "{text}");
+        assert!(text.contains("@lean_nat_add"), "{text}");
+    }
+
+    #[test]
+    fn figure4_int_usage_stages_dec_eq() {
+        let m = lower(
+            r#"
+def intUsage(n) :=
+  case n of
+  | 42 => 43
+  | _ => 99999999
+  end
+"#,
+        );
+        let text = print_module(&m);
+        assert!(text.contains("@lean_nat_dec_eq"), "{text}");
+        assert!(text.contains("lp.switch"), "{text}");
+    }
+
+    #[test]
+    fn figure7_closures() {
+        let m = lower(
+            r#"
+def k(x, y) := x
+def k10() := k(10)
+def ap42(f) := f(42)
+"#,
+        );
+        let text = print_module(&m);
+        assert!(text.contains("lp.pap"), "{text}");
+        assert!(text.contains("{callee = @k, arity = 2}"), "{text}");
+        assert!(text.contains("lp.papextend"), "{text}");
+    }
+
+    #[test]
+    fn join_points_lowered_with_args() {
+        let m = lower(
+            r#"
+def f(b, y) :=
+  let x := case b of | true => 1 | false => 2 end;
+  x + y
+"#,
+        );
+        let text = print_module(&m);
+        assert!(text.contains("lp.joinpoint"), "{text}");
+        assert!(text.contains("lp.jump"), "{text}");
+        assert!(text.contains("{label = @f.jp0}"), "{text}");
+    }
+
+    #[test]
+    fn rc_ops_lowered() {
+        let m = lower(
+            r#"
+inductive Pair := MkPair(a, b)
+def dup(x) := MkPair(x, x)
+"#,
+        );
+        let text = print_module(&m);
+        assert!(text.contains("lp.inc"), "{text}");
+    }
+
+    #[test]
+    fn exhaustive_case_uses_last_alt_as_default() {
+        let m = lower(
+            r#"
+inductive AB := A | B
+def f(x) := case x of | A => 1 | B => 2 end
+"#,
+        );
+        let text = print_module(&m);
+        // Two arms, no explicit default → one case value + default region.
+        assert!(text.contains("{cases = [0]}"), "{text}");
+    }
+
+    #[test]
+    fn structured_bodies_have_no_cfg_ops() {
+        let m = lower(
+            r#"
+inductive List := Nil | Cons(h, t)
+def sum(xs) :=
+  case xs of
+  | Nil => 0
+  | Cons(h, t) => h + sum(t)
+  end
+"#,
+        );
+        for f in &m.funcs {
+            let Some(body) = &f.body else { continue };
+            for op in body.walk_ops() {
+                let d = body.ops[op.index()].opcode.dialect();
+                assert!(d != "cf" && d != "rgn", "unexpected {d} op at lp level");
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! End-to-end pass pipelines: λrc → lp → rgn → CFG.
+//!
+//! This is the "MLIR backend" of the paper (Figure 3's lower path), with the
+//! knobs the evaluation turns:
+//!
+//! - `region_opts` — the §IV-B region optimizations (DRE via DCE, select /
+//!   switch folding, run-of-known-region inlining, GRN). Figure 10 compares
+//!   pipelines with and without these.
+//! - `generic_opts` — MLIR's stock CFG-level passes (canonicalize, CSE, DCE,
+//!   CFG simplification, inlining) that Figure 11 credits to the ecosystem.
+//! - `guaranteed_tco` — `musttail` semantics (§III-E); the heuristic
+//!   alternative models the C backend.
+
+use crate::lp::from_lambda;
+use crate::rgn::{self, GrnPass, RgnToCfgPass, TcoPass};
+use lssa_ir::module::Module;
+use lssa_ir::pass::{Pass, PassManager};
+use lssa_ir::passes::{CanonicalizePass, CsePass, DcePass, InlinePass, SimplifyCfgPass};
+use lssa_lambda::ast::Program;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Run the rgn-dialect region optimizations (§IV-B).
+    pub region_opts: bool,
+    /// Run the generic CFG-level optimizations.
+    pub generic_opts: bool,
+    /// Guarantee all tail calls (vs. self-recursion only).
+    pub guaranteed_tco: bool,
+    /// Verify the module between phases (slow; meant for tests).
+    pub verify: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions::full()
+    }
+}
+
+impl PipelineOptions {
+    /// The full MLIR-style pipeline.
+    pub fn full() -> PipelineOptions {
+        PipelineOptions {
+            region_opts: true,
+            generic_opts: true,
+            guaranteed_tco: true,
+            verify: false,
+        }
+    }
+
+    /// Lowering only — no optimization at any level (Figure 10's variant c).
+    pub fn no_opt() -> PipelineOptions {
+        PipelineOptions {
+            region_opts: false,
+            generic_opts: false,
+            guaranteed_tco: true,
+            verify: false,
+        }
+    }
+
+    /// Region optimizations off, generic CFG passes on.
+    pub fn without_region_opts() -> PipelineOptions {
+        PipelineOptions {
+            region_opts: false,
+            ..PipelineOptions::full()
+        }
+    }
+}
+
+/// Compiles a λrc program through lp and rgn down to a flat-CFG module.
+///
+/// # Panics
+///
+/// Panics if `opts.verify` is set and a phase produces invalid IR (compiler
+/// bug), or on malformed input programs.
+pub fn compile(program: &Program, opts: PipelineOptions) -> Module {
+    // λrc → lp (Figure 3).
+    let mut module = from_lambda::lower_program(program);
+    maybe_verify(&module, opts, "lp lowering");
+    // lp → rgn (Figure 8).
+    rgn::from_lp::lower_module(&mut module);
+    maybe_verify(&module, opts, "rgn lowering");
+    // Region optimizations (§IV-B).
+    if opts.region_opts {
+        let pm = PassManager::new()
+            .verify_each(opts.verify)
+            .add(CanonicalizePass::with_extra(rgn::opt::all_patterns))
+            .add(GrnPass)
+            .add(CanonicalizePass::with_extra(rgn::opt::all_patterns))
+            .add(DcePass);
+        // GRN can expose new folds and vice versa; iterate briefly.
+        for _ in 0..3 {
+            if !pm.run(&mut module) {
+                break;
+            }
+        }
+    }
+    // rgn → CFG (§IV-C).
+    RgnToCfgPass.run(&mut module);
+    maybe_verify(&module, opts, "CFG lowering");
+    // Generic CFG-level cleanups (Figure 11's "MLIR builtin" passes).
+    if opts.generic_opts {
+        let pm = PassManager::new()
+            .verify_each(opts.verify)
+            .add(SimplifyCfgPass)
+            .add(CanonicalizePass::new())
+            .add(CsePass)
+            .add(DcePass)
+            .add(InlinePass::default())
+            .add(CanonicalizePass::new())
+            .add(DcePass);
+        pm.run(&mut module);
+    }
+    // Tail calls (§III-E).
+    TcoPass {
+        only_self: !opts.guaranteed_tco,
+    }
+    .run(&mut module);
+    if opts.generic_opts {
+        SimplifyCfgPass.run(&mut module);
+    }
+    maybe_verify(&module, opts, "final");
+    module
+}
+
+fn maybe_verify(module: &Module, opts: PipelineOptions, phase: &str) {
+    if !opts.verify {
+        return;
+    }
+    if let Err(errs) = lssa_ir::verifier::verify_module(module) {
+        let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        panic!(
+            "verification failed after {phase}:\n{}\n{}",
+            msgs.join("\n"),
+            lssa_ir::printer::print_module(module)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lssa_ir::opcode::Opcode;
+    use lssa_lambda::{insert_rc, parse_program};
+
+    fn compile_src(src: &str, opts: PipelineOptions) -> Module {
+        let p = parse_program(src).unwrap();
+        lssa_lambda::check_program(&p).unwrap();
+        let rc = insert_rc(&p);
+        compile(
+            &rc,
+            PipelineOptions {
+                verify: true,
+                ..opts
+            },
+        )
+    }
+
+    const LIST_SUM: &str = r#"
+inductive List := Nil | Cons(h, t)
+def build(n) := if n == 0 then Nil else Cons(n, build(n - 1))
+def sum(xs) :=
+  case xs of
+  | Nil => 0
+  | Cons(h, t) => h + sum(t)
+  end
+def main() := sum(build(20))
+"#;
+
+    #[test]
+    fn full_pipeline_verifies() {
+        let m = compile_src(LIST_SUM, PipelineOptions::full());
+        assert!(m.func_by_name("main").is_some());
+    }
+
+    #[test]
+    fn no_opt_pipeline_verifies() {
+        compile_src(LIST_SUM, PipelineOptions::no_opt());
+    }
+
+    #[test]
+    fn without_region_opts_verifies() {
+        compile_src(LIST_SUM, PipelineOptions::without_region_opts());
+    }
+
+    #[test]
+    fn optimized_is_no_larger_than_unoptimized() {
+        let count = |m: &Module| -> usize {
+            m.funcs
+                .iter()
+                .filter_map(|f| f.body.as_ref())
+                .map(|b| b.live_op_count())
+                .sum()
+        };
+        let opt = compile_src(LIST_SUM, PipelineOptions::full());
+        let raw = compile_src(LIST_SUM, PipelineOptions::no_opt());
+        assert!(
+            count(&opt) <= count(&raw),
+            "optimization must not grow code: {} vs {}",
+            count(&opt),
+            count(&raw)
+        );
+    }
+
+    #[test]
+    fn constant_program_folds_completely() {
+        // With folding + region opts, a constant case collapses.
+        let m = compile_src(
+            "def main() := if true then 40 + 2 else 0",
+            PipelineOptions::full(),
+        );
+        let body = m.func_by_name("main").unwrap().body.as_ref().unwrap();
+        // No branches survive.
+        let has_branch = body.walk_ops().iter().any(|&op| {
+            matches!(
+                body.ops[op.index()].opcode,
+                Opcode::CondBr | Opcode::SwitchBr
+            )
+        });
+        assert!(!has_branch);
+    }
+
+    #[test]
+    fn closures_compile_through_pipeline() {
+        compile_src(
+            r#"
+def k(x, y) := x
+def ap42(f) := f(42)
+def main() := ap42(k(10))
+"#,
+            PipelineOptions::full(),
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! The `rgn` dialect: regions as SSA values (§IV of the paper).
+//!
+//! - [`from_lp`] — lowering `lp` control flow to `rgn` (Figure 8),
+//! - [`opt`] — the region rewrite patterns (Figure 1),
+//! - [`grn`] — global region numbering / region CSE (§IV-B.2),
+//! - [`to_cfg`] — forgetting the region structure into a flat CFG (§IV-C)
+//!   and guaranteed tail-call elimination (§III-E).
+
+pub mod from_lp;
+pub mod grn;
+pub mod opt;
+pub mod to_cfg;
+
+pub use grn::GrnPass;
+pub use to_cfg::{RgnToCfgPass, TcoPass};

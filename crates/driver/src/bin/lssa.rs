@@ -1,0 +1,145 @@
+//! The `lssa` command-line compiler driver.
+//!
+//! ```text
+//! lssa run <file> [--backend leanc|mlir|rgn-only|none]
+//! lssa dump <file> [--stage lp|rgn|opt|cfg]
+//! lssa diff <file>
+//! lssa bench <name> [--scale test|bench]
+//! ```
+
+use lssa_driver::pipelines::{compile_and_run, frontend, CompilerConfig};
+use lssa_driver::workloads::{by_name, Scale};
+use lssa_ir::pass::Pass;
+use std::process::ExitCode;
+
+const MAX_STEPS: u64 = 2_000_000_000;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  lssa run <file> [--backend leanc|mlir|rgn-only|none]");
+            eprintln!("  lssa dump <file> [--stage lambda|lp|rgn|opt|cfg]");
+            eprintln!("  lssa diff <file>");
+            eprintln!("  lssa bench <name> [--scale test|bench]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn config_of(name: &str) -> Result<CompilerConfig, String> {
+    match name {
+        "leanc" => Ok(CompilerConfig::leanc()),
+        "mlir" => Ok(CompilerConfig::mlir()),
+        "rgn-only" => Ok(CompilerConfig::rgn_only()),
+        "none" => Ok(CompilerConfig::none()),
+        other => Err(format!("unknown backend `{other}`")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "run" => {
+            let file = args.get(1).ok_or("missing file")?;
+            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let config = config_of(flag_value(args, "--backend").unwrap_or("mlir"))?;
+            let out = compile_and_run(&src, config, MAX_STEPS).map_err(|e| e.to_string())?;
+            println!("{}", out.rendered);
+            eprintln!(
+                "-- {} instructions, {} calls, peak {} live objects",
+                out.stats.instructions, out.stats.calls, out.stats.heap.peak_live
+            );
+            Ok(())
+        }
+        "dump" => {
+            let file = args.get(1).ok_or("missing file")?;
+            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let stage = flag_value(args, "--stage").unwrap_or("cfg");
+            let rc = frontend(&src, CompilerConfig::mlir()).map_err(|e| e.to_string())?;
+            match stage {
+                "lambda" => {
+                    for f in &rc.fns {
+                        println!("{f}");
+                    }
+                }
+                "lp" => {
+                    let m = lssa_core::lp::from_lambda::lower_program(&rc);
+                    print!("{}", lssa_ir::printer::print_module(&m));
+                }
+                "rgn" => {
+                    let mut m = lssa_core::lp::from_lambda::lower_program(&rc);
+                    lssa_core::rgn::from_lp::lower_module(&mut m);
+                    print!("{}", lssa_ir::printer::print_module(&m));
+                }
+                "opt" => {
+                    let mut m = lssa_core::lp::from_lambda::lower_program(&rc);
+                    lssa_core::rgn::from_lp::lower_module(&mut m);
+                    lssa_ir::passes::CanonicalizePass::with_extra(
+                        lssa_core::rgn::opt::all_patterns,
+                    )
+                    .run(&mut m);
+                    lssa_core::rgn::GrnPass.run(&mut m);
+                    lssa_ir::passes::DcePass.run(&mut m);
+                    print!("{}", lssa_ir::printer::print_module(&m));
+                }
+                "cfg" => {
+                    let m = lssa_core::pipeline::compile(
+                        &rc,
+                        lssa_core::PipelineOptions::full(),
+                    );
+                    print!("{}", lssa_ir::printer::print_module(&m));
+                }
+                other => return Err(format!("unknown stage `{other}`")),
+            }
+            Ok(())
+        }
+        "diff" => {
+            let file = args.get(1).ok_or("missing file")?;
+            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let r = lssa_driver::diff::run_differential(file, &src, MAX_STEPS);
+            match r.failure {
+                None => {
+                    println!("PASS: all pipelines agree on {:?}", r.rendered.unwrap());
+                    Ok(())
+                }
+                Some(f) => Err(format!("differential mismatch: {f}")),
+            }
+        }
+        "bench" => {
+            let name = args.get(1).ok_or("missing benchmark name")?;
+            let scale = match flag_value(args, "--scale").unwrap_or("test") {
+                "test" => Scale::Test,
+                "bench" => Scale::Bench,
+                other => return Err(format!("unknown scale `{other}`")),
+            };
+            let w = by_name(name, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            for config in lssa_driver::diff::configs() {
+                let start = std::time::Instant::now();
+                let out =
+                    compile_and_run(&w.src, config, MAX_STEPS).map_err(|e| e.to_string())?;
+                let elapsed = start.elapsed();
+                println!(
+                    "{:28} {:>12?} {:>14} instrs  result={}",
+                    config.label(),
+                    elapsed,
+                    out.stats.instructions,
+                    out.rendered
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,111 @@
+//! Differential testing: the reference interpreter versus every compiled
+//! pipeline.
+//!
+//! This is the project's analogue of running the LEAN test suite (§V-A):
+//! a program passes when all five executions — the λrc reference
+//! interpreter (oracle), the leanc-style baseline, the full MLIR pipeline,
+//! the rgn-only pipeline and the unoptimized pipeline — produce the same
+//! value *and* release every heap object.
+
+use crate::pipelines::{compile_and_run, frontend, CompilerConfig};
+
+/// Outcome of one differential test.
+#[derive(Debug, Clone)]
+pub struct DiffResult {
+    /// Program name.
+    pub name: String,
+    /// The agreed-on result (when passing).
+    pub rendered: Option<String>,
+    /// Failure description (when failing).
+    pub failure: Option<String>,
+}
+
+impl DiffResult {
+    /// Whether all pipelines agreed.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// The pipeline configurations exercised by differential testing.
+pub fn configs() -> Vec<CompilerConfig> {
+    vec![
+        CompilerConfig::leanc(),
+        CompilerConfig::mlir(),
+        CompilerConfig::rgn_only(),
+        CompilerConfig::none(),
+    ]
+}
+
+/// Runs `src` through the oracle and every pipeline, comparing results.
+pub fn run_differential(name: &str, src: &str, max_steps: u64) -> DiffResult {
+    let fail = |msg: String| DiffResult {
+        name: name.to_string(),
+        rendered: None,
+        failure: Some(msg),
+    };
+    // Oracle: the λrc reference interpreter on the unsimplified program.
+    let rc = match frontend(src, CompilerConfig::none()) {
+        Ok(rc) => rc,
+        Err(e) => return fail(format!("frontend: {e}")),
+    };
+    let oracle = match lssa_lambda::run_program(&rc, "main", true, max_steps) {
+        Ok(o) => o,
+        Err(e) => return fail(format!("oracle: {e}")),
+    };
+    if oracle.stats.live != 0 {
+        return fail(format!("oracle leaked {} objects", oracle.stats.live));
+    }
+    for config in configs() {
+        let out = match compile_and_run(src, config, max_steps) {
+            Ok(o) => o,
+            Err(e) => return fail(format!("[{}] {e}", config.label())),
+        };
+        if out.rendered != oracle.rendered {
+            return fail(format!(
+                "[{}] produced {:?}, oracle {:?}",
+                config.label(),
+                out.rendered,
+                oracle.rendered
+            ));
+        }
+        if out.stats.heap.live != 0 {
+            return fail(format!(
+                "[{}] leaked {} objects",
+                config.label(),
+                out.stats.heap.live
+            ));
+        }
+    }
+    DiffResult {
+        name: name.to_string(),
+        rendered: Some(oracle.rendered),
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_program() {
+        let r = run_differential("t", "def main() := 40 + 2", 1_000_000);
+        assert!(r.passed(), "{:?}", r.failure);
+        assert_eq!(r.rendered.as_deref(), Some("42"));
+    }
+
+    #[test]
+    fn broken_program_reports_stage() {
+        let r = run_differential("t", "def main() := nonsense", 1_000_000);
+        assert!(!r.passed());
+        assert!(r.failure.unwrap().contains("frontend"));
+    }
+
+    #[test]
+    fn divergent_program_reports_oracle() {
+        let r = run_differential("t", "def spin(x) := spin(x)\ndef main() := spin(0)", 10_000);
+        assert!(!r.passed());
+        assert!(r.failure.unwrap().contains("oracle"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # lssa-driver: end-to-end pipelines and the evaluation harness
+//!
+//! Everything the paper's evaluation needs, wired together:
+//!
+//! - [`baseline`] — the `leanc` model: direct λrc → CFG lowering with
+//!   heuristic tail calls (the Figure 9 comparison target),
+//! - [`pipelines`] — compiler configurations (λ simplifier on/off × backend
+//!   × region optimizations) matching Figures 9 and 10,
+//! - [`diff`] — differential testing against the reference interpreter,
+//! - [`conformance`] — the ≥648-program corpus (§V-A's test-suite analogue),
+//! - [`workloads`] — the eight benchmarks of §V-B.
+//!
+//! ```
+//! use lssa_driver::pipelines::{compile_and_run, CompilerConfig};
+//! let out = compile_and_run("def main() := 6 * 7", CompilerConfig::mlir(), 100_000).unwrap();
+//! assert_eq!(out.rendered, "42");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod conformance;
+pub mod diff;
+pub mod pipelines;
+pub mod workloads;
+
+pub use pipelines::{compile, compile_and_run, Backend, CompilerConfig};

@@ -1,0 +1,242 @@
+//! End-to-end compiler configurations: the exact pipelines the paper's
+//! evaluation compares.
+//!
+//! ```text
+//! source ──parse──▶ λpure ──[simplifier]──▶ λpure ──insert_rc──▶ λrc
+//!     λrc ──baseline──▶ CFG   (leanc model: direct lowering, heuristic TCO)
+//!     λrc ──lp──▶ rgn ──[region opts]──▶ CFG   (the paper's backend)
+//!                                 └──▶ bytecode ──▶ VM
+//! ```
+
+use lssa_core::pipeline::PipelineOptions;
+use lssa_lambda::ast::Program;
+use lssa_lambda::simplify::SimplifyOptions;
+use lssa_vm::{CompiledProgram, RunOutcome};
+use std::fmt;
+
+/// Which backend lowers λrc to the flat CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Direct lowering modelling the C backend (`lssa_driver::baseline`).
+    Baseline,
+    /// The lp+rgn MLIR-style backend with the given options.
+    Mlir(PipelineOptions),
+}
+
+/// A full compiler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompilerConfig {
+    /// λpure simplifier to run before RC insertion (`None` = unoptimized
+    /// λrc, the input of Figure 10's variants b/c).
+    pub simplify: Option<SimplifyOptions>,
+    /// The backend.
+    pub backend: Backend,
+}
+
+impl CompilerConfig {
+    /// The `leanc` model: λrc simplifier + direct C-style backend.
+    pub fn leanc() -> CompilerConfig {
+        CompilerConfig {
+            simplify: Some(SimplifyOptions::all()),
+            backend: Backend::Baseline,
+        }
+    }
+
+    /// The paper's backend fed simplified λrc (Figure 10 variant a).
+    pub fn mlir() -> CompilerConfig {
+        CompilerConfig {
+            simplify: Some(SimplifyOptions::all()),
+            backend: Backend::Mlir(PipelineOptions::full()),
+        }
+    }
+
+    /// Unoptimized λrc, rgn optimizations on (Figure 10 variant b: "we
+    /// disable LEAN's simpcase pass which performs rgn style switch
+    /// simplification" — here the λ simplifier is skipped entirely, so the
+    /// rgn passes see raw λrc).
+    pub fn rgn_only() -> CompilerConfig {
+        CompilerConfig {
+            simplify: None,
+            backend: Backend::Mlir(PipelineOptions::full()),
+        }
+    }
+
+    /// Unsimplified λrc, no optimization anywhere (Figure 10 variant c).
+    pub fn none() -> CompilerConfig {
+        CompilerConfig {
+            simplify: None,
+            backend: Backend::Mlir(PipelineOptions::no_opt()),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        let front = match self.simplify {
+            Some(s) if s == SimplifyOptions::all() => "simplified",
+            Some(_) => "partial-simplify",
+            None => "raw",
+        };
+        let back = match self.backend {
+            Backend::Baseline => "leanc".to_string(),
+            Backend::Mlir(o) => format!(
+                "mlir{}{}",
+                if o.region_opts { "+rgn" } else { "" },
+                if o.generic_opts { "+generic" } else { "" }
+            ),
+        };
+        format!("{front}/{back}")
+    }
+}
+
+/// A compilation failure anywhere along the pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineError {
+    /// Which stage failed.
+    pub stage: &'static str,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Parses and front-lowers source into λrc under a config.
+///
+/// # Errors
+///
+/// Returns the first front-end failure.
+pub fn frontend(src: &str, config: CompilerConfig) -> Result<Program, PipelineError> {
+    let program = lssa_lambda::parse_program(src).map_err(|e| PipelineError {
+        stage: "parse",
+        message: e.to_string(),
+    })?;
+    lssa_lambda::check_program(&program).map_err(|errs| PipelineError {
+        stage: "wellformedness",
+        message: errs
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("; "),
+    })?;
+    let program = match config.simplify {
+        Some(opts) => lssa_lambda::simplify_program(&program, opts),
+        None => program,
+    };
+    Ok(lssa_lambda::insert_rc(&program))
+}
+
+/// Compiles λrc to bytecode under a config's backend.
+///
+/// # Errors
+///
+/// Returns backend failures.
+pub fn backend(rc: &Program, config: CompilerConfig) -> Result<CompiledProgram, PipelineError> {
+    let module = match config.backend {
+        Backend::Baseline => crate::baseline::lower_program(rc),
+        Backend::Mlir(opts) => lssa_core::pipeline::compile(rc, opts),
+    };
+    if let Err(errs) = lssa_ir::verifier::verify_module(&module) {
+        return Err(PipelineError {
+            stage: "verify",
+            message: errs
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        });
+    }
+    lssa_vm::compile_module(&module).map_err(|e| PipelineError {
+        stage: "bytecode",
+        message: e.to_string(),
+    })
+}
+
+/// Compiles source end-to-end.
+///
+/// # Errors
+///
+/// Returns the first failure along the pipeline.
+pub fn compile(src: &str, config: CompilerConfig) -> Result<CompiledProgram, PipelineError> {
+    let rc = frontend(src, config)?;
+    backend(&rc, config)
+}
+
+/// Compiles and runs `main`.
+///
+/// # Errors
+///
+/// Returns compilation or execution failures.
+pub fn compile_and_run(
+    src: &str,
+    config: CompilerConfig,
+    max_steps: u64,
+) -> Result<RunOutcome, PipelineError> {
+    let program = compile(src, config)?;
+    lssa_vm::run_program(&program, "main", max_steps).map_err(|e| PipelineError {
+        stage: "execution",
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+inductive List := Nil | Cons(h, t)
+def build(n) := if n == 0 then Nil else Cons(n, build(n - 1))
+def sum(xs) :=
+  case xs of
+  | Nil => 0
+  | Cons(h, t) => h + sum(t)
+  end
+def main() := sum(build(50))
+"#;
+
+    #[test]
+    fn all_configs_agree() {
+        let configs = [
+            CompilerConfig::leanc(),
+            CompilerConfig::mlir(),
+            CompilerConfig::rgn_only(),
+            CompilerConfig::none(),
+        ];
+        for c in configs {
+            let out = compile_and_run(SRC, c, 10_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.label()));
+            assert_eq!(out.rendered, "1275", "{}", c.label());
+            assert_eq!(out.stats.heap.live, 0, "{}: leak", c.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(CompilerConfig::leanc().label(), "simplified/leanc");
+        assert_eq!(CompilerConfig::mlir().label(), "simplified/mlir+rgn+generic");
+        assert_eq!(CompilerConfig::none().label(), "raw/mlir");
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        let e = compile("def !", CompilerConfig::mlir()).unwrap_err();
+        assert_eq!(e.stage, "parse");
+    }
+
+    #[test]
+    fn wellformedness_errors_reported() {
+        let e = compile(
+            "def f() := g(1)\ndef g(a, b) := a",
+            CompilerConfig::mlir(),
+        );
+        // Over/under application of known functions is handled (pap), so
+        // this actually compiles; use a genuinely ill-formed program:
+        let _ = e;
+        let e2 = compile("def f() := @nosuch(1)", CompilerConfig::mlir()).unwrap_err();
+        assert_eq!(e2.stage, "wellformedness");
+    }
+}

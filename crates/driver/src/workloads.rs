@@ -1,0 +1,524 @@
+//! The paper's benchmark suite (§V-B), written in the surface language.
+//!
+//! "The programs in the LEAN benchmark suite represent workloads commonly
+//! encountered by functional programming languages": binary trees
+//! (nat and int payloads), constant folding and derivatives over expression
+//! languages, list filtering, real in-place quicksort on arrays, red-black
+//! tree insertion/lookup, and Tarjan's union-find.
+//!
+//! Every program's `main` returns a checksum so differential testing can
+//! compare pipelines; sizes are scaled by [`Scale`].
+
+/// Benchmark input sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny inputs for correctness tests.
+    Test,
+    /// Inputs sized for timing runs (hundreds of milliseconds in the VM).
+    Bench,
+}
+
+/// A named benchmark.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (matches the paper's Figure 9 labels).
+    pub name: &'static str,
+    /// The program source.
+    pub src: String,
+    /// Expected `main()` output at `Scale::Test` (checksum oracle).
+    pub expected_test: &'static str,
+}
+
+/// All eight benchmarks at the given scale.
+pub fn all(scale: Scale) -> Vec<Workload> {
+    vec![
+        binarytrees(scale),
+        binarytrees_int(scale),
+        const_fold(scale),
+        deriv(scale),
+        filter(scale),
+        qsort(scale),
+        rbmap_checkpoint(scale),
+        unionfind(scale),
+    ]
+}
+
+/// A specific benchmark by name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
+    all(scale).into_iter().find(|w| w.name == name)
+}
+
+const LCG: &str =
+    "def lcg(s) := (s * 1103515245 + 12345) % 2147483648\n";
+
+/// Purely functional binary tree build/check sweeps.
+pub fn binarytrees(scale: Scale) -> Workload {
+    let (iters, depth) = match scale {
+        Scale::Test => (2, 4),
+        Scale::Bench => (12, 11),
+    };
+    Workload {
+        name: "binarytrees",
+        src: format!(
+            r#"
+inductive Tree := Leaf | Node(l, r)
+def make(d) := if d == 0 then Leaf else Node(make(d - 1), make(d - 1))
+def check(t) :=
+  case t of
+  | Leaf => 1
+  | Node(l, r) => 1 + check(l) + check(r)
+  end
+def sweep(i, d, acc) :=
+  if i == 0 then acc else sweep(i - 1, d, acc + check(make(d)))
+def main() := sweep({iters}, {depth}, 0)
+"#
+        ),
+        expected_test: "62", // 2 * (2^5 - 1)
+    }
+}
+
+/// Binary trees with integer payloads (exercises the `Int` runtime ops).
+pub fn binarytrees_int(scale: Scale) -> Workload {
+    let (iters, depth) = match scale {
+        Scale::Test => (2, 4),
+        Scale::Bench => (10, 11),
+    };
+    Workload {
+        name: "binarytrees-int",
+        src: format!(
+            r#"
+inductive Tree := Leaf | Node(v, l, r)
+def make(v, d) :=
+  if d == 0 then Leaf
+  else Node(v, make(@int_add(v, 1), d - 1), make(@int_sub(v, 1), d - 1))
+def checksum(t) :=
+  case t of
+  | Leaf => 1
+  | Node(v, l, r) => @int_add(v, @int_add(checksum(l), checksum(r)))
+  end
+def sweep(i, d, acc) :=
+  if i == 0 then acc
+  else sweep(i - 1, d, @int_add(acc, checksum(make(0, d))))
+def main() := sweep({iters}, {depth}, 0)
+"#
+        ),
+        expected_test: "32", // 2 * 16 leaves (payload contributions cancel)
+    }
+}
+
+/// Constant folding on an expression language (with bigint growth).
+pub fn const_fold(scale: Scale) -> Workload {
+    let (iters, n) = match scale {
+        Scale::Test => (1, 6),
+        Scale::Bench => (160, 60),
+    };
+    Workload {
+        name: "const_fold",
+        src: format!(
+            r#"
+inductive Expr := Lit(v) | Add(a, b) | Mul(a, b)
+def build(n) :=
+  if n == 0 then Lit(1)
+  else if n % 3 == 0 then Mul(Lit(2), build(n - 1))
+  else Add(Lit(n), build(n - 1))
+def fold(e) :=
+  case e of
+  | Lit(v) => Lit(v)
+  | Add(a, b) =>
+    let fa := fold(a);
+    let fb := fold(b);
+    case fa of
+    | Lit(x) =>
+      case fb of
+      | Lit(y) => Lit(x + y)
+      | _ => Add(fa, fb)
+      end
+    | _ => Add(fa, fb)
+    end
+  | Mul(a, b) =>
+    let fa := fold(a);
+    let fb := fold(b);
+    case fa of
+    | Lit(x) =>
+      case fb of
+      | Lit(y) => Lit(x * y)
+      | _ => Mul(fa, fb)
+      end
+    | _ => Mul(fa, fb)
+    end
+  end
+def eval(e) :=
+  case e of
+  | Lit(v) => v
+  | Add(a, b) => eval(a) + eval(b)
+  | Mul(a, b) => eval(a) * eval(b)
+  end
+def run(i, n, acc) :=
+  if i == 0 then acc else run(i - 1, n, acc + eval(fold(build(n))))
+def main() := run({iters}, {n}, 0)
+"#
+        ),
+        expected_test: "34", // eval(fold(build(6)))
+    }
+}
+
+/// Symbolic differentiation of expression trees.
+pub fn deriv(scale: Scale) -> Workload {
+    let (iters, n) = match scale {
+        Scale::Test => (1, 3),
+        Scale::Bench => (60, 9),
+    };
+    Workload {
+        name: "deriv",
+        src: format!(
+            r#"
+inductive Expr := X | Const(c) | Add(a, b) | Mul(a, b)
+def d(e) :=
+  case e of
+  | X => Const(1)
+  | Const(c) => Const(0)
+  | Add(a, b) => Add(d(a), d(b))
+  | Mul(a, b) => Add(Mul(d(a), b), Mul(a, d(b)))
+  end
+def pow(n) := if n == 0 then Const(1) else Mul(X, pow(n - 1))
+def eval(e, x) :=
+  case e of
+  | X => x
+  | Const(c) => c
+  | Add(a, b) => eval(a, x) + eval(b, x)
+  | Mul(a, b) => eval(a, x) * eval(b, x)
+  end
+def run(i, n, acc) :=
+  if i == 0 then acc else run(i - 1, n, acc + eval(d(pow(n)), 2))
+def main() := run({iters}, {n}, 0)
+"#
+        ),
+        // d/dx x^3 at 2 = 3 * 4 = 12
+        expected_test: "12",
+    }
+}
+
+/// Filtering a linked list by a predicate.
+pub fn filter(scale: Scale) -> Workload {
+    let (iters, n) = match scale {
+        Scale::Test => (2, 10),
+        Scale::Bench => (250, 600),
+    };
+    Workload {
+        name: "filter",
+        src: format!(
+            r#"
+inductive List := Nil | Cons(h, t)
+def upto(n) := if n == 0 then Nil else Cons(n, upto(n - 1))
+def keep_even(xs) :=
+  case xs of
+  | Nil => Nil
+  | Cons(h, t) => if h % 2 == 0 then Cons(h, keep_even(t)) else keep_even(t)
+  end
+def sum_acc(xs, acc) :=
+  case xs of
+  | Nil => acc
+  | Cons(h, t) => sum_acc(t, acc + h)
+  end
+def run(i, n, acc) :=
+  if i == 0 then acc
+  else run(i - 1, n, acc + sum_acc(keep_even(upto(n)), 0))
+def main() := run({iters}, {n}, 0)
+"#
+        ),
+        expected_test: "60", // 2 * (2+4+6+8+10)
+    }
+}
+
+/// Real in-place quicksort on arrays (exclusivity-based mutation).
+pub fn qsort(scale: Scale) -> Workload {
+    let (iters, n) = match scale {
+        Scale::Test => (1, 16),
+        Scale::Bench => (40, 500),
+    };
+    Workload {
+        name: "qsort",
+        src: format!(
+            r#"
+inductive Pair := MkPair(a, b)
+{LCG}
+def fill(a, i, n, seed) :=
+  if i == n then a
+  else fill(@array_push(a, seed % 10000), i + 1, n, lcg(seed))
+def swap(a, i, j) :=
+  let x := @array_get(a, i);
+  let y := @array_get(a, j);
+  @array_set(@array_set(a, i, y), j, x)
+def partition(a, hi, i, j) :=
+  if j == hi then MkPair(swap(a, i, hi), i)
+  else
+    let p := @array_get(a, hi);
+    let v := @array_get(a, j);
+    if v < p then partition(swap(a, i, j), hi, i + 1, j + 1)
+    else partition(a, hi, i, j + 1)
+def qsort(a, lo, hi) :=
+  if hi <= lo then a
+  else
+    case partition(a, hi, lo, lo) of
+    | MkPair(a2, p) =>
+      let a3 := if p == 0 then a2 else qsort(a2, lo, p - 1);
+      qsort(a3, p + 1, hi)
+    end
+def checksum(a, i, n, acc) :=
+  if i == n then acc
+  else checksum(a, i + 1, n, acc + @array_get(a, i) * (i + 1))
+def run(i, n, acc) :=
+  if i == 0 then acc
+  else
+    let a := fill(@mk_empty_array(), 0, n, i * 7 + 1);
+    let s := qsort(a, 0, n - 1);
+    run(i - 1, n, acc + checksum(s, 0, n, 0) % 1000003)
+def main() := run({iters}, {n}, 0)
+"#
+        ),
+        expected_test: "972691",
+    }
+}
+
+/// Red-black tree insertion and lookup (Okasaki balancing).
+pub fn rbmap_checkpoint(scale: Scale) -> Workload {
+    let (n, probes) = match scale {
+        Scale::Test => (30, 10),
+        Scale::Bench => (4000, 2000),
+    };
+    Workload {
+        name: "rbmap_checkpoint",
+        src: format!(
+            r#"
+inductive Color := Red | Black
+inductive Tree := Leaf | Node(c, l, k, v, r)
+{LCG}
+def balance(l, k, v, r) :=
+  case l of
+  | Node(lc, ll, lk, lv, lr) =>
+    case lc of
+    | Red =>
+      case ll of
+      | Node(llc, lla, llk, llv, llb) =>
+        case llc of
+        | Red => Node(Red, Node(Black, lla, llk, llv, llb), lk, lv, Node(Black, lr, k, v, r))
+        | Black => balance_lr(l, k, v, r)
+        end
+      | Leaf => balance_lr(l, k, v, r)
+      end
+    | Black => balance_right(l, k, v, r)
+    end
+  | Leaf => balance_right(l, k, v, r)
+  end
+def balance_lr(l, k, v, r) :=
+  case l of
+  | Node(lc, ll, lk, lv, lr) =>
+    case lr of
+    | Node(lrc, lra, lrk, lrv, lrb) =>
+      case lrc of
+      | Red => Node(Red, Node(Black, ll, lk, lv, lra), lrk, lrv, Node(Black, lrb, k, v, r))
+      | Black => balance_right(l, k, v, r)
+      end
+    | Leaf => balance_right(l, k, v, r)
+    end
+  | Leaf => balance_right(l, k, v, r)
+  end
+def balance_right(l, k, v, r) :=
+  case r of
+  | Node(rc, rl, rk, rv, rr) =>
+    case rc of
+    | Red =>
+      case rl of
+      | Node(rlc, rla, rlk, rlv, rlb) =>
+        case rlc of
+        | Red => Node(Red, Node(Black, l, k, v, rla), rlk, rlv, Node(Black, rlb, rk, rv, rr))
+        | Black => balance_rr(l, k, v, r)
+        end
+      | Leaf => balance_rr(l, k, v, r)
+      end
+    | Black => Node(Black, l, k, v, r)
+    end
+  | Leaf => Node(Black, l, k, v, r)
+  end
+def balance_rr(l, k, v, r) :=
+  case r of
+  | Node(rc, rl, rk, rv, rr) =>
+    case rr of
+    | Node(rrc, rra, rrk, rrv, rrb) =>
+      case rrc of
+      | Red => Node(Red, Node(Black, l, k, v, rl), rk, rv, Node(Black, rra, rrk, rrv, rrb))
+      | Black => Node(Black, l, k, v, r)
+      end
+    | Leaf => Node(Black, l, k, v, r)
+    end
+  | Leaf => Node(Black, l, k, v, r)
+  end
+def ins(t, k, v) :=
+  case t of
+  | Leaf => Node(Red, Leaf, k, v, Leaf)
+  | Node(c, l, tk, tv, r) =>
+    if k < tk then
+      case c of
+      | Red => Node(Red, ins(l, k, v), tk, tv, r)
+      | Black => balance(ins(l, k, v), tk, tv, r)
+      end
+    else if tk < k then
+      case c of
+      | Red => Node(Red, l, tk, tv, ins(r, k, v))
+      | Black => balance(l, tk, tv, ins(r, k, v))
+      end
+    else Node(c, l, tk, v, r)
+  end
+def insert(t, k, v) :=
+  case ins(t, k, v) of
+  | Leaf => Leaf
+  | Node(c, l, k2, v2, r) => Node(Black, l, k2, v2, r)
+  end
+def find(t, k) :=
+  case t of
+  | Leaf => 0
+  | Node(c, l, tk, tv, r) =>
+    if k < tk then find(l, k)
+    else if tk < k then find(r, k)
+    else tv
+  end
+def size(t) :=
+  case t of
+  | Leaf => 0
+  | Node(c, l, k, v, r) => 1 + size(l) + size(r)
+  end
+def fill(t, i, n, seed) :=
+  if i == n then t
+  else fill(insert(t, seed % 65536, i), i + 1, n, lcg(seed))
+def probe(t, i, seed, acc) :=
+  if i == 0 then acc
+  else probe(t, i - 1, lcg(seed), acc + find(t, seed % 65536))
+def main() :=
+  let t := fill(Leaf, 0, {n}, 1);
+  size(t) * 1000000 + probe(t, {probes}, 1, 0) % 1000000
+"#
+        ),
+        expected_test: "30000045",
+    }
+}
+
+/// Tarjan's union-find with path compression over arrays.
+pub fn unionfind(scale: Scale) -> Workload {
+    let (n, ops) = match scale {
+        Scale::Test => (16, 10),
+        Scale::Bench => (3000, 3000),
+    };
+    Workload {
+        name: "unionfind",
+        src: format!(
+            r#"
+inductive Pair := MkPair(a, b)
+{LCG}
+def init(p, i, n) := if i == n then p else init(@array_push(p, i), i + 1, n)
+def find(p, i) :=
+  let pi := @array_get(p, i);
+  if pi == i then MkPair(p, i)
+  else
+    case find(p, pi) of
+    | MkPair(p2, root) => MkPair(@array_set(p2, i, root), root)
+    end
+def union(p, a, b) :=
+  case find(p, a) of
+  | MkPair(p1, ra) =>
+    case find(p1, b) of
+    | MkPair(p2, rb) =>
+      if ra == rb then p2 else @array_set(p2, ra, rb)
+    end
+  end
+def unions(p, i, ops, n, seed) :=
+  if i == ops then p
+  else
+    let s2 := lcg(seed);
+    unions(union(p, seed % n, s2 % n), i + 1, ops, n, lcg(s2))
+def roots(p, i, n, acc) :=
+  if i == n then acc
+  else
+    let pi := @array_get(p, i);
+    roots(p, i + 1, n, if pi == i then acc + 1 else acc)
+def main() :=
+  let p := init(@mk_empty_array(), 0, {n});
+  let p2 := unions(p, 0, {ops}, {n}, 12345);
+  roots(p2, 0, {n}, 0)
+"#
+        ),
+        expected_test: "8",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipelines::{compile_and_run, CompilerConfig};
+
+    const MAX_STEPS: u64 = 500_000_000;
+
+    #[test]
+    fn eight_workloads_present() {
+        let ws = all(Scale::Test);
+        assert_eq!(ws.len(), 8);
+        let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "binarytrees",
+                "binarytrees-int",
+                "const_fold",
+                "deriv",
+                "filter",
+                "qsort",
+                "rbmap_checkpoint",
+                "unionfind"
+            ]
+        );
+        assert!(by_name("qsort", Scale::Test).is_some());
+        assert!(by_name("nosuch", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn workloads_run_on_reference_interpreter() {
+        for w in all(Scale::Test) {
+            let p = lssa_lambda::parse_program(&w.src)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            lssa_lambda::check_program(&p).unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
+            let rc = lssa_lambda::insert_rc(&p);
+            let out = lssa_lambda::run_program(&rc, "main", true, MAX_STEPS)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!(out.rendered, w.expected_test, "{}", w.name);
+            assert_eq!(out.stats.live, 0, "{}: leak", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_agree_across_pipelines() {
+        for w in all(Scale::Test) {
+            for config in [
+                CompilerConfig::leanc(),
+                CompilerConfig::mlir(),
+                CompilerConfig::rgn_only(),
+                CompilerConfig::none(),
+            ] {
+                let out = compile_and_run(&w.src, config, MAX_STEPS)
+                    .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, config.label()));
+                assert_eq!(
+                    out.rendered,
+                    w.expected_test,
+                    "{} [{}]",
+                    w.name,
+                    config.label()
+                );
+                assert_eq!(
+                    out.stats.heap.live,
+                    0,
+                    "{} [{}]: leak",
+                    w.name,
+                    config.label()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Smoke tests for the `lssa` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn lssa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lssa"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("lssa-cli-{name}-{}.fl", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const PROGRAM: &str = r#"
+inductive List := Nil | Cons(h, t)
+def len(xs) := case xs of | Nil => 0 | Cons(h, t) => 1 + len(t) end
+def main() := len(Cons(1, Cons(2, Cons(3, Nil))))
+"#;
+
+#[test]
+fn run_prints_result() {
+    let path = write_temp("run", PROGRAM);
+    let out = lssa().args(["run"]).arg(&path).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn run_all_backends() {
+    let path = write_temp("backends", PROGRAM);
+    for backend in ["leanc", "mlir", "rgn-only", "none"] {
+        let out = lssa()
+            .args(["run"])
+            .arg(&path)
+            .args(["--backend", backend])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{backend}");
+        assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3", "{backend}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn dump_stages_emit_expected_dialects() {
+    let path = write_temp("dump", PROGRAM);
+    for (stage, needle) in [
+        ("lambda", "case x0 of"),
+        ("lp", "lp.switch"),
+        ("rgn", "rgn.run"),
+        ("cfg", "cf."),
+    ] {
+        let out = lssa()
+            .args(["dump"])
+            .arg(&path)
+            .args(["--stage", stage])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{stage}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(needle), "{stage}: missing {needle}\n{text}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn diff_reports_pass() {
+    let path = write_temp("diff", PROGRAM);
+    let out = lssa().args(["diff"]).arg(&path).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = lssa().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn parse_error_is_reported() {
+    let path = write_temp("bad", "def !");
+    let out = lssa().args(["run"]).arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,281 @@
+//! Operation attributes: compile-time constants attached to operations.
+
+use crate::ids::Symbol;
+use std::fmt;
+use std::str::FromStr;
+
+/// Integer comparison predicates (for `arith.cmpi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+}
+
+impl CmpPred {
+    /// Evaluates the predicate on two signed integers.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::Slt => a < b,
+            CmpPred::Sle => a <= b,
+            CmpPred::Sgt => a > b,
+            CmpPred::Sge => a >= b,
+        }
+    }
+
+    /// The predicate with swapped operand order (`a ? b` ⇔ `b ?' a`).
+    pub fn swapped(self) -> CmpPred {
+        match self {
+            CmpPred::Eq => CmpPred::Eq,
+            CmpPred::Ne => CmpPred::Ne,
+            CmpPred::Slt => CmpPred::Sgt,
+            CmpPred::Sle => CmpPred::Sge,
+            CmpPred::Sgt => CmpPred::Slt,
+            CmpPred::Sge => CmpPred::Sle,
+        }
+    }
+}
+
+impl fmt::Display for CmpPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Slt => "slt",
+            CmpPred::Sle => "sle",
+            CmpPred::Sgt => "sgt",
+            CmpPred::Sge => "sge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error parsing a [`CmpPred`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePredError(pub String);
+
+impl fmt::Display for ParsePredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown comparison predicate `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParsePredError {}
+
+impl FromStr for CmpPred {
+    type Err = ParsePredError;
+
+    fn from_str(s: &str) -> Result<CmpPred, ParsePredError> {
+        match s {
+            "eq" => Ok(CmpPred::Eq),
+            "ne" => Ok(CmpPred::Ne),
+            "slt" => Ok(CmpPred::Slt),
+            "sle" => Ok(CmpPred::Sle),
+            "sgt" => Ok(CmpPred::Sgt),
+            "sge" => Ok(CmpPred::Sge),
+            other => Err(ParsePredError(other.to_string())),
+        }
+    }
+}
+
+/// An attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Attr {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant (e.g. a big-integer literal).
+    Str(String),
+    /// A symbol reference (`@foo`).
+    Sym(Symbol),
+    /// A list of integers (e.g. `lp.switch` case values).
+    IntList(Vec<i64>),
+    /// A comparison predicate.
+    Pred(CmpPred),
+}
+
+impl Attr {
+    /// Reads an integer attribute.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Attr::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads a string attribute.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attr::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Reads a symbol attribute.
+    pub fn as_sym(&self) -> Option<Symbol> {
+        match self {
+            Attr::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Reads an integer-list attribute.
+    pub fn as_int_list(&self) -> Option<&[i64]> {
+        match self {
+            Attr::IntList(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Reads a predicate attribute.
+    pub fn as_pred(&self) -> Option<CmpPred> {
+        match self {
+            Attr::Pred(p) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+/// Well-known attribute keys.
+///
+/// A closed key set (rather than arbitrary interned names) keeps attribute
+/// lookup allocation-free and the printer total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttrKey {
+    /// Constant value (`arith.constant`, `lp.int`).
+    Value,
+    /// Constructor tag (`lp.construct`).
+    Tag,
+    /// Projection index (`lp.project`).
+    Index,
+    /// Callee symbol (`func.call`, `lp.pap`).
+    Callee,
+    /// Switch case values.
+    Cases,
+    /// Comparison predicate.
+    Pred,
+    /// Join-point label.
+    Label,
+    /// Global symbol (`lp.global.load` / `lp.global.store`).
+    Global,
+    /// Callee arity (`lp.pap` — how many parameters the callee has).
+    Arity,
+}
+
+impl AttrKey {
+    /// The textual spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrKey::Value => "value",
+            AttrKey::Tag => "tag",
+            AttrKey::Index => "index",
+            AttrKey::Callee => "callee",
+            AttrKey::Cases => "cases",
+            AttrKey::Pred => "pred",
+            AttrKey::Label => "label",
+            AttrKey::Global => "global",
+            AttrKey::Arity => "arity",
+        }
+    }
+
+    /// All keys (for the parser).
+    pub const ALL: &'static [AttrKey] = &[
+        AttrKey::Value,
+        AttrKey::Tag,
+        AttrKey::Index,
+        AttrKey::Callee,
+        AttrKey::Cases,
+        AttrKey::Pred,
+        AttrKey::Label,
+        AttrKey::Global,
+        AttrKey::Arity,
+    ];
+}
+
+impl fmt::Display for AttrKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for AttrKey {
+    type Err = ParsePredError;
+
+    fn from_str(s: &str) -> Result<AttrKey, ParsePredError> {
+        AttrKey::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| ParsePredError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pred_eval() {
+        assert!(CmpPred::Eq.eval(3, 3));
+        assert!(CmpPred::Ne.eval(3, 4));
+        assert!(CmpPred::Slt.eval(-1, 0));
+        assert!(CmpPred::Sle.eval(0, 0));
+        assert!(CmpPred::Sgt.eval(5, -5));
+        assert!(CmpPred::Sge.eval(5, 5));
+        assert!(!CmpPred::Slt.eval(0, -1));
+    }
+
+    #[test]
+    fn pred_swapped_consistent() {
+        for p in [
+            CmpPred::Eq,
+            CmpPred::Ne,
+            CmpPred::Slt,
+            CmpPred::Sle,
+            CmpPred::Sgt,
+            CmpPred::Sge,
+        ] {
+            for (a, b) in [(1, 2), (2, 1), (3, 3)] {
+                assert_eq!(p.eval(a, b), p.swapped().eval(b, a), "{p} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pred_parse_round_trip() {
+        for p in ["eq", "ne", "slt", "sle", "sgt", "sge"] {
+            assert_eq!(p.parse::<CmpPred>().unwrap().to_string(), p);
+        }
+        assert!("ult".parse::<CmpPred>().is_err());
+    }
+
+    #[test]
+    fn attr_accessors() {
+        assert_eq!(Attr::Int(5).as_int(), Some(5));
+        assert_eq!(Attr::Int(5).as_str(), None);
+        assert_eq!(Attr::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Attr::Sym(Symbol(2)).as_sym(), Some(Symbol(2)));
+        assert_eq!(
+            Attr::IntList(vec![1, 2]).as_int_list(),
+            Some(&[1i64, 2][..])
+        );
+        assert_eq!(Attr::Pred(CmpPred::Eq).as_pred(), Some(CmpPred::Eq));
+    }
+
+    #[test]
+    fn attr_key_round_trip() {
+        for &k in AttrKey::ALL {
+            assert_eq!(k.name().parse::<AttrKey>().unwrap(), k);
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! The function-body arena: operations, blocks, regions, and SSA values.
+//!
+//! All IR entities of one function live in a single [`Body`] and are
+//! addressed by typed indices ([`OpId`], [`BlockId`], [`RegionId`],
+//! [`ValueId`]). Region 0 is the function's root region; its first block is
+//! the entry block, whose arguments are the function parameters.
+//!
+//! Erased operations leave tombstones (the arena never shrinks); the
+//! printer, verifier, and walkers skip them.
+
+use crate::attr::{Attr, AttrKey};
+use crate::ids::{BlockId, OpId, RegionId, ValueId};
+use crate::opcode::Opcode;
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// A CFG edge target: destination block plus the arguments passed to its
+/// block parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Successor {
+    /// Destination block.
+    pub block: BlockId,
+    /// Arguments for the destination's block parameters.
+    pub args: Vec<ValueId>,
+}
+
+impl Successor {
+    /// An edge with no arguments.
+    pub fn new(block: BlockId) -> Successor {
+        Successor {
+            block,
+            args: Vec::new(),
+        }
+    }
+
+    /// An edge passing `args`.
+    pub fn with_args(block: BlockId, args: Vec<ValueId>) -> Successor {
+        Successor { block, args }
+    }
+}
+
+/// Where a value is defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDef {
+    /// The `idx`-th result of an operation.
+    OpResult(OpId, u32),
+    /// The `idx`-th argument of a block.
+    BlockArg(BlockId, u32),
+}
+
+/// Data for an SSA value.
+#[derive(Debug, Clone)]
+pub struct ValueData {
+    /// The value's type.
+    pub ty: Type,
+    /// The definition site.
+    pub def: ValueDef,
+}
+
+/// Data for an operation.
+#[derive(Debug, Clone)]
+pub struct OpData {
+    /// The operation code.
+    pub opcode: Opcode,
+    /// SSA operands.
+    pub operands: Vec<ValueId>,
+    /// SSA results.
+    pub results: Vec<ValueId>,
+    /// Attached compile-time attributes.
+    pub attrs: Vec<(AttrKey, Attr)>,
+    /// Nested regions.
+    pub regions: Vec<RegionId>,
+    /// CFG successors (terminators only).
+    pub successors: Vec<Successor>,
+    /// Owning block (`None` while detached or erased).
+    pub parent: Option<BlockId>,
+    /// Tombstone flag.
+    pub dead: bool,
+}
+
+impl OpData {
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: AttrKey) -> Option<&Attr> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, a)| a)
+    }
+
+    /// The single result, if the op has exactly one.
+    pub fn result(&self) -> Option<ValueId> {
+        match self.results.as_slice() {
+            [r] => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// Data for a basic block.
+#[derive(Debug, Clone, Default)]
+pub struct BlockData {
+    /// Block arguments (φ-equivalents).
+    pub args: Vec<ValueId>,
+    /// Operations in order; the last must be a terminator in valid IR.
+    pub ops: Vec<OpId>,
+    /// Owning region.
+    pub parent: Option<RegionId>,
+}
+
+/// Data for a region: a nested, single-entry sub-CFG.
+#[derive(Debug, Clone, Default)]
+pub struct RegionData {
+    /// Blocks; the first is the region's entry.
+    pub blocks: Vec<BlockId>,
+    /// The op owning this region (`None` for the function root region).
+    pub parent: Option<OpId>,
+}
+
+/// The arena holding one function's IR.
+#[derive(Debug, Clone, Default)]
+pub struct Body {
+    /// Operation arena (with tombstones).
+    pub ops: Vec<OpData>,
+    /// Block arena.
+    pub blocks: Vec<BlockData>,
+    /// Region arena. Index 0 is the function root.
+    pub regions: Vec<RegionData>,
+    /// Value arena.
+    pub values: Vec<ValueData>,
+}
+
+/// The root region of every function body.
+pub const ROOT_REGION: RegionId = RegionId(0);
+
+impl Body {
+    /// Creates a body with a root region and an entry block whose arguments
+    /// have types `params`. Returns the body and the parameter values.
+    pub fn new(params: &[Type]) -> (Body, Vec<ValueId>) {
+        let mut body = Body::default();
+        let root = body.new_region_detached();
+        debug_assert_eq!(root, ROOT_REGION);
+        let entry = body.new_block(root, params);
+        let args = body.blocks[entry.index()].args.clone();
+        (body, args)
+    }
+
+    /// The entry block of the root region.
+    pub fn entry_block(&self) -> BlockId {
+        self.regions[ROOT_REGION.index()].blocks[0]
+    }
+
+    /// The function parameters (entry block arguments).
+    pub fn params(&self) -> &[ValueId] {
+        &self.blocks[self.entry_block().index()].args
+    }
+
+    // ---- creation --------------------------------------------------------
+
+    fn new_region_detached(&mut self) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(RegionData::default());
+        id
+    }
+
+    /// Creates a new region owned by `op` (appended to the op's region list).
+    pub fn new_region(&mut self, op: OpId) -> RegionId {
+        let id = self.new_region_detached();
+        self.regions[id.index()].parent = Some(op);
+        self.ops[op.index()].regions.push(id);
+        id
+    }
+
+    /// Creates a new block with arguments of the given types, appended to
+    /// `region`. Returns the block id.
+    pub fn new_block(&mut self, region: RegionId, arg_tys: &[Type]) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BlockData {
+            args: Vec::new(),
+            ops: Vec::new(),
+            parent: Some(region),
+        });
+        for (i, &ty) in arg_tys.iter().enumerate() {
+            let v = self.new_value(ty, ValueDef::BlockArg(id, i as u32));
+            self.blocks[id.index()].args.push(v);
+        }
+        self.regions[region.index()].blocks.push(id);
+        id
+    }
+
+    fn new_value(&mut self, ty: Type, def: ValueDef) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueData { ty, def });
+        id
+    }
+
+    /// Adds an extra argument to a block, returning the new value.
+    pub fn add_block_arg(&mut self, block: BlockId, ty: Type) -> ValueId {
+        let idx = self.blocks[block.index()].args.len() as u32;
+        let v = self.new_value(ty, ValueDef::BlockArg(block, idx));
+        self.blocks[block.index()].args.push(v);
+        v
+    }
+
+    /// Creates a detached operation. Result values are allocated with the
+    /// given types. Attach it with [`Body::push_op`] or [`Body::insert_op`].
+    pub fn create_op(
+        &mut self,
+        opcode: Opcode,
+        operands: Vec<ValueId>,
+        result_tys: &[Type],
+        attrs: Vec<(AttrKey, Attr)>,
+    ) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpData {
+            opcode,
+            operands,
+            results: Vec::new(),
+            attrs,
+            regions: Vec::new(),
+            successors: Vec::new(),
+            parent: None,
+            dead: false,
+        });
+        for (i, &ty) in result_tys.iter().enumerate() {
+            let v = self.new_value(ty, ValueDef::OpResult(id, i as u32));
+            self.ops[id.index()].results.push(v);
+        }
+        id
+    }
+
+    /// Appends a detached op to the end of `block`.
+    pub fn push_op(&mut self, block: BlockId, op: OpId) {
+        debug_assert!(self.ops[op.index()].parent.is_none(), "op already attached");
+        self.ops[op.index()].parent = Some(block);
+        self.blocks[block.index()].ops.push(op);
+    }
+
+    /// Inserts a detached op into `block` at position `idx`.
+    pub fn insert_op(&mut self, block: BlockId, idx: usize, op: OpId) {
+        debug_assert!(self.ops[op.index()].parent.is_none(), "op already attached");
+        self.ops[op.index()].parent = Some(block);
+        self.blocks[block.index()].ops.insert(idx, op);
+    }
+
+    /// Inserts a detached op immediately before `before` (which must be
+    /// attached).
+    pub fn insert_op_before(&mut self, before: OpId, op: OpId) {
+        let block = self.ops[before.index()].parent.expect("anchor detached");
+        let idx = self.op_index_in_block(before);
+        self.insert_op(block, idx, op);
+    }
+
+    fn op_index_in_block(&self, op: OpId) -> usize {
+        let block = self.ops[op.index()].parent.expect("op detached");
+        self.blocks[block.index()]
+            .ops
+            .iter()
+            .position(|&o| o == op)
+            .expect("op not in its parent block")
+    }
+
+    // ---- erasure -----------------------------------------------------------
+
+    /// Detaches `op` from its block without killing it.
+    pub fn detach_op(&mut self, op: OpId) {
+        if let Some(block) = self.ops[op.index()].parent.take() {
+            self.blocks[block.index()].ops.retain(|&o| o != op);
+        }
+    }
+
+    /// Erases `op` (and, transitively, its nested regions). The caller must
+    /// ensure its results have no remaining uses.
+    pub fn erase_op(&mut self, op: OpId) {
+        self.detach_op(op);
+        let regions = std::mem::take(&mut self.ops[op.index()].regions);
+        for r in regions {
+            self.erase_region_contents(r);
+        }
+        let data = &mut self.ops[op.index()];
+        data.dead = true;
+        data.operands.clear();
+        data.successors.clear();
+    }
+
+    fn erase_region_contents(&mut self, region: RegionId) {
+        let blocks = std::mem::take(&mut self.regions[region.index()].blocks);
+        for b in blocks {
+            let ops = std::mem::take(&mut self.blocks[b.index()].ops);
+            for op in ops {
+                self.ops[op.index()].parent = None;
+                let nested = std::mem::take(&mut self.ops[op.index()].regions);
+                for r in nested {
+                    self.erase_region_contents(r);
+                }
+                let data = &mut self.ops[op.index()];
+                data.dead = true;
+                data.operands.clear();
+                data.successors.clear();
+            }
+            self.blocks[b.index()].parent = None;
+        }
+    }
+
+    /// Detaches a region from its owning op (for region transfer during
+    /// lowering). The region stays alive; re-attach with
+    /// [`Body::attach_region`].
+    pub fn detach_region(&mut self, region: RegionId) {
+        if let Some(op) = self.regions[region.index()].parent.take() {
+            self.ops[op.index()].regions.retain(|&r| r != region);
+        }
+    }
+
+    /// Attaches a detached region to `op`.
+    pub fn attach_region(&mut self, op: OpId, region: RegionId) {
+        debug_assert!(self.regions[region.index()].parent.is_none());
+        self.regions[region.index()].parent = Some(op);
+        self.ops[op.index()].regions.push(region);
+    }
+
+    // ---- uses --------------------------------------------------------------
+
+    /// Replaces every use of `old` with `new` (operands and successor
+    /// arguments, across the whole body).
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        for op in &mut self.ops {
+            if op.dead {
+                continue;
+            }
+            for o in &mut op.operands {
+                if *o == old {
+                    *o = new;
+                }
+            }
+            for s in &mut op.successors {
+                for a in &mut s.args {
+                    if *a == old {
+                        *a = new;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts uses of every value (operand and successor-arg positions).
+    pub fn use_counts(&self) -> HashMap<ValueId, usize> {
+        let mut counts: HashMap<ValueId, usize> = HashMap::new();
+        for op in &self.ops {
+            if op.dead || op.parent.is_none() {
+                continue;
+            }
+            for &o in &op.operands {
+                *counts.entry(o).or_default() += 1;
+            }
+            for s in &op.successors {
+                for &a in &s.args {
+                    *counts.entry(a).or_default() += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// All attached (live) ops that use `v`, in arena order.
+    pub fn users_of(&self, v: ValueId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.dead || op.parent.is_none() {
+                continue;
+            }
+            let uses = op.operands.contains(&v)
+                || op.successors.iter().any(|s| s.args.contains(&v));
+            if uses {
+                out.push(OpId(i as u32));
+            }
+        }
+        out
+    }
+
+    /// The type of a value.
+    pub fn value_type(&self, v: ValueId) -> Type {
+        self.values[v.index()].ty
+    }
+
+    /// The op defining `v`, if it is an op result.
+    pub fn defining_op(&self, v: ValueId) -> Option<OpId> {
+        match self.values[v.index()].def {
+            ValueDef::OpResult(op, _) => Some(op),
+            ValueDef::BlockArg(..) => None,
+        }
+    }
+
+    // ---- traversal --------------------------------------------------------
+
+    /// All live ops in the region tree, pre-order (op before its regions),
+    /// blocks in region order.
+    pub fn walk_ops(&self) -> Vec<OpId> {
+        let mut out = Vec::new();
+        self.walk_region(ROOT_REGION, &mut out);
+        out
+    }
+
+    /// All live ops inside `region` (recursively).
+    pub fn walk_region_ops(&self, region: RegionId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        self.walk_region(region, &mut out);
+        out
+    }
+
+    fn walk_region(&self, region: RegionId, out: &mut Vec<OpId>) {
+        for &b in &self.regions[region.index()].blocks {
+            for &op in &self.blocks[b.index()].ops {
+                out.push(op);
+                for &r in &self.ops[op.index()].regions {
+                    self.walk_region(r, out);
+                }
+            }
+        }
+    }
+
+    /// The region containing `block`.
+    pub fn block_region(&self, block: BlockId) -> RegionId {
+        self.blocks[block.index()].parent.expect("detached block")
+    }
+
+    /// The block containing the definition of `v`.
+    pub fn defining_block(&self, v: ValueId) -> Option<BlockId> {
+        match self.values[v.index()].def {
+            ValueDef::OpResult(op, _) => self.ops[op.index()].parent,
+            ValueDef::BlockArg(b, _) => Some(b),
+        }
+    }
+
+    /// The terminator of `block`, if the block is non-empty.
+    pub fn terminator(&self, block: BlockId) -> Option<OpId> {
+        self.blocks[block.index()]
+            .ops
+            .last()
+            .copied()
+            .filter(|&op| self.ops[op.index()].opcode.is_terminator())
+    }
+
+    // ---- cloning ------------------------------------------------------------
+
+    /// Deep-clones `region`'s contents into a fresh region owned by `new_parent`.
+    ///
+    /// `value_map` seeds the remapping of values defined *outside* the region
+    /// (e.g. mapping callee parameters to call arguments during inlining);
+    /// values defined inside are remapped automatically. Unmapped external
+    /// values are left as-is (implicit capture).
+    pub fn clone_region_into(
+        &mut self,
+        region: RegionId,
+        new_parent: OpId,
+        value_map: &mut HashMap<ValueId, ValueId>,
+    ) -> RegionId {
+        let new_region = self.new_region(new_parent);
+        let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+        let blocks = self.regions[region.index()].blocks.clone();
+        // First pass: create blocks and their arguments.
+        for &b in &blocks {
+            let arg_tys: Vec<Type> = self.blocks[b.index()]
+                .args
+                .iter()
+                .map(|&a| self.value_type(a))
+                .collect();
+            let nb = self.new_block(new_region, &arg_tys);
+            for (i, &old_arg) in self.blocks[b.index()].args.clone().iter().enumerate() {
+                let new_arg = self.blocks[nb.index()].args[i];
+                value_map.insert(old_arg, new_arg);
+            }
+            block_map.insert(b, nb);
+        }
+        // Second pass: clone ops.
+        for &b in &blocks {
+            let ops = self.blocks[b.index()].ops.clone();
+            let nb = block_map[&b];
+            for op in ops {
+                let new_op = self.clone_op_rec(op, value_map, &block_map);
+                self.push_op(nb, new_op);
+            }
+        }
+        new_region
+    }
+
+    fn clone_op_rec(
+        &mut self,
+        op: OpId,
+        value_map: &mut HashMap<ValueId, ValueId>,
+        block_map: &HashMap<BlockId, BlockId>,
+    ) -> OpId {
+        let data = self.ops[op.index()].clone();
+        let operands: Vec<ValueId> = data
+            .operands
+            .iter()
+            .map(|v| value_map.get(v).copied().unwrap_or(*v))
+            .collect();
+        let result_tys: Vec<Type> = data
+            .results
+            .iter()
+            .map(|&r| self.value_type(r))
+            .collect();
+        let new_op = self.create_op(data.opcode, operands, &result_tys, data.attrs.clone());
+        for (i, &old_r) in data.results.iter().enumerate() {
+            let new_r = self.ops[new_op.index()].results[i];
+            value_map.insert(old_r, new_r);
+        }
+        for s in &data.successors {
+            let args = s
+                .args
+                .iter()
+                .map(|v| value_map.get(v).copied().unwrap_or(*v))
+                .collect();
+            let block = block_map.get(&s.block).copied().unwrap_or(s.block);
+            self.ops[new_op.index()]
+                .successors
+                .push(Successor { block, args });
+        }
+        for &r in &data.regions {
+            self.clone_region_into(r, new_op, value_map);
+        }
+        new_op
+    }
+
+    /// Number of live, attached ops (for tests and statistics).
+    pub fn live_op_count(&self) -> usize {
+        self.walk_ops().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrKey;
+
+    fn const_op(b: &mut Body, v: i64) -> OpId {
+        b.create_op(
+            Opcode::ConstI,
+            vec![],
+            &[Type::I64],
+            vec![(AttrKey::Value, Attr::Int(v))],
+        )
+    }
+
+    #[test]
+    fn new_body_has_entry_with_params() {
+        let (body, params) = Body::new(&[Type::Obj, Type::I64]);
+        assert_eq!(params.len(), 2);
+        assert_eq!(body.value_type(params[0]), Type::Obj);
+        assert_eq!(body.value_type(params[1]), Type::I64);
+        assert_eq!(body.params(), params.as_slice());
+    }
+
+    #[test]
+    fn push_and_walk() {
+        let (mut body, _) = Body::new(&[]);
+        let e = body.entry_block();
+        let c1 = const_op(&mut body, 1);
+        let c2 = const_op(&mut body, 2);
+        body.push_op(e, c1);
+        body.push_op(e, c2);
+        assert_eq!(body.walk_ops(), vec![c1, c2]);
+    }
+
+    #[test]
+    fn insert_before() {
+        let (mut body, _) = Body::new(&[]);
+        let e = body.entry_block();
+        let c1 = const_op(&mut body, 1);
+        body.push_op(e, c1);
+        let c0 = const_op(&mut body, 0);
+        body.insert_op_before(c1, c0);
+        assert_eq!(body.blocks[e.index()].ops, vec![c0, c1]);
+    }
+
+    #[test]
+    fn rauw_rewrites_operands_and_successor_args() {
+        let (mut body, _) = Body::new(&[]);
+        let e = body.entry_block();
+        let c1 = const_op(&mut body, 1);
+        let c2 = const_op(&mut body, 2);
+        body.push_op(e, c1);
+        body.push_op(e, c2);
+        let v1 = body.ops[c1.index()].result().unwrap();
+        let v2 = body.ops[c2.index()].result().unwrap();
+        let b2 = body.new_block(ROOT_REGION, &[Type::I64]);
+        let br = body.create_op(Opcode::Br, vec![], &[], vec![]);
+        body.ops[br.index()]
+            .successors
+            .push(Successor::with_args(b2, vec![v1]));
+        body.push_op(e, br);
+        let add = body.create_op(Opcode::AddI, vec![v1, v1], &[Type::I64], vec![]);
+        body.push_op(b2, add);
+        body.replace_all_uses(v1, v2);
+        assert_eq!(body.ops[add.index()].operands, vec![v2, v2]);
+        assert_eq!(body.ops[br.index()].successors[0].args, vec![v2]);
+        let counts = body.use_counts();
+        assert_eq!(counts.get(&v1), None);
+        assert_eq!(counts[&v2], 3);
+    }
+
+    #[test]
+    fn erase_op_removes_from_walk() {
+        let (mut body, _) = Body::new(&[]);
+        let e = body.entry_block();
+        let c1 = const_op(&mut body, 1);
+        body.push_op(e, c1);
+        assert_eq!(body.live_op_count(), 1);
+        body.erase_op(c1);
+        assert_eq!(body.live_op_count(), 0);
+        assert!(body.ops[c1.index()].dead);
+    }
+
+    #[test]
+    fn nested_region_walk_order() {
+        let (mut body, _) = Body::new(&[]);
+        let e = body.entry_block();
+        let rv = body.create_op(Opcode::RgnVal, vec![], &[Type::Rgn], vec![]);
+        let inner_region = body.new_region(rv);
+        let inner_block = body.new_block(inner_region, &[]);
+        let c = const_op(&mut body, 7);
+        body.push_op(inner_block, c);
+        body.push_op(e, rv);
+        let c2 = const_op(&mut body, 8);
+        body.push_op(e, c2);
+        assert_eq!(body.walk_ops(), vec![rv, c, c2]);
+    }
+
+    #[test]
+    fn erase_op_with_region_kills_nested_ops() {
+        let (mut body, _) = Body::new(&[]);
+        let e = body.entry_block();
+        let rv = body.create_op(Opcode::RgnVal, vec![], &[Type::Rgn], vec![]);
+        let r = body.new_region(rv);
+        let bl = body.new_block(r, &[]);
+        let c = const_op(&mut body, 7);
+        body.push_op(bl, c);
+        body.push_op(e, rv);
+        body.erase_op(rv);
+        assert!(body.ops[c.index()].dead);
+        assert_eq!(body.live_op_count(), 0);
+    }
+
+    #[test]
+    fn region_transfer() {
+        let (mut body, _) = Body::new(&[]);
+        let e = body.entry_block();
+        let a = body.create_op(Opcode::RgnVal, vec![], &[Type::Rgn], vec![]);
+        let r = body.new_region(a);
+        body.push_op(e, a);
+        let b = body.create_op(Opcode::RgnVal, vec![], &[Type::Rgn], vec![]);
+        body.push_op(e, b);
+        body.detach_region(r);
+        assert!(body.ops[a.index()].regions.is_empty());
+        body.attach_region(b, r);
+        assert_eq!(body.ops[b.index()].regions, vec![r]);
+        assert_eq!(body.regions[r.index()].parent, Some(b));
+    }
+
+    #[test]
+    fn clone_region_remaps_internal_values() {
+        let (mut body, _) = Body::new(&[]);
+        let e = body.entry_block();
+        let holder = body.create_op(Opcode::RgnVal, vec![], &[Type::Rgn], vec![]);
+        let r = body.new_region(holder);
+        let bl = body.new_block(r, &[Type::I64]);
+        let arg = body.blocks[bl.index()].args[0];
+        let add = body.create_op(Opcode::AddI, vec![arg, arg], &[Type::I64], vec![]);
+        body.push_op(bl, add);
+        body.push_op(e, holder);
+
+        let holder2 = body.create_op(Opcode::RgnVal, vec![], &[Type::Rgn], vec![]);
+        body.push_op(e, holder2);
+        let mut map = HashMap::new();
+        let r2 = body.clone_region_into(r, holder2, &mut map);
+        assert_ne!(r, r2);
+        let bl2 = body.regions[r2.index()].blocks[0];
+        let arg2 = body.blocks[bl2.index()].args[0];
+        assert_ne!(arg, arg2);
+        let add2 = body.blocks[bl2.index()].ops[0];
+        assert_eq!(body.ops[add2.index()].operands, vec![arg2, arg2]);
+    }
+
+    #[test]
+    fn users_of_finds_all() {
+        let (mut body, _) = Body::new(&[]);
+        let e = body.entry_block();
+        let c = const_op(&mut body, 3);
+        body.push_op(e, c);
+        let v = body.ops[c.index()].result().unwrap();
+        let a1 = body.create_op(Opcode::AddI, vec![v, v], &[Type::I64], vec![]);
+        let a2 = body.create_op(Opcode::MulI, vec![v, v], &[Type::I64], vec![]);
+        body.push_op(e, a1);
+        body.push_op(e, a2);
+        assert_eq!(body.users_of(v), vec![a1, a2]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Typed arena indices for IR entities.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index form for arena access.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// An operation within a function body.
+    OpId,
+    "op"
+);
+define_id!(
+    /// An SSA value (operation result or block argument).
+    ValueId,
+    "%"
+);
+define_id!(
+    /// A basic block within a function body.
+    BlockId,
+    "^bb"
+);
+define_id!(
+    /// A region (nested, single-entry sub-CFG) within a function body.
+    RegionId,
+    "rgn"
+);
+define_id!(
+    /// An interned string (function names, labels, global names).
+    Symbol,
+    "@sym"
+);
+
+/// Interner for [`Symbol`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<String>,
+    map: std::collections::HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns a string, returning its symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Looks up a symbol's string.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Looks up an already-interned string.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_round_trip() {
+        let mut i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("bar");
+        let a2 = i.intern("foo");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "foo");
+        assert_eq!(i.get("bar"), Some(b));
+        assert_eq!(i.get("baz"), None);
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(ValueId(3).to_string(), "%3");
+        assert_eq!(BlockId(1).to_string(), "^bb1");
+        assert_eq!(format!("{:?}", OpId(9)), "op9");
+    }
+}

@@ -1,0 +1,359 @@
+//! The operation set, organized by dialect.
+//!
+//! The IR mirrors MLIR's dialect structure with a closed opcode set:
+//!
+//! - `arith` — integer constants, arithmetic, comparisons, and the
+//!   value-level selectors `select` / `switch_val` that the `rgn` dialect
+//!   piggybacks on (§IV: "We allow rgn.val values to be passed as operands to
+//!   MLIR's select and switch instructions").
+//! - `cf` — unstructured control flow (the "std" CFG target of §IV-C).
+//! - `func` — calls, guaranteed tail calls (`musttail`, §III-E), returns.
+//! - `lp` — the paper's λrc embedding (Figure 2).
+//! - `rgn` — regions as SSA values: `rgn.val` / `rgn.run` (§IV).
+
+use std::fmt;
+
+/// Effect class of an operation, driving DCE/CSE legality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Purity {
+    /// No side effects, no allocation: freely CSE-able and DCE-able.
+    Pure,
+    /// Allocates a fresh (immutable, refcounted) object: DCE-able when
+    /// unused, but *not* CSE-able without reference-count repair.
+    Alloc,
+    /// Observable effect (refcount mutation, global store, call): neither.
+    Effect,
+}
+
+/// An operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Opcode {
+    // ---- arith ----------------------------------------------------------
+    /// `arith.constant {value} : ty` — integer constant.
+    ConstI,
+    /// `arith.addi` — wrapping addition.
+    AddI,
+    /// `arith.subi` — wrapping subtraction.
+    SubI,
+    /// `arith.muli` — wrapping multiplication.
+    MulI,
+    /// `arith.divi` — signed division (traps on 0 at execution).
+    DivI,
+    /// `arith.remi` — signed remainder.
+    RemI,
+    /// `arith.andi` — bitwise and.
+    AndI,
+    /// `arith.ori` — bitwise or.
+    OrI,
+    /// `arith.xori` — bitwise xor.
+    XorI,
+    /// `arith.cmpi {pred}` — integer comparison, yields `i1`.
+    CmpI,
+    /// `arith.select (cond, a, b)` — value selection; works on *any* type,
+    /// including region values (the hook the paper's Fig 1B relies on).
+    Select,
+    /// `arith.switch_val {cases} (idx, v0..vn, default)` — N-way value
+    /// selection; the value-level counterpart of `cf.switch`, likewise usable
+    /// on region values (Fig 8B).
+    SwitchVal,
+    /// `arith.extui` — zero-extend to a wider integer type.
+    ExtUI,
+    /// `arith.trunci` — truncate to a narrower integer type.
+    TruncI,
+    // ---- cf ---------------------------------------------------------------
+    /// `cf.br [^dest(args)]` — unconditional branch.
+    Br,
+    /// `cf.cond_br (c) [^then(..), ^else(..)]` — conditional branch.
+    CondBr,
+    /// `cf.switch {cases} (idx) [^case0.., ^default]` — jump table.
+    SwitchBr,
+    /// `cf.unreachable` — control never reaches here.
+    Unreachable,
+    // ---- func ---------------------------------------------------------------
+    /// `func.call {callee} (args) : ret` — direct call.
+    Call,
+    /// `func.tail_call {callee} (args)` — guaranteed tail call (terminator;
+    /// the value returned by the callee becomes this function's result).
+    TailCall,
+    /// `func.return (v)` — return from function.
+    Return,
+    // ---- lp (Figure 2) --------------------------------------------------
+    /// `lp.int {value}` — machine-word integer as a boxed value.
+    LpInt,
+    /// `lp.bigint {value = "…"} ` — arbitrary-precision integer constant.
+    LpBigInt,
+    /// `lp.str {value = "…"}` — string constant (an extension over the
+    /// paper's Figure 2; LEAN strings are runtime objects too).
+    LpStr,
+    /// `lp.construct {tag} (fields…)` — data constructor.
+    LpConstruct,
+    /// `lp.getlabel (v)` — constructor tag as `i8`.
+    LpGetLabel,
+    /// `lp.project {index} (v)` — constructor field access.
+    LpProject,
+    /// `lp.pap {callee, arity} (args…)` — build a closure (partial application).
+    LpPap,
+    /// `lp.papextend (closure, args…)` — extend a closure; calls when saturated.
+    LpPapExtend,
+    /// `lp.joinpoint {label} (jp-region, body-region)` — declare a join point;
+    /// control enters the body ("pre-jump") region. Terminator.
+    LpJoinPoint,
+    /// `lp.jump {label} (args…)` — jump to an enclosing join point. Terminator.
+    LpJump,
+    /// `lp.switch {cases} (tag) (region…, default-region)` — pattern-match
+    /// dispatch on an integer tag. Terminator.
+    LpSwitch,
+    /// `lp.inc (v)` — increment reference count.
+    LpInc,
+    /// `lp.dec (v)` — decrement reference count.
+    LpDec,
+    /// `lp.ret (v)` — return a boxed value from lp control flow. Terminator.
+    LpReturn,
+    /// `lp.global.load {global}` — read a top-level closure slot (Fig 7).
+    LpGlobalLoad,
+    /// `lp.global.store {global} (v)` — initialize a top-level closure slot.
+    LpGlobalStore,
+    // ---- rgn (§IV) ----------------------------------------------------------
+    /// `rgn.val (region)` — wrap a sub-computation as an SSA value.
+    RgnVal,
+    /// `rgn.run (r, args…)` — transfer control into a region value. Terminator.
+    RgnRun,
+}
+
+impl Opcode {
+    /// Every opcode (parser registry, exhaustiveness tests).
+    pub const ALL: &'static [Opcode] = &[
+        Opcode::ConstI,
+        Opcode::AddI,
+        Opcode::SubI,
+        Opcode::MulI,
+        Opcode::DivI,
+        Opcode::RemI,
+        Opcode::AndI,
+        Opcode::OrI,
+        Opcode::XorI,
+        Opcode::CmpI,
+        Opcode::Select,
+        Opcode::SwitchVal,
+        Opcode::ExtUI,
+        Opcode::TruncI,
+        Opcode::Br,
+        Opcode::CondBr,
+        Opcode::SwitchBr,
+        Opcode::Unreachable,
+        Opcode::Call,
+        Opcode::TailCall,
+        Opcode::Return,
+        Opcode::LpInt,
+        Opcode::LpBigInt,
+        Opcode::LpStr,
+        Opcode::LpConstruct,
+        Opcode::LpGetLabel,
+        Opcode::LpProject,
+        Opcode::LpPap,
+        Opcode::LpPapExtend,
+        Opcode::LpJoinPoint,
+        Opcode::LpJump,
+        Opcode::LpSwitch,
+        Opcode::LpInc,
+        Opcode::LpDec,
+        Opcode::LpReturn,
+        Opcode::LpGlobalLoad,
+        Opcode::LpGlobalStore,
+        Opcode::RgnVal,
+        Opcode::RgnRun,
+    ];
+
+    /// The fully-qualified operation name, e.g. `arith.addi`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::ConstI => "arith.constant",
+            Opcode::AddI => "arith.addi",
+            Opcode::SubI => "arith.subi",
+            Opcode::MulI => "arith.muli",
+            Opcode::DivI => "arith.divi",
+            Opcode::RemI => "arith.remi",
+            Opcode::AndI => "arith.andi",
+            Opcode::OrI => "arith.ori",
+            Opcode::XorI => "arith.xori",
+            Opcode::CmpI => "arith.cmpi",
+            Opcode::Select => "arith.select",
+            Opcode::SwitchVal => "arith.switch_val",
+            Opcode::ExtUI => "arith.extui",
+            Opcode::TruncI => "arith.trunci",
+            Opcode::Br => "cf.br",
+            Opcode::CondBr => "cf.cond_br",
+            Opcode::SwitchBr => "cf.switch",
+            Opcode::Unreachable => "cf.unreachable",
+            Opcode::Call => "func.call",
+            Opcode::TailCall => "func.tail_call",
+            Opcode::Return => "func.return",
+            Opcode::LpInt => "lp.int",
+            Opcode::LpBigInt => "lp.bigint",
+            Opcode::LpStr => "lp.str",
+            Opcode::LpConstruct => "lp.construct",
+            Opcode::LpGetLabel => "lp.getlabel",
+            Opcode::LpProject => "lp.project",
+            Opcode::LpPap => "lp.pap",
+            Opcode::LpPapExtend => "lp.papextend",
+            Opcode::LpJoinPoint => "lp.joinpoint",
+            Opcode::LpJump => "lp.jump",
+            Opcode::LpSwitch => "lp.switch",
+            Opcode::LpInc => "lp.inc",
+            Opcode::LpDec => "lp.dec",
+            Opcode::LpReturn => "lp.ret",
+            Opcode::LpGlobalLoad => "lp.global.load",
+            Opcode::LpGlobalStore => "lp.global.store",
+            Opcode::RgnVal => "rgn.val",
+            Opcode::RgnRun => "rgn.run",
+        }
+    }
+
+    /// The dialect prefix of the operation.
+    pub fn dialect(self) -> &'static str {
+        self.name().split('.').next().unwrap()
+    }
+
+    /// Looks an opcode up by its fully-qualified name.
+    pub fn by_name(name: &str) -> Option<Opcode> {
+        Opcode::ALL.iter().copied().find(|o| o.name() == name)
+    }
+
+    /// Whether the operation terminates its block.
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Opcode::Br
+                | Opcode::CondBr
+                | Opcode::SwitchBr
+                | Opcode::Unreachable
+                | Opcode::TailCall
+                | Opcode::Return
+                | Opcode::LpJoinPoint
+                | Opcode::LpJump
+                | Opcode::LpSwitch
+                | Opcode::LpReturn
+                | Opcode::RgnRun
+        )
+    }
+
+    /// The operation's effect class (see [`Purity`]).
+    pub fn purity(self) -> Purity {
+        match self {
+            Opcode::ConstI
+            | Opcode::AddI
+            | Opcode::SubI
+            | Opcode::MulI
+            | Opcode::DivI
+            | Opcode::RemI
+            | Opcode::AndI
+            | Opcode::OrI
+            | Opcode::XorI
+            | Opcode::CmpI
+            | Opcode::Select
+            | Opcode::SwitchVal
+            | Opcode::ExtUI
+            | Opcode::TruncI
+            | Opcode::LpGetLabel
+            | Opcode::LpProject
+            | Opcode::LpInt
+            | Opcode::RgnVal => Purity::Pure,
+            Opcode::LpBigInt | Opcode::LpStr | Opcode::LpConstruct | Opcode::LpPap => {
+                Purity::Alloc
+            }
+            Opcode::Call
+            | Opcode::LpPapExtend
+            | Opcode::LpInc
+            | Opcode::LpDec
+            | Opcode::LpGlobalLoad
+            | Opcode::LpGlobalStore => Purity::Effect,
+            // Terminators never participate in DCE/CSE.
+            Opcode::Br
+            | Opcode::CondBr
+            | Opcode::SwitchBr
+            | Opcode::Unreachable
+            | Opcode::TailCall
+            | Opcode::Return
+            | Opcode::LpJoinPoint
+            | Opcode::LpJump
+            | Opcode::LpSwitch
+            | Opcode::LpReturn
+            | Opcode::RgnRun => Purity::Effect,
+        }
+    }
+
+    /// Number of regions the op carries, if fixed (`None` = variadic).
+    pub fn region_arity(self) -> Option<usize> {
+        match self {
+            Opcode::LpJoinPoint => Some(2),
+            Opcode::RgnVal => Some(1),
+            Opcode::LpSwitch => None, // one region per case + default
+            _ => Some(0),
+        }
+    }
+
+    /// Whether the op may carry CFG successors.
+    pub fn has_successors(self) -> bool {
+        matches!(self, Opcode::Br | Opcode::CondBr | Opcode::SwitchBr)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            assert!(seen.insert(op.name()), "duplicate name {}", op.name());
+            assert_eq!(Opcode::by_name(op.name()), Some(op));
+        }
+        assert_eq!(Opcode::by_name("arith.bogus"), None);
+    }
+
+    #[test]
+    fn dialect_prefixes() {
+        assert_eq!(Opcode::AddI.dialect(), "arith");
+        assert_eq!(Opcode::LpSwitch.dialect(), "lp");
+        assert_eq!(Opcode::RgnVal.dialect(), "rgn");
+        assert_eq!(Opcode::Br.dialect(), "cf");
+        assert_eq!(Opcode::Call.dialect(), "func");
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Opcode::Br.is_terminator());
+        assert!(Opcode::LpSwitch.is_terminator());
+        assert!(Opcode::LpJoinPoint.is_terminator());
+        assert!(Opcode::RgnRun.is_terminator());
+        assert!(Opcode::TailCall.is_terminator());
+        assert!(!Opcode::AddI.is_terminator());
+        assert!(!Opcode::Call.is_terminator());
+        assert!(!Opcode::RgnVal.is_terminator());
+    }
+
+    #[test]
+    fn purity_classification() {
+        assert_eq!(Opcode::AddI.purity(), Purity::Pure);
+        assert_eq!(Opcode::RgnVal.purity(), Purity::Pure);
+        assert_eq!(Opcode::LpConstruct.purity(), Purity::Alloc);
+        assert_eq!(Opcode::LpInc.purity(), Purity::Effect);
+        assert_eq!(Opcode::Return.purity(), Purity::Effect);
+    }
+
+    #[test]
+    fn region_arities() {
+        assert_eq!(Opcode::RgnVal.region_arity(), Some(1));
+        assert_eq!(Opcode::LpJoinPoint.region_arity(), Some(2));
+        assert_eq!(Opcode::LpSwitch.region_arity(), None);
+        assert_eq!(Opcode::AddI.region_arity(), Some(0));
+    }
+}

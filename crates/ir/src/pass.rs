@@ -1,0 +1,151 @@
+//! Pass management.
+//!
+//! Mirrors MLIR's pass manager at the granularity we need: module passes run
+//! in sequence, with optional verification between passes. Function-scoped
+//! passes use [`for_each_function`], which temporarily detaches a function's
+//! body so the pass can read module-level context (callee signatures,
+//! globals) while mutating the body.
+
+use crate::body::Body;
+use crate::module::Module;
+use crate::verifier::verify_module;
+
+/// A module-level transformation.
+pub trait Pass {
+    /// Pass name (diagnostics, pipeline dumps).
+    fn name(&self) -> &'static str;
+    /// Runs the pass; returns whether anything changed.
+    fn run(&self, module: &mut Module) -> bool;
+}
+
+/// Runs `f` on every function body, with the module visible (minus the body
+/// being transformed). Returns whether any function changed.
+pub fn for_each_function(module: &mut Module, mut f: impl FnMut(&Module, &mut Body) -> bool) -> bool {
+    let mut changed = false;
+    for i in 0..module.funcs.len() {
+        let Some(mut body) = module.funcs[i].body.take() else {
+            continue;
+        };
+        changed |= f(module, &mut body);
+        module.funcs[i].body = Some(body);
+    }
+    changed
+}
+
+/// A sequence of passes with optional inter-pass verification.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field("verify_each", &self.verify_each)
+            .finish()
+    }
+}
+
+impl PassManager {
+    /// Creates an empty pipeline.
+    pub fn new() -> PassManager {
+        PassManager::default()
+    }
+
+    /// Enables verification after every pass.
+    pub fn verify_each(mut self, yes: bool) -> PassManager {
+        self.verify_each = yes;
+        self
+    }
+
+    /// Appends a pass.
+    #[allow(clippy::should_implement_trait)] // builder-style `add`, not ops::Add
+    pub fn add(mut self, pass: impl Pass + 'static) -> PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Pass names in order.
+    pub fn pipeline(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `verify_each` is enabled and a pass breaks the IR — that is
+    /// a compiler bug, and the panic message names the offending pass.
+    pub fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for pass in &self.passes {
+            changed |= pass.run(module);
+            if self.verify_each {
+                if let Err(errs) = verify_module(module) {
+                    let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+                    panic!(
+                        "verification failed after pass `{}`:\n{}",
+                        pass.name(),
+                        msgs.join("\n")
+                    );
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::types::{Signature, Type};
+
+    struct CountingPass(std::cell::Cell<usize>);
+    impl Pass for CountingPass {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn run(&self, _m: &mut Module) -> bool {
+            self.0.set(self.0.get() + 1);
+            false
+        }
+    }
+
+    fn tiny_module() -> Module {
+        let mut m = Module::new();
+        let (mut body, _) = Body::new(&[]);
+        let entry = body.entry_block();
+        let mut b = Builder::at_end(&mut body, entry);
+        let c = b.const_i(0, Type::I64);
+        b.ret(c);
+        m.add_function("f", Signature::new(vec![], Type::I64), body);
+        m
+    }
+
+    #[test]
+    fn passes_run_in_order() {
+        let mut m = tiny_module();
+        let pm = PassManager::new()
+            .verify_each(true)
+            .add(CountingPass(std::cell::Cell::new(0)));
+        assert_eq!(pm.pipeline(), vec!["counting"]);
+        assert!(!pm.run(&mut m));
+    }
+
+    #[test]
+    fn for_each_function_sees_module() {
+        let mut m = tiny_module();
+        m.declare_extern("rt", Signature::obj(1));
+        let mut names = Vec::new();
+        for_each_function(&mut m, |module, _body| {
+            names.push(module.funcs.len());
+            false
+        });
+        // One function with a body; externs skipped. The module still lists
+        // both functions while the body is detached.
+        assert_eq!(names, vec![2]);
+    }
+}

@@ -1,0 +1,291 @@
+//! A conservative inliner.
+//!
+//! Inlines `func.call` sites whose callee is a small, single-block,
+//! region-free function ending in `func.return` — exactly the shape produced
+//! after the `rgn`→CFG lowering for leaf functions. This mirrors MLIR's
+//! builtin inliner in the role Figure 11 assigns it; the restriction keeps
+//! the transformation obviously sound (no block splitting required).
+
+use crate::body::Body;
+use crate::ids::{OpId, ValueId};
+use crate::module::Module;
+use crate::opcode::Opcode;
+use crate::pass::Pass;
+use std::collections::HashMap;
+
+/// The inlining pass.
+#[derive(Debug, Clone, Copy)]
+pub struct InlinePass {
+    /// Maximum callee size (live op count, excluding the return).
+    pub max_callee_ops: usize,
+}
+
+impl Default for InlinePass {
+    fn default() -> InlinePass {
+        InlinePass { max_callee_ops: 24 }
+    }
+}
+
+impl Pass for InlinePass {
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        // Snapshot which callees are inlinable, then rewrite call sites.
+        let inlinable: Vec<Option<InlinableCallee>> = module
+            .funcs
+            .iter()
+            .map(|f| InlinableCallee::extract(f.body.as_ref(), self.max_callee_ops))
+            .collect();
+        for i in 0..module.funcs.len() {
+            let Some(mut body) = module.funcs[i].body.take() else {
+                continue;
+            };
+            let caller = module.funcs[i].name;
+            loop {
+                let mut did = false;
+                for op in body.walk_ops() {
+                    if body.ops[op.index()].dead || body.ops[op.index()].opcode != Opcode::Call {
+                        continue;
+                    }
+                    let Some(callee) = body.ops[op.index()]
+                        .attr(crate::attr::AttrKey::Callee)
+                        .and_then(|a| a.as_sym())
+                    else {
+                        continue;
+                    };
+                    if callee == caller {
+                        continue; // no self-inlining
+                    }
+                    let Some(pos) = module.func_position(callee) else {
+                        continue;
+                    };
+                    let Some(snippet) = &inlinable[pos] else {
+                        continue;
+                    };
+                    inline_at(&mut body, op, snippet);
+                    did = true;
+                    changed = true;
+                    break; // op list changed; re-walk
+                }
+                if !did {
+                    break;
+                }
+            }
+            module.funcs[i].body = Some(body);
+        }
+        changed
+    }
+}
+
+/// A callee captured in an inlinable form.
+#[derive(Debug, Clone)]
+struct InlinableCallee {
+    params: Vec<ValueId>,
+    /// Ops in order, excluding the terminator.
+    ops: Vec<crate::body::OpData>,
+    /// Map from the callee's value ids to result indices of `ops`.
+    returned: ValueId,
+    /// The callee body the snippets refer into (for types).
+    body: Body,
+}
+
+impl InlinableCallee {
+    fn extract(body: Option<&Body>, max_ops: usize) -> Option<InlinableCallee> {
+        let body = body?;
+        let root = &body.regions[crate::body::ROOT_REGION.index()];
+        if root.blocks.len() != 1 {
+            return None;
+        }
+        let entry = root.blocks[0];
+        let ops = &body.blocks[entry.index()].ops;
+        if ops.is_empty() || ops.len() > max_ops + 1 {
+            return None;
+        }
+        let term = *ops.last().unwrap();
+        if body.ops[term.index()].opcode != Opcode::Return {
+            return None;
+        }
+        let mut cloned = Vec::new();
+        for &op in &ops[..ops.len() - 1] {
+            let data = &body.ops[op.index()];
+            if !data.regions.is_empty() || !data.successors.is_empty() {
+                return None;
+            }
+            cloned.push(data.clone());
+        }
+        Some(InlinableCallee {
+            params: body.params().to_vec(),
+            ops: cloned,
+            returned: body.ops[term.index()].operands[0],
+            body: body.clone(),
+        })
+    }
+}
+
+fn inline_at(body: &mut Body, call: OpId, snippet: &InlinableCallee) {
+    let args = body.ops[call.index()].operands.clone();
+    let mut map: HashMap<ValueId, ValueId> = HashMap::new();
+    for (&p, &a) in snippet.params.iter().zip(&args) {
+        map.insert(p, a);
+    }
+    for data in &snippet.ops {
+        let operands: Vec<ValueId> = data
+            .operands
+            .iter()
+            .map(|v| *map.get(v).expect("callee op uses unmapped value"))
+            .collect();
+        let result_tys: Vec<_> = data
+            .results
+            .iter()
+            .map(|&r| snippet.body.value_type(r))
+            .collect();
+        let new_op = body.create_op(data.opcode, operands, &result_tys, data.attrs.clone());
+        body.insert_op_before(call, new_op);
+        for (i, &old_r) in data.results.iter().enumerate() {
+            map.insert(old_r, body.ops[new_op.index()].results[i]);
+        }
+    }
+    let returned = *map
+        .get(&snippet.returned)
+        .expect("callee returns unmapped value");
+    let call_result = body.ops[call.index()].result().unwrap();
+    body.replace_all_uses(call_result, returned);
+    body.erase_op(call);
+}
+
+/// Convenience entry point used by callees of this crate.
+pub fn inline_module(module: &mut Module, max_callee_ops: usize) -> bool {
+    InlinePass { max_callee_ops }.run(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::types::{Signature, Type};
+    use crate::ids::Symbol;
+
+    fn make_square(m: &mut Module) -> Symbol {
+        let (mut body, params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let mut b = Builder::at_end(&mut body, entry);
+        let s = b.muli(params[0], params[0]);
+        b.ret(s);
+        m.add_function("square", Signature::new(vec![Type::I64], Type::I64), body)
+    }
+
+    #[test]
+    fn small_leaf_is_inlined() {
+        let mut m = Module::new();
+        let square = make_square(&mut m);
+        let (mut body, params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let mut b = Builder::at_end(&mut body, entry);
+        let r = b.call(square, vec![params[0]], Type::I64);
+        let one = b.const_i(1, Type::I64);
+        let s = b.addi(r, one);
+        b.ret(s);
+        m.add_function("f", Signature::new(vec![Type::I64], Type::I64), body);
+
+        assert!(InlinePass::default().run(&mut m));
+        crate::verifier::verify_module(&m).unwrap();
+        let body = m.func_by_name("f").unwrap().body.as_ref().unwrap();
+        let has_call = body
+            .walk_ops()
+            .iter()
+            .any(|&op| body.ops[op.index()].opcode == Opcode::Call);
+        assert!(!has_call, "call must be inlined");
+        let has_mul = body
+            .walk_ops()
+            .iter()
+            .any(|&op| body.ops[op.index()].opcode == Opcode::MulI);
+        assert!(has_mul, "callee body must be spliced in");
+    }
+
+    #[test]
+    fn recursive_call_not_inlined() {
+        let mut m = Module::new();
+        // f calls itself — must not inline.
+        let name = m.intern("selfrec");
+        let (mut body, params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let mut b = Builder::at_end(&mut body, entry);
+        let r = b.call(name, vec![params[0]], Type::I64);
+        b.ret(r);
+        m.add_function("selfrec", Signature::new(vec![Type::I64], Type::I64), body);
+        assert!(!InlinePass::default().run(&mut m));
+    }
+
+    #[test]
+    fn large_callee_not_inlined() {
+        let mut m = Module::new();
+        let (mut body, params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let mut b = Builder::at_end(&mut body, entry);
+        let mut acc = params[0];
+        for _ in 0..40 {
+            acc = b.addi(acc, params[0]);
+        }
+        b.ret(acc);
+        let big = m.add_function("big", Signature::new(vec![Type::I64], Type::I64), body);
+
+        let (mut body, params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let mut b = Builder::at_end(&mut body, entry);
+        let r = b.call(big, vec![params[0]], Type::I64);
+        b.ret(r);
+        m.add_function("f", Signature::new(vec![Type::I64], Type::I64), body);
+
+        assert!(!InlinePass::default().run(&mut m));
+    }
+
+    #[test]
+    fn extern_callee_not_inlined() {
+        let mut m = Module::new();
+        let ext = m.declare_extern("rt_fn", Signature::new(vec![Type::I64], Type::I64));
+        let (mut body, params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let mut b = Builder::at_end(&mut body, entry);
+        let r = b.call(ext, vec![params[0]], Type::I64);
+        b.ret(r);
+        m.add_function("f", Signature::new(vec![Type::I64], Type::I64), body);
+        assert!(!InlinePass::default().run(&mut m));
+    }
+
+    #[test]
+    fn transitive_chain_inlines_fully() {
+        let mut m = Module::new();
+        let square = make_square(&mut m);
+        // g(x) = square(x) + 1, f(x) = g(x) — f should end up call-free
+        // (inliner fixpoints per function but callee snapshots are pre-pass,
+        // so run the pass twice).
+        let (mut body, params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let mut b = Builder::at_end(&mut body, entry);
+        let r = b.call(square, vec![params[0]], Type::I64);
+        let one = b.const_i(1, Type::I64);
+        let s = b.addi(r, one);
+        b.ret(s);
+        let g = m.add_function("g", Signature::new(vec![Type::I64], Type::I64), body);
+
+        let (mut body, params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let mut b = Builder::at_end(&mut body, entry);
+        let r = b.call(g, vec![params[0]], Type::I64);
+        b.ret(r);
+        m.add_function("f", Signature::new(vec![Type::I64], Type::I64), body);
+
+        InlinePass::default().run(&mut m);
+        InlinePass::default().run(&mut m);
+        crate::verifier::verify_module(&m).unwrap();
+        let body = m.func_by_name("f").unwrap().body.as_ref().unwrap();
+        let has_call = body
+            .walk_ops()
+            .iter()
+            .any(|&op| body.ops[op.index()].opcode == Opcode::Call);
+        assert!(!has_call);
+    }
+}

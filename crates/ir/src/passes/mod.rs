@@ -1,0 +1,29 @@
+//! The classical SSA passes the paper reuses from MLIR (Figure 11):
+//! constant folding (canonicalization), CSE, DCE, CFG simplification, and a
+//! conservative inliner.
+
+pub mod canonicalize;
+pub mod cse;
+pub mod dce;
+pub mod inline;
+pub mod simplify_cfg;
+
+pub use canonicalize::{canonicalization_patterns, CanonicalizePass};
+pub use cse::CsePass;
+pub use dce::DcePass;
+pub use inline::InlinePass;
+pub use simplify_cfg::SimplifyCfgPass;
+
+use crate::body::Body;
+use crate::ids::ValueId;
+use crate::opcode::Opcode;
+
+/// If `v` is produced by `arith.constant`, returns its integer value.
+pub fn const_int_value(body: &Body, v: ValueId) -> Option<i64> {
+    let op = body.defining_op(v)?;
+    let data = &body.ops[op.index()];
+    if data.opcode != Opcode::ConstI {
+        return None;
+    }
+    data.attr(crate::attr::AttrKey::Value)?.as_int()
+}

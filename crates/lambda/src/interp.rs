@@ -1,0 +1,612 @@
+//! The λpure/λrc reference interpreter.
+//!
+//! A direct tree-walking evaluator over the `lssa-rt` heap. It is the
+//! semantic oracle of the project: the differential test harness compares
+//! its results against both compiled pipelines.
+//!
+//! Two modes:
+//!
+//! - **λrc mode** (`rc_mode = true`): executes the explicit `inc`/`dec`
+//!   instructions and transfers ownership at consumption sites, exactly as
+//!   compiled code would. After a run, the heap must be empty — this
+//!   dynamically validates that [`crate::rc::insert_rc`] is balanced.
+//! - **λpure mode** (`rc_mode = false`): for programs without RC
+//!   instructions. Every consumption site retains its arguments first, so
+//!   the run leaks (nothing is ever freed) but can never double-free, and
+//!   in-place array updates always observe shared objects and copy.
+
+use crate::ast::{Expr, FnDef, Program, Value};
+use lssa_rt::{pap_extend, pap_new, ApplyOutcome, Builtin, FuncId, Heap, HeapStats, Nat, ObjRef};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An execution error (not a program value — those are `ObjRef`s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interpreter error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+fn err(message: impl Into<String>) -> InterpError {
+    InterpError {
+        message: message.into(),
+    }
+}
+
+/// One step of function evaluation: a result, or a tail call to trampoline.
+#[derive(Debug)]
+enum Step {
+    Done(ObjRef),
+    Tail(usize, Vec<ObjRef>),
+}
+
+/// If `e` is a chain of `inc`/`dec` ops ending in `ret var`, none of which
+/// touch `var` itself, returns the chain as `(is_dec, var, n)` actions.
+fn tail_continuation(e: &Expr, var: u32) -> Option<Vec<(bool, u32, u32)>> {
+    let mut ops = Vec::new();
+    let mut cur = e;
+    loop {
+        match cur {
+            Expr::Ret(v) if *v == var => return Some(ops),
+            Expr::Inc { var: v, n, body } if *v != var => {
+                ops.push((false, *v, *n));
+                cur = body;
+            }
+            Expr::Dec { var: v, body } if *v != var => {
+                ops.push((true, *v, 0));
+                cur = body;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Result of a program run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Stable textual rendering of the result value.
+    pub rendered: String,
+    /// Heap statistics at the end of the run (after releasing the result).
+    pub stats: HeapStats,
+    /// Number of interpreter steps taken.
+    pub steps: u64,
+}
+
+/// The interpreter.
+#[derive(Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    /// The runtime heap (public so tests can inspect it mid-run).
+    pub heap: Heap,
+    rc_mode: bool,
+    fuel: u64,
+    fn_index: HashMap<&'p str, usize>,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter for `program`.
+    pub fn new(program: &'p Program, rc_mode: bool, fuel: u64) -> Interp<'p> {
+        let fn_index = program
+            .fns
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i))
+            .collect();
+        Interp {
+            program,
+            heap: Heap::new(),
+            rc_mode,
+            fuel,
+            fn_index,
+        }
+    }
+
+    fn spend(&mut self, n: u64) -> Result<(), InterpError> {
+        if self.fuel < n {
+            return Err(err("fuel exhausted (likely non-termination)"));
+        }
+        self.fuel -= n;
+        Ok(())
+    }
+
+    /// Calls a function by index with owned arguments.
+    ///
+    /// Tail calls (`let x = call f(…); [inc/dec…;] ret x`) are executed with
+    /// a trampoline — LEAN guarantees tail-call elimination (§III-E), so the
+    /// oracle must too.
+    pub fn call_fn(&mut self, mut idx: usize, mut args: Vec<ObjRef>) -> Result<ObjRef, InterpError> {
+        loop {
+            self.spend(1)?;
+            let f = &self.program.fns[idx];
+            if f.params.len() != args.len() {
+                return Err(err(format!(
+                    "@{} called with {} args (arity {})",
+                    f.name,
+                    args.len(),
+                    f.params.len()
+                )));
+            }
+            let mut env: Vec<Option<ObjRef>> = vec![None; f.next_var as usize];
+            for (&p, a) in f.params.iter().zip(args) {
+                env[p as usize] = Some(a);
+            }
+            match self.eval_expr(f, &mut env, &f.body)? {
+                Step::Done(r) => return Ok(r),
+                Step::Tail(next_idx, next_args) => {
+                    idx = next_idx;
+                    args = next_args;
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, env: &[Option<ObjRef>], v: u32) -> Result<ObjRef, InterpError> {
+        env.get(v as usize)
+            .copied()
+            .flatten()
+            .ok_or_else(|| err(format!("read of unbound variable x{v}")))
+    }
+
+    fn eval_expr(
+        &mut self,
+        f: &'p FnDef,
+        env: &mut [Option<ObjRef>],
+        mut cur: &'p Expr,
+    ) -> Result<Step, InterpError> {
+        // Join points in scope: (label, params, body).
+        let mut joins: Vec<(u32, &'p [u32], &'p Expr)> = Vec::new();
+        loop {
+            self.spend(1)?;
+            match cur {
+                Expr::Let { var, val, body } => {
+                    // Tail-call detection: `let x = call f(…); rc-ops; ret x`
+                    // where the rc-ops do not touch x. The rc-ops run before
+                    // the transfer (they only release dead locals).
+                    if let Value::Call { func, args } = val {
+                        if !func.starts_with("lean_") {
+                            if let Some(rc_ops) = tail_continuation(body, *var) {
+                                let callee = *self
+                                    .fn_index
+                                    .get(func.as_str())
+                                    .ok_or_else(|| {
+                                        err(format!("call to unknown function @{func}"))
+                                    })?;
+                                let call_args = self.owned_args(env, args)?;
+                                if self.rc_mode {
+                                    for (dec, v, n) in rc_ops {
+                                        let r = self.lookup(env, v)?;
+                                        if dec {
+                                            self.heap.dec(r);
+                                        } else {
+                                            self.heap.inc_n(r, n);
+                                        }
+                                    }
+                                }
+                                return Ok(Step::Tail(callee, call_args));
+                            }
+                        }
+                    }
+                    let r = self.eval_value(env, val)?;
+                    env[*var as usize] = Some(r);
+                    cur = body;
+                }
+                Expr::LetJoin {
+                    label,
+                    params,
+                    jp_body,
+                    body,
+                    ..
+                } => {
+                    joins.push((*label, params, jp_body));
+                    cur = body;
+                }
+                Expr::Case {
+                    scrutinee,
+                    alts,
+                    default,
+                } => {
+                    let s = self.lookup(env, *scrutinee)?;
+                    let tag = self.heap.ctor_tag(s);
+                    let arm = alts.iter().find(|a| a.tag == tag).map(|a| &a.body);
+                    match arm.or(default.as_deref()) {
+                        Some(a) => cur = a,
+                        None => {
+                            return Err(err(format!(
+                                "case on tag {tag} has no matching arm in @{}",
+                                f.name
+                            )))
+                        }
+                    }
+                }
+                Expr::Jump { label, args } => {
+                    let target = joins
+                        .iter()
+                        .rev()
+                        .find(|(l, ..)| l == label)
+                        .copied()
+                        .ok_or_else(|| err(format!("jump to unknown join j{label}")))?;
+                    let vals: Result<Vec<ObjRef>, _> =
+                        args.iter().map(|&a| self.lookup(env, a)).collect();
+                    let vals = vals?;
+                    for (&p, v) in target.1.iter().zip(vals) {
+                        env[p as usize] = Some(v);
+                    }
+                    cur = target.2;
+                }
+                Expr::Ret(v) => {
+                    let r = self.lookup(env, *v)?;
+                    if !self.rc_mode {
+                        self.heap.inc(r);
+                    }
+                    return Ok(Step::Done(r));
+                }
+                Expr::Inc { var, n, body } => {
+                    if self.rc_mode {
+                        let r = self.lookup(env, *var)?;
+                        self.heap.inc_n(r, *n);
+                    }
+                    cur = body;
+                }
+                Expr::Dec { var, body } => {
+                    if self.rc_mode {
+                        let r = self.lookup(env, *var)?;
+                        self.heap.dec(r);
+                    }
+                    cur = body;
+                }
+            }
+        }
+    }
+
+    /// Collects argument references; in λpure mode retains each first.
+    fn owned_args(
+        &mut self,
+        env: &[Option<ObjRef>],
+        args: &[u32],
+    ) -> Result<Vec<ObjRef>, InterpError> {
+        let mut out = Vec::with_capacity(args.len());
+        for &a in args {
+            let r = self.lookup(env, a)?;
+            if !self.rc_mode {
+                self.heap.inc(r);
+            }
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    fn eval_value(
+        &mut self,
+        env: &mut [Option<ObjRef>],
+        val: &Value,
+    ) -> Result<ObjRef, InterpError> {
+        match val {
+            Value::Var(v) => self.lookup(env, *v),
+            Value::LitInt(n) => Ok(self.heap.mk_int(lssa_rt::Int::from_i64(*n))),
+            Value::LitBig(s) => {
+                let n = Nat::from_str_decimal(s).map_err(|e| err(e.to_string()))?;
+                Ok(self.heap.mk_nat(n))
+            }
+            Value::LitStr(s) => Ok(self.heap.alloc_str(s.clone())),
+            Value::Ctor { tag, args } => {
+                let fields = self.owned_args(env, args)?;
+                Ok(self.heap.alloc_ctor(*tag, fields))
+            }
+            Value::Proj { var, idx } => {
+                let s = self.lookup(env, *var)?;
+                let field = self.heap.ctor_field(s, *idx as usize);
+                // λrc mode: borrowed — the explicit `inc` that follows owns
+                // it. λpure mode: nothing frees, borrow is safe too.
+                Ok(field)
+            }
+            Value::Call { func, args } => {
+                if func.starts_with("lean_") {
+                    let b: Builtin = func
+                        .parse()
+                        .map_err(|e: lssa_rt::builtins::UnknownBuiltinError| err(e.to_string()))?;
+                    let args = self.owned_args(env, args)?;
+                    self.spend(1)?;
+                    Ok(b.call(&mut self.heap, &args))
+                } else {
+                    let idx = *self
+                        .fn_index
+                        .get(func.as_str())
+                        .ok_or_else(|| err(format!("call to unknown function @{func}")))?;
+                    let args = self.owned_args(env, args)?;
+                    self.call_fn(idx, args)
+                }
+            }
+            Value::Pap { func, args } => {
+                let idx = *self
+                    .fn_index
+                    .get(func.as_str())
+                    .ok_or_else(|| err(format!("pap of unknown function @{func}")))?;
+                let arity = self.program.fns[idx].params.len() as u16;
+                let args = self.owned_args(env, args)?;
+                let outcome = pap_new(&mut self.heap, FuncId(idx as u32), arity, args);
+                self.apply_outcome(outcome)
+            }
+            Value::App { closure, args } => {
+                let c = self.lookup(env, *closure)?;
+                if !self.rc_mode {
+                    self.heap.inc(c);
+                }
+                if !matches!(self.heap.data(c), lssa_rt::ObjData::Closure { .. }) {
+                    return Err(err("application of a non-closure value"));
+                }
+                let args = self.owned_args(env, args)?;
+                let outcome = pap_extend(&mut self.heap, c, args);
+                self.apply_outcome(outcome)
+            }
+        }
+    }
+
+    fn apply_outcome(&mut self, outcome: ApplyOutcome) -> Result<ObjRef, InterpError> {
+        match outcome {
+            ApplyOutcome::Partial(c) => Ok(c),
+            ApplyOutcome::Call { func, args } => self.call_fn(func.0 as usize, args),
+            ApplyOutcome::CallThen { func, args, rest } => {
+                let r = self.call_fn(func.0 as usize, args)?;
+                if !matches!(self.heap.data(r), lssa_rt::ObjData::Closure { .. }) {
+                    return Err(err("over-application of a non-closure result"));
+                }
+                let next = pap_extend(&mut self.heap, r, rest);
+                self.apply_outcome(next)
+            }
+        }
+    }
+}
+
+/// Runs `entry` (a zero-argument function) of `program`.
+///
+/// In λrc mode the heap is checked for balance: every object must have been
+/// released by the end of the run.
+///
+/// # Errors
+///
+/// Returns an error on missing entry points, runtime type confusion, fuel
+/// exhaustion, or (in λrc mode) an unbalanced heap.
+pub fn run_program(
+    program: &Program,
+    entry: &str,
+    rc_mode: bool,
+    fuel: u64,
+) -> Result<Outcome, InterpError> {
+    let mut interp = Interp::new(program, rc_mode, fuel);
+    let idx = *interp
+        .fn_index
+        .get(entry)
+        .ok_or_else(|| err(format!("no entry function @{entry}")))?;
+    let start_fuel = fuel;
+    let result = interp.call_fn(idx, vec![])?;
+    let rendered = interp.heap.render(result);
+    if rc_mode {
+        interp.heap.dec(result);
+        let stats = interp.heap.stats();
+        if stats.live != 0 {
+            return Err(err(format!(
+                "reference counting is unbalanced: {} objects leaked",
+                stats.live
+            )));
+        }
+    }
+    let stats = interp.heap.stats();
+    Ok(Outcome {
+        rendered,
+        stats,
+        steps: start_fuel - interp.fuel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+    use crate::rc::insert_rc;
+
+    const FUEL: u64 = 10_000_000;
+
+    fn run_pure(src: &str) -> String {
+        let p = parse_program(src).unwrap();
+        crate::wellformed::check_program(&p).unwrap();
+        run_program(&p, "main", false, FUEL).unwrap().rendered
+    }
+
+    /// Runs the λrc version and checks heap balance on the way.
+    fn run_rc(src: &str) -> String {
+        let p = parse_program(src).unwrap();
+        let rc = insert_rc(&p);
+        crate::wellformed::check_program(&rc).unwrap();
+        run_program(&rc, "main", true, FUEL).unwrap().rendered
+    }
+
+    /// Both modes must agree (and λrc must balance).
+    fn run_both(src: &str) -> String {
+        let a = run_pure(src);
+        let b = run_rc(src);
+        assert_eq!(a, b, "λpure and λrc disagree");
+        a
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run_both("def main() := 2 + 3 * 4"), "14");
+        assert_eq!(run_both("def main() := (2 + 3) * 4"), "20");
+        assert_eq!(run_both("def main() := 10 - 3 - 4"), "3");
+        assert_eq!(run_both("def main() := 3 - 10"), "0"); // Nat truncation
+        assert_eq!(run_both("def main() := 17 / 5"), "3");
+        assert_eq!(run_both("def main() := 17 % 5"), "2");
+    }
+
+    #[test]
+    fn bigint_arithmetic() {
+        assert_eq!(
+            run_both("def main() := 99999999999999999999999999 + 1"),
+            "100000000000000000000000000"
+        );
+    }
+
+    #[test]
+    fn conditionals() {
+        assert_eq!(run_both("def main() := if 1 < 2 then 10 else 20"), "10");
+        assert_eq!(run_both("def main() := if 2 < 1 then 10 else 20"), "20");
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        let src = r#"
+def fact(n) := if n == 0 then 1 else n * fact(n - 1)
+def main() := fact(10)
+"#;
+        assert_eq!(run_both(src), "3628800");
+    }
+
+    #[test]
+    fn lists_and_matching() {
+        let src = r#"
+inductive List := Nil | Cons(head, tail)
+def length(xs) :=
+  case xs of
+  | Nil => 0
+  | Cons(h, t) => 1 + length(t)
+  end
+def build(n) := if n == 0 then Nil else Cons(n, build(n - 1))
+def main() := length(build(100))
+"#;
+        assert_eq!(run_both(src), "100");
+    }
+
+    #[test]
+    fn figure4_int_usage() {
+        let src = r#"
+def intUsage(n) :=
+  case n of
+  | 42 => 43
+  | _ => 99999999
+  end
+def main() := intUsage(42) + intUsage(7)
+"#;
+        assert_eq!(run_both(src), "100000042");
+    }
+
+    #[test]
+    fn figure5_eval_three_args() {
+        let src = r#"
+def eval(x, y, z) :=
+  case x of
+  | 0 =>
+    case y of
+    | 2 => 40
+    | _ =>
+      case z of
+      | 2 => 50
+      | _ => 60
+      end
+    end
+  | _ => 60
+  end
+def main() := eval(0, 2, 0) + eval(0, 0, 2) + eval(1, 2, 2) + eval(0, 0, 0)
+"#;
+        // 40 + 50 + 60 + 60
+        assert_eq!(run_both(src), "210");
+    }
+
+    #[test]
+    fn closures_figure7() {
+        let src = r#"
+def k(x, y) := x
+def ap42(f) := f(42)
+def main() := ap42(k(10)) + k(1, 2)
+"#;
+        // k(10) is a closure; ap42 applies it to 42 → k(10, 42) = 10; +1.
+        assert_eq!(run_both(src), "11");
+    }
+
+    #[test]
+    fn oversaturated_application() {
+        let src = r#"
+def pair(a) := add2(a)
+def add2(a, b) := a + b
+def main() := pair(1)(2)
+"#;
+        // pair(1) = add2(1) is a pap waiting for b; applying to 2 → 3.
+        assert_eq!(run_both(src), "3");
+    }
+
+    #[test]
+    fn value_position_case_join_point() {
+        let src = r#"
+def f(b, y) :=
+  let x := case b of | true => 1 | false => 2 end;
+  x + y
+def main() := f(true, 10) + f(false, 100)
+"#;
+        assert_eq!(run_both(src), "113");
+    }
+
+    #[test]
+    fn arrays_in_place() {
+        let src = r#"
+def main() :=
+  let a := @array_push(@array_push(@mk_empty_array(), 5), 7);
+  let a2 := @array_set(a, 0, 100);
+  @array_get(a2, 0) + @array_get(a2, 1)
+"#;
+        assert_eq!(run_both(src), "107");
+    }
+
+    #[test]
+    fn rc_balance_reported() {
+        // Build structures, drop them: λrc run must free everything.
+        let src = r#"
+inductive Tree := Leaf | Node(l, v, r)
+def build(d) :=
+  if d == 0 then Leaf
+  else Node(build(d - 1), d, build(d - 1))
+def sum(t) :=
+  case t of
+  | Leaf => 0
+  | Node(l, v, r) => sum(l) + v + sum(r)
+  end
+def main() := sum(build(8))
+"#;
+        let p = parse_program(src).unwrap();
+        let rc = insert_rc(&p);
+        let out = run_program(&rc, "main", true, FUEL).unwrap();
+        assert_eq!(out.stats.live, 0);
+        assert!(out.stats.allocs > 200);
+        assert_eq!(out.rendered, "502"); // sum over perfect tree of depth 8
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        let src = r#"
+def spin(n) := spin(n)
+def main() := spin(0)
+"#;
+        let p = parse_program(src).unwrap();
+        let e = run_program(&p, "main", false, 10_000).unwrap_err();
+        assert!(e.message.contains("fuel"));
+    }
+
+    #[test]
+    fn missing_entry_reported() {
+        let p = parse_program("def f() := 1").unwrap();
+        assert!(run_program(&p, "main", false, 100).is_err());
+    }
+
+    #[test]
+    fn steps_counted() {
+        let p = parse_program("def main() := 1 + 2").unwrap();
+        let out = run_program(&p, "main", false, FUEL).unwrap();
+        assert!(out.steps > 3);
+    }
+}

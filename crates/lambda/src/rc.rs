@@ -1,0 +1,439 @@
+//! Reference-count insertion: λpure → λrc.
+//!
+//! LEAN lowers its pure IR to λrc by inserting explicit `inc`/`dec`
+//! instructions (§II-B). This module implements a simplified, provably
+//! balanced version of that insertion under an *owned* calling convention:
+//!
+//! - every parameter and every `let`-bound value is **owned** by the current
+//!   scope, and every control-flow path must consume each owned reference
+//!   exactly once — either by transferring it (constructor field, call
+//!   argument, jump argument, return) or by an explicit `dec`;
+//! - `proj` *borrows* its operand and yields a borrowed field, which is
+//!   immediately retained with `inc` (naive but sound — LEAN's borrow
+//!   inference elides many of these; see DESIGN.md);
+//! - `case` borrows its scrutinee (only the tag is read);
+//! - values that die are released eagerly (`dec` at the earliest point the
+//!   variable is no longer needed), matching LEAN's memory behaviour;
+//! - join points own exactly their parameters (the AST's lambda-lifted
+//!   join-point discipline makes this compositional).
+//!
+//! The balance property is validated dynamically by the reference
+//! interpreter: after running a λrc program, the heap must be empty.
+
+use crate::ast::{Alt, Expr, FnDef, Program, Value, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Inserts reference counting into every function of a λpure program.
+///
+/// # Panics
+///
+/// Panics if the program already contains `inc`/`dec` instructions.
+pub fn insert_rc(program: &Program) -> Program {
+    let fns = program
+        .fns
+        .iter()
+        .map(|f| {
+            assert!(
+                !f.body.has_rc_ops(),
+                "insert_rc on a function that already has RC ops: @{}",
+                f.name
+            );
+            let mut owned: BTreeSet<VarId> = f.params.iter().copied().collect();
+            let body = transform(&f.body, &mut owned);
+            FnDef {
+                name: f.name.clone(),
+                params: f.params.clone(),
+                body,
+                next_var: f.next_var,
+                next_join: f.next_join,
+            }
+        })
+        .collect();
+    Program { fns }
+}
+
+/// Wraps `e` in `dec` instructions for each variable in `vars`.
+fn decs(vars: impl IntoIterator<Item = VarId>, e: Expr) -> Expr {
+    let mut out = e;
+    for v in vars {
+        out = Expr::Dec {
+            var: v,
+            body: Box::new(out),
+        };
+    }
+    out
+}
+
+/// Wraps `e` in an `inc var *n` when `n > 0`.
+fn incs(var: VarId, n: u32, e: Expr) -> Expr {
+    if n == 0 {
+        e
+    } else {
+        Expr::Inc {
+            var,
+            n,
+            body: Box::new(e),
+        }
+    }
+}
+
+/// Operands a value takes *ownership* of (with multiplicity). `Proj` and
+/// `Var` borrow; everything else consumes.
+fn owned_operands(v: &Value) -> Vec<VarId> {
+    match v {
+        Value::Var(_) | Value::Proj { .. } => vec![],
+        Value::LitInt(_) | Value::LitBig(_) | Value::LitStr(_) => vec![],
+        Value::Ctor { args, .. } | Value::Call { args, .. } | Value::Pap { args, .. } => {
+            args.clone()
+        }
+        Value::App { closure, args } => {
+            let mut out = vec![*closure];
+            out.extend(args);
+            out
+        }
+    }
+}
+
+fn multiset(vars: impl IntoIterator<Item = VarId>) -> BTreeMap<VarId, u32> {
+    let mut m = BTreeMap::new();
+    for v in vars {
+        *m.entry(v).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Transforms `e` so that every path consumes exactly the references in
+/// `owned`. On return, `owned` is left in an unspecified state (callers pass
+/// clones across branches).
+fn transform(e: &Expr, owned: &mut BTreeSet<VarId>) -> Expr {
+    match e {
+        Expr::Ret(x) => {
+            let mut rest: Vec<VarId> = owned.iter().copied().filter(|v| v != x).collect();
+            rest.reverse();
+            if owned.contains(x) {
+                decs(rest, Expr::Ret(*x))
+            } else {
+                // Borrowed return value: retain it first.
+                decs(rest, incs(*x, 1, Expr::Ret(*x)))
+            }
+        }
+        Expr::Jump { label, args } => {
+            let counts = multiset(args.iter().copied());
+            let mut out = Expr::Jump {
+                label: *label,
+                args: args.clone(),
+            };
+            let mut consumed: BTreeSet<VarId> = BTreeSet::new();
+            for (&a, &m) in &counts {
+                if owned.contains(&a) {
+                    out = incs(a, m - 1, out);
+                    consumed.insert(a);
+                } else {
+                    out = incs(a, m, out);
+                }
+            }
+            let rest: Vec<VarId> = owned
+                .iter()
+                .copied()
+                .filter(|v| !consumed.contains(v))
+                .collect();
+            decs(rest, out)
+        }
+        Expr::Case {
+            scrutinee,
+            alts,
+            default,
+        } => {
+            // The case borrows the scrutinee; each arm independently
+            // consumes the full owned set.
+            let alts = alts
+                .iter()
+                .map(|alt| {
+                    let mut arm_owned = owned.clone();
+                    let body = shed_then_transform(&alt.body, &mut arm_owned);
+                    Alt {
+                        tag: alt.tag,
+                        body,
+                    }
+                })
+                .collect();
+            let default = default.as_ref().map(|d| {
+                let mut arm_owned = owned.clone();
+                Box::new(shed_then_transform(d, &mut arm_owned))
+            });
+            Expr::Case {
+                scrutinee: *scrutinee,
+                alts,
+                default,
+            }
+        }
+        Expr::LetJoin {
+            label,
+            params,
+            jp_body,
+            body,
+        } => {
+            let mut jp_owned: BTreeSet<VarId> = params.iter().copied().collect();
+            let jp_body = shed_then_transform(jp_body, &mut jp_owned);
+            let body = transform(body, owned);
+            Expr::LetJoin {
+                label: *label,
+                params: params.clone(),
+                jp_body: Box::new(jp_body),
+                body: Box::new(body),
+            }
+        }
+        Expr::Let { var, val, body } => {
+            let x = *var;
+            let fv_body = body.free_vars();
+            // 1. Ownership accounting for the value's consumed operands.
+            let counts = multiset(owned_operands(val));
+            let mut pre_incs: Vec<(VarId, u32)> = Vec::new();
+            for (&a, &m) in &counts {
+                if owned.contains(&a) {
+                    if fv_body.contains(&a) {
+                        // Still needed later: keep ownership, add m refs.
+                        pre_incs.push((a, m));
+                    } else {
+                        // Last use: transfer one ref, add the rest.
+                        pre_incs.push((a, m - 1));
+                        owned.remove(&a);
+                    }
+                } else {
+                    pre_incs.push((a, m));
+                }
+            }
+            // `let x = y` aliases: one more reference to y's object.
+            if let Value::Var(y) = val {
+                if owned.contains(y) && !fv_body.contains(y) {
+                    owned.remove(y); // transfer
+                } else {
+                    pre_incs.push((*y, 1));
+                }
+            }
+            // 2. Projection results are borrowed: retain them.
+            let is_proj = matches!(val, Value::Proj { .. });
+            // 3. The binding itself becomes owned.
+            owned.insert(x);
+            // 4. Eagerly release anything that is now dead: owned vars that
+            //    do not appear free in the body (including x if unused).
+            let dead: Vec<VarId> = owned
+                .iter()
+                .copied()
+                .filter(|v| !fv_body.contains(v) && *v != x)
+                .collect();
+            let x_dead = !fv_body.contains(&x);
+            for d in &dead {
+                owned.remove(d);
+            }
+            if x_dead {
+                owned.remove(&x);
+            }
+            let tail = transform(body, owned);
+            // Assemble from the inside out:
+            //   incs; let x = v; [inc x]; [dec dead…]; [dec x]; tail
+            let mut after = tail;
+            if x_dead && !is_proj {
+                after = Expr::Dec {
+                    var: x,
+                    body: Box::new(after),
+                };
+            }
+            // A projection that is immediately dead is simply a borrow that
+            // was never retained: no inc, no dec.
+            after = decs(dead, after);
+            if is_proj && !x_dead {
+                after = incs(x, 1, after);
+            }
+            let mut out = Expr::Let {
+                var: x,
+                val: val.clone(),
+                body: Box::new(after),
+            };
+            for (a, m) in pre_incs.into_iter().rev() {
+                out = incs(a, m, out);
+            }
+            out
+        }
+        Expr::Inc { .. } | Expr::Dec { .. } => {
+            unreachable!("insert_rc input must be λpure")
+        }
+    }
+}
+
+/// Eagerly releases owned variables not free in `e`, then transforms.
+fn shed_then_transform(e: &Expr, owned: &mut BTreeSet<VarId>) -> Expr {
+    let fv = e.free_vars();
+    let dead: Vec<VarId> = owned.iter().copied().filter(|v| !fv.contains(v)).collect();
+    for d in &dead {
+        owned.remove(d);
+    }
+    decs(dead, transform(e, owned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::parse::parse_program;
+    use crate::wellformed::check_program;
+
+    #[test]
+    fn unused_param_is_dropped() {
+        // def k(x0, x1) := ret x0  — x1 must be dec'd.
+        let p = Program {
+            fns: vec![FnDef {
+                name: "k".into(),
+                params: vec![0, 1],
+                body: ret(0),
+                next_var: 2,
+                next_join: 0,
+            }],
+        };
+        let rc = insert_rc(&p);
+        let text = rc.fns[0].body.to_string();
+        assert!(text.contains("dec x1"), "{text}");
+        assert!(!text.contains("dec x0"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_use_gets_inc() {
+        // let x1 = ctor_0(x0, x0); ret x1 — x0 used twice as owned: one inc.
+        let p = Program {
+            fns: vec![FnDef {
+                name: "dup".into(),
+                params: vec![0],
+                body: let_(
+                    1,
+                    Value::Ctor {
+                        tag: 0,
+                        args: vec![0, 0],
+                    },
+                    ret(1),
+                ),
+                next_var: 2,
+                next_join: 0,
+            }],
+        };
+        let rc = insert_rc(&p);
+        let text = rc.fns[0].body.to_string();
+        assert!(text.contains("inc x0"), "{text}");
+    }
+
+    #[test]
+    fn use_then_live_keeps_ownership() {
+        // let x1 = ctor(x0); let x2 = ctor(x0); ret x2 —
+        // first use incs (x0 live after), second transfers.
+        let p = Program {
+            fns: vec![FnDef {
+                name: "f".into(),
+                params: vec![0],
+                body: let_(
+                    1,
+                    Value::Ctor {
+                        tag: 0,
+                        args: vec![0],
+                    },
+                    let_(
+                        2,
+                        Value::Ctor {
+                            tag: 1,
+                            args: vec![0],
+                        },
+                        // x1 is dead here; it must be dec'd.
+                        ret(2),
+                    ),
+                ),
+                next_var: 3,
+                next_join: 0,
+            }],
+        };
+        let rc = insert_rc(&p);
+        let text = rc.fns[0].body.to_string();
+        // Exactly one inc of x0 (before the first ctor).
+        assert_eq!(text.matches("inc x0").count(), 1, "{text}");
+        // x1 unused: dec'd.
+        assert!(text.contains("dec x1"), "{text}");
+    }
+
+    #[test]
+    fn proj_results_are_retained_before_scrutinee_release() {
+        let src = r#"
+inductive List := Nil | Cons(head, tail)
+def head_or_zero(xs) :=
+  case xs of
+  | Nil => 0
+  | Cons(h, t) => h
+  end
+"#;
+        let p = parse_program(src).unwrap();
+        check_program(&p).unwrap();
+        let rc = insert_rc(&p);
+        let f = rc.fn_by_name("head_or_zero").unwrap();
+        let text = f.body.to_string();
+        // In the Cons arm: h is projected then inc'd; the scrutinee dec'd.
+        assert!(text.contains("inc x"), "{text}");
+        assert!(text.contains("dec x0"), "{text}");
+        // The inc of the projected head must appear before the dec of the
+        // scrutinee (which is the last dec of x0 in the Cons arm).
+        let inc_pos = text.find("inc x").expect(&text);
+        let dec_pos = text.rfind("dec x0").expect(&text);
+        assert!(inc_pos < dec_pos, "{text}");
+    }
+
+    #[test]
+    fn case_arms_balance_independently() {
+        let src = r#"
+inductive Option := None | Some(v)
+def f(o, extra) :=
+  case o of
+  | None => extra
+  | Some(v) => v + extra
+  end
+"#;
+        let p = parse_program(src).unwrap();
+        let rc = insert_rc(&p);
+        let text = rc.fn_by_name("f").unwrap().body.to_string();
+        // The None arm must release the scrutinee o (x0).
+        assert!(text.contains("dec x0"), "{text}");
+    }
+
+    #[test]
+    fn rc_program_is_still_wellformed() {
+        let src = r#"
+inductive List := Nil | Cons(head, tail)
+def append(xs, ys) :=
+  case xs of
+  | Nil => ys
+  | Cons(h, t) => Cons(h, append(t, ys))
+  end
+def main() := append(Cons(1, Nil), Cons(2, Nil))
+"#;
+        let p = parse_program(src).unwrap();
+        check_program(&p).unwrap();
+        let rc = insert_rc(&p);
+        check_program(&rc).unwrap();
+        // append's Cons arm duplicates nothing, but the Nil arm must release
+        // the scrutinee; some function carries RC ops.
+        assert!(rc.fns.iter().any(|f| f.body.has_rc_ops()));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has RC ops")]
+    fn double_insertion_panics() {
+        let p = Program {
+            fns: vec![FnDef {
+                name: "f".into(),
+                params: vec![0],
+                body: Expr::Inc {
+                    var: 0,
+                    n: 1,
+                    body: Box::new(ret(0)),
+                },
+                next_var: 1,
+                next_join: 0,
+            }],
+        };
+        insert_rc(&p);
+    }
+}

@@ -1,0 +1,413 @@
+//! Well-formedness checking for λpure/λrc programs.
+//!
+//! Enforces the invariants the rest of the compiler relies on:
+//!
+//! 1. every variable use is in scope;
+//! 2. every binder is globally unique within its function (SSA-like);
+//! 3. `jump` targets an enclosing join point with matching argument count;
+//! 4. join-point bodies reference only their own parameters (this crate
+//!    lambda-lifts join points locally — see [`crate::ast`]);
+//! 5. calls name known functions (or `lean_*` runtime builtins) with the
+//!    right arity; partial applications under-apply; closure applications
+//!    pass at least one argument.
+
+use crate::ast::{Expr, FnDef, Program, Value, VarId};
+use lssa_rt::Builtin;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WfError {
+    /// The function in which the violation occurred.
+    pub func: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for WfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for WfError {}
+
+/// Checks a whole program.
+///
+/// # Errors
+///
+/// Returns all violations found.
+pub fn check_program(p: &Program) -> Result<(), Vec<WfError>> {
+    let mut errors = Vec::new();
+    let mut names = HashSet::new();
+    for f in &p.fns {
+        if !names.insert(f.name.clone()) {
+            errors.push(WfError {
+                func: f.name.clone(),
+                message: "duplicate function name".to_string(),
+            });
+        }
+    }
+    for f in &p.fns {
+        check_fn(p, f, &mut errors);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+struct Checker<'a> {
+    program: &'a Program,
+    func: &'a FnDef,
+    errors: &'a mut Vec<WfError>,
+    bound_once: HashSet<VarId>,
+}
+
+fn check_fn(program: &Program, func: &FnDef, errors: &mut Vec<WfError>) {
+    let mut c = Checker {
+        program,
+        func,
+        errors,
+        bound_once: HashSet::new(),
+    };
+    let mut scope: HashSet<VarId> = HashSet::new();
+    for &p in &func.params {
+        if !c.bound_once.insert(p) {
+            c.error(format!("parameter x{p} bound twice"));
+        }
+        scope.insert(p);
+    }
+    let joins = HashMap::new();
+    c.check_expr(&func.body, &scope, &joins);
+}
+
+impl Checker<'_> {
+    fn error(&mut self, message: String) {
+        self.errors.push(WfError {
+            func: self.func.name.clone(),
+            message,
+        });
+    }
+
+    fn check_var(&mut self, v: VarId, scope: &HashSet<VarId>) {
+        if !scope.contains(&v) {
+            self.error(format!("use of x{v} out of scope"));
+        }
+        if v >= self.func.next_var {
+            self.error(format!(
+                "x{v} exceeds the function's declared variable bound {}",
+                self.func.next_var
+            ));
+        }
+    }
+
+    fn bind(&mut self, v: VarId, scope: &mut HashSet<VarId>) {
+        if !self.bound_once.insert(v) {
+            self.error(format!("x{v} bound more than once"));
+        }
+        scope.insert(v);
+    }
+
+    fn check_value(&mut self, val: &Value, scope: &HashSet<VarId>) {
+        for v in val.operands() {
+            self.check_var(v, scope);
+        }
+        match val {
+            Value::Call { func, args } => {
+                if let Some(stripped) = func.strip_prefix("lean_") {
+                    let _ = stripped;
+                    match func.parse::<Builtin>() {
+                        Ok(b) => {
+                            if b.arity() != args.len() {
+                                self.error(format!(
+                                    "builtin {func} expects {} args, got {}",
+                                    b.arity(),
+                                    args.len()
+                                ));
+                            }
+                        }
+                        Err(_) => self.error(format!("unknown builtin {func}")),
+                    }
+                } else {
+                    match self.program.arity_of(func) {
+                        Some(a) if a == args.len() => {}
+                        Some(a) => self.error(format!(
+                            "call to @{func} with {} args (arity {a})",
+                            args.len()
+                        )),
+                        None => self.error(format!("call to unknown function @{func}")),
+                    }
+                }
+            }
+            Value::Pap { func, args } => match self.program.arity_of(func) {
+                Some(a) if args.len() < a => {}
+                Some(a) => self.error(format!(
+                    "pap of @{func} with {} args must under-apply (arity {a})",
+                    args.len()
+                )),
+                None => self.error(format!("pap of unknown function @{func}")),
+            },
+            Value::App { args, .. }
+                if args.is_empty() => {
+                    self.error("closure application with no arguments".to_string());
+                }
+            Value::LitBig(s)
+                if (s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit())) => {
+                    self.error(format!("malformed bigint literal {s:?}"));
+                }
+            _ => {}
+        }
+    }
+
+    fn check_expr(
+        &mut self,
+        e: &Expr,
+        scope: &HashSet<VarId>,
+        joins: &HashMap<u32, usize>,
+    ) {
+        match e {
+            Expr::Let { var, val, body } => {
+                self.check_value(val, scope);
+                let mut scope = scope.clone();
+                self.bind(*var, &mut scope);
+                self.check_expr(body, &scope, joins);
+            }
+            Expr::LetJoin {
+                label,
+                params,
+                jp_body,
+                body,
+            } => {
+                // Join body sees only its parameters.
+                let mut jp_scope = HashSet::new();
+                for &p in params {
+                    self.bind(p, &mut jp_scope);
+                }
+                // The join point itself is not in scope inside its own body
+                // (no recursive joins in λpure).
+                self.check_expr(jp_body, &jp_scope, joins);
+                let extra = jp_body
+                    .free_vars()
+                    .into_iter()
+                    .find(|v| !params.contains(v));
+                if let Some(v) = extra {
+                    self.error(format!(
+                        "join point j{label} body references x{v}, which is not a parameter"
+                    ));
+                }
+                let mut joins = joins.clone();
+                joins.insert(*label, params.len());
+                self.check_expr(body, scope, &joins);
+            }
+            Expr::Case {
+                scrutinee,
+                alts,
+                default,
+            } => {
+                self.check_var(*scrutinee, scope);
+                if alts.is_empty() && default.is_none() {
+                    self.error("case with no arms".to_string());
+                }
+                let mut seen = HashSet::new();
+                for alt in alts {
+                    if !seen.insert(alt.tag) {
+                        self.error(format!("duplicate case tag {}", alt.tag));
+                    }
+                    self.check_expr(&alt.body, scope, joins);
+                }
+                if let Some(d) = default {
+                    self.check_expr(d, scope, joins);
+                }
+            }
+            Expr::Jump { label, args } => {
+                for &a in args {
+                    self.check_var(a, scope);
+                }
+                match joins.get(label) {
+                    Some(&arity) if arity == args.len() => {}
+                    Some(&arity) => self.error(format!(
+                        "jump to j{label} with {} args (expects {arity})",
+                        args.len()
+                    )),
+                    None => self.error(format!("jump to unknown join point j{label}")),
+                }
+            }
+            Expr::Ret(v) => self.check_var(*v, scope),
+            Expr::Inc { var, body, .. } | Expr::Dec { var, body } => {
+                self.check_var(*var, scope);
+                self.check_expr(body, scope, joins);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::parse::parse_program;
+
+    fn single_fn(body: Expr, params: Vec<VarId>, next_var: VarId) -> Program {
+        Program {
+            fns: vec![FnDef {
+                name: "f".into(),
+                params,
+                body,
+                next_var,
+                next_join: 8,
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let src = r#"
+inductive List := Nil | Cons(head, tail)
+def length(xs) :=
+  case xs of
+  | Nil => 0
+  | Cons(h, t) => 1 + length(t)
+  end
+"#;
+        let p = parse_program(src).unwrap();
+        check_program(&p).unwrap();
+    }
+
+    #[test]
+    fn out_of_scope_use_rejected() {
+        let p = single_fn(ret(5), vec![0], 10);
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs[0].message.contains("out of scope"));
+    }
+
+    #[test]
+    fn double_binding_rejected() {
+        let body = let_(
+            1,
+            Value::LitInt(1),
+            let_(1, Value::LitInt(2), ret(1)),
+        );
+        let p = single_fn(body, vec![0], 10);
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("bound more than once")));
+    }
+
+    #[test]
+    fn join_capture_rejected() {
+        // join j0() = ret x0 — x0 is not a parameter of the join point.
+        let body = Expr::LetJoin {
+            label: 0,
+            params: vec![],
+            jp_body: Box::new(ret(0)),
+            body: Box::new(Expr::Jump {
+                label: 0,
+                args: vec![],
+            }),
+        };
+        let p = single_fn(body, vec![0], 10);
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not a parameter")));
+    }
+
+    #[test]
+    fn jump_arity_mismatch_rejected() {
+        let body = Expr::LetJoin {
+            label: 0,
+            params: vec![1],
+            jp_body: Box::new(ret(1)),
+            body: Box::new(Expr::Jump {
+                label: 0,
+                args: vec![],
+            }),
+        };
+        let p = single_fn(body, vec![0], 10);
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("jump to j0")));
+    }
+
+    #[test]
+    fn unknown_call_rejected() {
+        let body = let_(
+            1,
+            Value::Call {
+                func: "ghost".into(),
+                args: vec![0],
+            },
+            ret(1),
+        );
+        let p = single_fn(body, vec![0], 10);
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unknown function")));
+    }
+
+    #[test]
+    fn builtin_arity_checked() {
+        let body = let_(
+            1,
+            Value::Call {
+                func: "lean_nat_add".into(),
+                args: vec![0],
+            },
+            ret(1),
+        );
+        let p = single_fn(body, vec![0], 10);
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expects 2 args")));
+    }
+
+    #[test]
+    fn unknown_builtin_rejected() {
+        let body = let_(
+            1,
+            Value::Call {
+                func: "lean_frobnicate".into(),
+                args: vec![0],
+            },
+            ret(1),
+        );
+        let p = single_fn(body, vec![0], 10);
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unknown builtin")));
+    }
+
+    #[test]
+    fn duplicate_case_tags_rejected() {
+        let body = case(0, vec![(0, ret(0)), (0, ret(0))], None);
+        let p = single_fn(body, vec![0], 10);
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("duplicate case tag")));
+    }
+
+    #[test]
+    fn pap_must_under_apply() {
+        let mut p = single_fn(
+            let_(
+                1,
+                Value::Pap {
+                    func: "f".into(),
+                    args: vec![0],
+                },
+                ret(1),
+            ),
+            vec![0],
+            10,
+        );
+        // f has arity 1; pap with 1 arg is not under-applying.
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("under-apply")), "{errs:?}");
+        // With arity 2 it is fine.
+        p.fns[0].params = vec![0, 9];
+        p.fns[0].body = let_(
+            1,
+            Value::Pap {
+                func: "f".into(),
+                args: vec![0],
+            },
+            ret(1),
+        );
+        check_program(&p).unwrap();
+    }
+}

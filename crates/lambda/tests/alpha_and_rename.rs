@@ -1,0 +1,129 @@
+//! Tests for alpha-equivalence and capture-avoiding renaming — the
+//! machinery behind `simpcase` (common-branch fusion) and join-point
+//! lambda lifting.
+
+use lssa_lambda::ast::{build, Expr, Value};
+use std::collections::HashMap;
+
+fn lit(var: u32, v: i64, body: Expr) -> Expr {
+    build::let_(var, Value::LitInt(v), body)
+}
+
+#[test]
+fn alpha_eq_ignores_binder_names() {
+    let a = lit(1, 7, build::ret(1));
+    let b = lit(9, 7, build::ret(9));
+    assert!(a.alpha_eq(&b));
+}
+
+#[test]
+fn alpha_eq_distinguishes_values() {
+    let a = lit(1, 7, build::ret(1));
+    let b = lit(1, 8, build::ret(1));
+    assert!(!a.alpha_eq(&b));
+}
+
+#[test]
+fn alpha_eq_free_variables_must_match_exactly() {
+    // ret x0 vs ret x1 with both free: different.
+    assert!(!build::ret(0).alpha_eq(&build::ret(1)));
+    assert!(build::ret(0).alpha_eq(&build::ret(0)));
+}
+
+#[test]
+fn alpha_eq_respects_structure() {
+    let a = build::case(0, vec![(0, build::ret(0))], None);
+    let b = build::case(0, vec![(1, build::ret(0))], None);
+    assert!(!a.alpha_eq(&b), "different tags");
+    let c = build::case(0, vec![(0, build::ret(0))], Some(build::ret(0)));
+    assert!(!a.alpha_eq(&c), "extra default arm");
+}
+
+#[test]
+fn alpha_eq_join_points_modulo_labels() {
+    let mk = |label: u32, param: u32| Expr::LetJoin {
+        label,
+        params: vec![param],
+        jp_body: Box::new(build::ret(param)),
+        body: Box::new(Expr::Jump {
+            label,
+            args: vec![0],
+        }),
+    };
+    assert!(mk(0, 5).alpha_eq(&mk(3, 9)));
+}
+
+#[test]
+fn alpha_eq_binder_mapping_does_not_leak() {
+    // let x1 = 1; ret x1  vs  let x2 = 1; ret x1(free!) — not equal.
+    let a = lit(1, 1, build::ret(1));
+    let b = lit(2, 1, build::ret(1));
+    assert!(!a.alpha_eq(&b));
+}
+
+#[test]
+fn rename_free_renames_uses() {
+    let e = build::let_(
+        2,
+        Value::Ctor {
+            tag: 0,
+            args: vec![0, 1],
+        },
+        build::ret(2),
+    );
+    let mut map = HashMap::new();
+    map.insert(0u32, 10u32);
+    let r = e.rename_free(&map);
+    let fv = r.free_vars();
+    assert!(fv.contains(&10));
+    assert!(!fv.contains(&0));
+    assert!(fv.contains(&1));
+}
+
+#[test]
+fn rename_free_stops_at_binders() {
+    // let x0 = 5; ret x0 — renaming x0 must not touch the bound occurrence.
+    let e = lit(0, 5, build::ret(0));
+    let mut map = HashMap::new();
+    map.insert(0u32, 99u32);
+    let r = e.rename_free(&map);
+    assert_eq!(r, e, "bound x0 is untouchable");
+}
+
+#[test]
+fn rename_free_in_join_bodies_respects_params() {
+    let e = Expr::LetJoin {
+        label: 0,
+        params: vec![1],
+        jp_body: Box::new(build::ret(1)),
+        body: Box::new(Expr::Jump {
+            label: 0,
+            args: vec![0],
+        }),
+    };
+    let mut map = HashMap::new();
+    map.insert(1u32, 50u32); // x1 is a jp param: bound inside jp_body
+    map.insert(0u32, 60u32); // x0 is free in the jump
+    let r = e.rename_free(&map);
+    match &r {
+        Expr::LetJoin { jp_body, body, .. } => {
+            assert_eq!(**jp_body, build::ret(1), "param occurrence untouched");
+            assert_eq!(
+                **body,
+                Expr::Jump {
+                    label: 0,
+                    args: vec![60]
+                }
+            );
+        }
+        _ => panic!(),
+    }
+}
+
+#[test]
+fn rename_is_identity_for_disjoint_maps() {
+    let e = lit(3, 9, build::case(3, vec![(0, build::ret(3))], None));
+    let mut map = HashMap::new();
+    map.insert(77u32, 88u32);
+    assert_eq!(e.rename_free(&map), e);
+}

@@ -1,0 +1,689 @@
+//! The reference-counted heap.
+//!
+//! Stand-in for `libleanrt`'s allocator: a slot arena with an intrusive free
+//! list, explicit `inc`/`dec` reference-count operations (the targets of
+//! `lp.inc`/`lp.dec`), and allocation statistics used by the evaluation
+//! harness to report memory behaviour.
+
+use crate::bignum::{Int, Nat};
+use crate::object::{ObjData, ObjRef, Object, MAX_SMALL_INT, MAX_SMALL_NAT, MIN_SMALL_INT};
+
+/// Allocation and reference-count statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Number of objects allocated over the heap's lifetime.
+    pub allocs: u64,
+    /// Number of objects freed.
+    pub frees: u64,
+    /// Number of `inc` operations executed.
+    pub incs: u64,
+    /// Number of `dec` operations executed.
+    pub decs: u64,
+    /// Current number of live objects.
+    pub live: u64,
+    /// High-water mark of live objects.
+    pub peak_live: u64,
+}
+
+/// A reference-counted slot heap.
+///
+/// # Examples
+///
+/// ```
+/// use lssa_rt::heap::Heap;
+/// let mut heap = Heap::new();
+/// let nil = heap.alloc_ctor(0, vec![]);
+/// let one = lssa_rt::object::ObjRef::scalar(1);
+/// let cons = heap.alloc_ctor(1, vec![one, nil]);
+/// assert_eq!(heap.ctor_tag(cons), 1);
+/// heap.dec(cons); // frees cons and nil
+/// assert_eq!(heap.stats().live, 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Heap {
+    slots: Vec<Object>,
+    free_head: Option<u32>,
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters (the heap contents are untouched).
+    pub fn reset_stats(&mut self) {
+        let live = self.stats.live;
+        self.stats = HeapStats {
+            live,
+            peak_live: live,
+            ..HeapStats::default()
+        };
+    }
+
+    fn alloc(&mut self, data: ObjData) -> ObjRef {
+        self.stats.allocs += 1;
+        self.stats.live += 1;
+        self.stats.peak_live = self.stats.peak_live.max(self.stats.live);
+        let obj = Object { rc: 1, data };
+        match self.free_head.take() {
+            Some(slot) => {
+                let next = match self.slots[slot as usize].data {
+                    ObjData::Free(next) => next,
+                    _ => unreachable!("free list points at live object"),
+                };
+                self.free_head = if next == u32::MAX { None } else { Some(next) };
+                self.slots[slot as usize] = obj;
+                ObjRef::heap(slot)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("heap exhausted");
+                self.slots.push(obj);
+                ObjRef::heap(slot)
+            }
+        }
+    }
+
+    fn obj(&self, r: ObjRef) -> &Object {
+        let slot = r.as_heap().expect("expected heap reference, got scalar");
+        let o = &self.slots[slot as usize];
+        debug_assert!(
+            !matches!(o.data, ObjData::Free(_)),
+            "use after free of slot {slot}"
+        );
+        o
+    }
+
+    fn obj_mut(&mut self, r: ObjRef) -> &mut Object {
+        let slot = r.as_heap().expect("expected heap reference, got scalar");
+        let o = &mut self.slots[slot as usize];
+        debug_assert!(
+            !matches!(o.data, ObjData::Free(_)),
+            "use after free of slot {slot}"
+        );
+        o
+    }
+
+    /// Reads the payload of a heap object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is a scalar.
+    pub fn data(&self, r: ObjRef) -> &ObjData {
+        &self.obj(r).data
+    }
+
+    /// Current reference count of a heap object.
+    pub fn rc(&self, r: ObjRef) -> u32 {
+        self.obj(r).rc
+    }
+
+    /// Whether the object is uniquely referenced (enables in-place update).
+    pub fn is_exclusive(&self, r: ObjRef) -> bool {
+        r.is_heap() && self.obj(r).rc == 1
+    }
+
+    // ---- allocation -----------------------------------------------------
+
+    /// Allocates a constructor cell. Ownership of `fields` transfers to the
+    /// new object (no `inc` is performed).
+    pub fn alloc_ctor(&mut self, tag: u32, fields: Vec<ObjRef>) -> ObjRef {
+        self.alloc(ObjData::Ctor {
+            tag,
+            fields: fields.into_boxed_slice(),
+        })
+    }
+
+    /// Allocates a closure capturing `args`.
+    pub fn alloc_closure(
+        &mut self,
+        func: crate::object::FuncId,
+        arity: u16,
+        args: Vec<ObjRef>,
+    ) -> ObjRef {
+        debug_assert!(args.len() < arity as usize || arity == 0);
+        self.alloc(ObjData::Closure { func, arity, args })
+    }
+
+    /// Allocates an array.
+    pub fn alloc_array(&mut self, elems: Vec<ObjRef>) -> ObjRef {
+        self.alloc(ObjData::Array(elems))
+    }
+
+    /// Allocates a string.
+    pub fn alloc_str(&mut self, s: String) -> ObjRef {
+        self.alloc(ObjData::Str(s))
+    }
+
+    /// Boxes an arbitrary-precision integer, or returns a scalar if it fits.
+    pub fn mk_int(&mut self, v: Int) -> ObjRef {
+        match v.to_i64() {
+            Some(s) if (MIN_SMALL_INT..=MAX_SMALL_INT).contains(&s) => ObjRef::scalar(s),
+            _ => self.alloc(ObjData::BigInt(v)),
+        }
+    }
+
+    /// Boxes a natural number, or returns a scalar if it fits.
+    pub fn mk_nat(&mut self, v: Nat) -> ObjRef {
+        match v.to_u64() {
+            Some(s) if s <= MAX_SMALL_NAT => ObjRef::scalar(s as i64),
+            _ => self.alloc(ObjData::BigInt(Int::from_nat(v))),
+        }
+    }
+
+    /// Decodes a value known to be an integer (scalar or boxed bigint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` refers to a non-integer heap object.
+    pub fn get_int(&self, r: ObjRef) -> Int {
+        match r.as_scalar() {
+            Some(v) => Int::from_i64(v),
+            None => match self.data(r) {
+                ObjData::BigInt(i) => i.clone(),
+                other => panic!("expected integer object, found {other:?}"),
+            },
+        }
+    }
+
+    /// Decodes a value known to be a natural number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative or not an integer object.
+    pub fn get_nat(&self, r: ObjRef) -> Nat {
+        let i = self.get_int(r);
+        assert!(!i.is_neg(), "expected natural, found negative {i}");
+        i.magnitude().clone()
+    }
+
+    // ---- constructor access ---------------------------------------------
+
+    /// The tag of a constructor value. Scalars are treated as zero-field
+    /// constructors whose tag is the scalar value (LEAN's representation of
+    /// enum-like inductives such as `Bool`).
+    pub fn ctor_tag(&self, r: ObjRef) -> u32 {
+        match r.as_scalar() {
+            Some(v) => u32::try_from(v).expect("scalar ctor tag out of range"),
+            None => match self.data(r) {
+                ObjData::Ctor { tag, .. } => *tag,
+                other => panic!("getlabel on non-constructor {other:?}"),
+            },
+        }
+    }
+
+    /// Projects field `idx` out of a constructor (no refcount change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a constructor or `idx` is out of bounds.
+    pub fn ctor_field(&self, r: ObjRef, idx: usize) -> ObjRef {
+        match self.data(r) {
+            ObjData::Ctor { fields, .. } => fields[idx],
+            other => panic!("project on non-constructor {other:?}"),
+        }
+    }
+
+    /// Number of fields of a constructor (0 for scalars).
+    pub fn ctor_num_fields(&self, r: ObjRef) -> usize {
+        if r.is_scalar() {
+            return 0;
+        }
+        match self.data(r) {
+            ObjData::Ctor { fields, .. } => fields.len(),
+            other => panic!("num_fields on non-constructor {other:?}"),
+        }
+    }
+
+    /// Overwrites field `idx` of an exclusively-owned constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is shared (`rc > 1`).
+    pub fn ctor_set_field(&mut self, r: ObjRef, idx: usize, v: ObjRef) {
+        assert!(self.is_exclusive(r), "ctor_set_field on shared object");
+        match &mut self.obj_mut(r).data {
+            ObjData::Ctor { fields, .. } => fields[idx] = v,
+            other => panic!("set_field on non-constructor {other:?}"),
+        }
+    }
+
+    // ---- reference counting ----------------------------------------------
+
+    /// Increments the reference count (no-op on scalars), like `lean_inc`.
+    pub fn inc(&mut self, r: ObjRef) {
+        self.stats.incs += 1;
+        if r.is_heap() {
+            self.obj_mut(r).rc += 1;
+        }
+    }
+
+    /// Increments the reference count by `n`.
+    pub fn inc_n(&mut self, r: ObjRef, n: u32) {
+        self.stats.incs += n as u64;
+        if r.is_heap() && n > 0 {
+            self.obj_mut(r).rc += n;
+        }
+    }
+
+    /// Decrements the reference count, freeing (recursively, without using
+    /// the machine stack) when it reaches zero. Like `lean_dec`.
+    pub fn dec(&mut self, r: ObjRef) {
+        self.stats.decs += 1;
+        self.dec_no_stat(r);
+    }
+
+    fn dec_no_stat(&mut self, r: ObjRef) {
+        if r.is_scalar() {
+            return;
+        }
+        let mut worklist = vec![r];
+        while let Some(r) = worklist.pop() {
+            let slot = r.as_heap().unwrap();
+            let obj = &mut self.slots[slot as usize];
+            debug_assert!(
+                !matches!(obj.data, ObjData::Free(_)),
+                "dec on freed slot {slot}"
+            );
+            debug_assert!(obj.rc >= 1, "dec on rc 0");
+            obj.rc -= 1;
+            if obj.rc > 0 {
+                continue;
+            }
+            // Free the object and push heap children.
+            let next_free = self.free_head.unwrap_or(u32::MAX);
+            let data = std::mem::replace(&mut obj.data, ObjData::Free(next_free));
+            self.free_head = Some(slot);
+            self.stats.frees += 1;
+            self.stats.live -= 1;
+            match data {
+                ObjData::Ctor { fields, .. } => {
+                    worklist.extend(fields.iter().copied().filter(|f| f.is_heap()));
+                }
+                ObjData::Closure { args, .. } => {
+                    worklist.extend(args.iter().copied().filter(|a| a.is_heap()));
+                }
+                ObjData::Array(elems) => {
+                    worklist.extend(elems.iter().copied().filter(|e| e.is_heap()));
+                }
+                ObjData::BigInt(_) | ObjData::Str(_) => {}
+                ObjData::Free(_) => unreachable!(),
+            }
+        }
+    }
+
+    // ---- arrays ------------------------------------------------------------
+
+    /// Array length.
+    pub fn array_len(&self, r: ObjRef) -> usize {
+        match self.data(r) {
+            ObjData::Array(v) => v.len(),
+            other => panic!("array_len on non-array {other:?}"),
+        }
+    }
+
+    /// Reads an array element (no refcount change).
+    pub fn array_get(&self, r: ObjRef, idx: usize) -> ObjRef {
+        match self.data(r) {
+            ObjData::Array(v) => v[idx],
+            other => panic!("array_get on non-array {other:?}"),
+        }
+    }
+
+    /// Functional array update with LEAN's exclusivity optimization: updates
+    /// in place when `rc == 1`, otherwise copies. Consumes one reference to
+    /// `arr` and takes ownership of `v`; returns the resulting array.
+    pub fn array_set(&mut self, arr: ObjRef, idx: usize, v: ObjRef) -> ObjRef {
+        if self.is_exclusive(arr) {
+            let old = match &mut self.obj_mut(arr).data {
+                ObjData::Array(elems) => std::mem::replace(&mut elems[idx], v),
+                other => panic!("array_set on non-array {other:?}"),
+            };
+            self.dec(old);
+            arr
+        } else {
+            let mut elems = match self.data(arr) {
+                ObjData::Array(elems) => elems.clone(),
+                other => panic!("array_set on non-array {other:?}"),
+            };
+            for &e in &elems {
+                self.inc(e);
+            }
+            // Release the reference the caller handed us, and the +1 we gave
+            // the element we are about to overwrite.
+            self.dec(elems[idx]);
+            elems[idx] = v;
+            self.dec(arr);
+            self.alloc_array(elems)
+        }
+    }
+
+    /// Appends to an array with the same exclusivity optimization.
+    pub fn array_push(&mut self, arr: ObjRef, v: ObjRef) -> ObjRef {
+        if self.is_exclusive(arr) {
+            match &mut self.obj_mut(arr).data {
+                ObjData::Array(elems) => elems.push(v),
+                other => panic!("array_push on non-array {other:?}"),
+            }
+            arr
+        } else {
+            let mut elems = match self.data(arr) {
+                ObjData::Array(elems) => elems.clone(),
+                other => panic!("array_push on non-array {other:?}"),
+            };
+            for &e in &elems {
+                self.inc(e);
+            }
+            elems.push(v);
+            self.dec(arr);
+            self.alloc_array(elems)
+        }
+    }
+
+    // ---- strings -----------------------------------------------------------
+
+    /// Reads a string object.
+    pub fn get_str(&self, r: ObjRef) -> &str {
+        match self.data(r) {
+            ObjData::Str(s) => s,
+            other => panic!("get_str on non-string {other:?}"),
+        }
+    }
+
+    // ---- structural helpers -------------------------------------------------
+
+    /// Deep structural equality of two values (used by the differential test
+    /// harness to compare program results across pipelines).
+    pub fn deep_eq(&self, a: ObjRef, b: ObjRef) -> bool {
+        let mut stack = vec![(a, b)];
+        while let Some((a, b)) = stack.pop() {
+            if a == b {
+                continue;
+            }
+            match (a.as_scalar(), b.as_scalar()) {
+                (Some(x), Some(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (None, None) => match (self.data(a), self.data(b)) {
+                    (
+                        ObjData::Ctor {
+                            tag: t1,
+                            fields: f1,
+                        },
+                        ObjData::Ctor {
+                            tag: t2,
+                            fields: f2,
+                        },
+                    ) => {
+                        if t1 != t2 || f1.len() != f2.len() {
+                            return false;
+                        }
+                        stack.extend(f1.iter().copied().zip(f2.iter().copied()));
+                    }
+                    (ObjData::BigInt(x), ObjData::BigInt(y)) => {
+                        if x != y {
+                            return false;
+                        }
+                    }
+                    (ObjData::Array(x), ObjData::Array(y)) => {
+                        if x.len() != y.len() {
+                            return false;
+                        }
+                        stack.extend(x.iter().copied().zip(y.iter().copied()));
+                    }
+                    (ObjData::Str(x), ObjData::Str(y)) => {
+                        if x != y {
+                            return false;
+                        }
+                    }
+                    (
+                        ObjData::Closure {
+                            func: fa, args: aa, ..
+                        },
+                        ObjData::Closure {
+                            func: fb, args: ab, ..
+                        },
+                    ) => {
+                        if fa != fb || aa.len() != ab.len() {
+                            return false;
+                        }
+                        stack.extend(aa.iter().copied().zip(ab.iter().copied()));
+                    }
+                    _ => return false,
+                },
+                // Scalar vs boxed bigint holding the same value can only
+                // happen if boxing discipline was violated; treat by value.
+                _ => {
+                    let (s, h) = if a.is_scalar() { (a, b) } else { (b, a) };
+                    match self.data(h) {
+                        ObjData::BigInt(i) => {
+                            if i.to_i64() != s.as_scalar() {
+                                return false;
+                            }
+                        }
+                        ObjData::Ctor { tag, fields } => {
+                            // Scalar-encoded enum constructor vs boxed ctor.
+                            if !fields.is_empty()
+                                || s.as_scalar() != Some(*tag as i64)
+                            {
+                                return false;
+                            }
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders a value for display/debugging (a stable textual form used to
+    /// compare outputs across pipelines).
+    pub fn render(&self, r: ObjRef) -> String {
+        match r.as_scalar() {
+            Some(v) => v.to_string(),
+            None => match self.data(r) {
+                ObjData::Ctor { tag, fields } => {
+                    if fields.is_empty() {
+                        format!("ctor{tag}")
+                    } else {
+                        let fs: Vec<String> = fields.iter().map(|&f| self.render(f)).collect();
+                        format!("ctor{tag}({})", fs.join(", "))
+                    }
+                }
+                ObjData::BigInt(i) => i.to_string(),
+                ObjData::Closure { func, arity, args } => {
+                    format!("closure<{func}/{arity}:{}>", args.len())
+                }
+                ObjData::Array(elems) => {
+                    let es: Vec<String> = elems.iter().map(|&e| self.render(e)).collect();
+                    format!("#[{}]", es.join(", "))
+                }
+                ObjData::Str(s) => format!("{s:?}"),
+                ObjData::Free(_) => "<freed>".to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::FuncId;
+
+    #[test]
+    fn alloc_and_free_reuses_slots() {
+        let mut h = Heap::new();
+        let a = h.alloc_ctor(0, vec![]);
+        let slot_a = a.as_heap().unwrap();
+        h.dec(a);
+        assert_eq!(h.stats().live, 0);
+        let b = h.alloc_ctor(1, vec![]);
+        assert_eq!(b.as_heap().unwrap(), slot_a, "slot should be reused");
+        assert_eq!(h.ctor_tag(b), 1);
+    }
+
+    #[test]
+    fn dec_frees_transitively() {
+        let mut h = Heap::new();
+        let mut list = h.alloc_ctor(0, vec![]);
+        for i in 0..100 {
+            list = h.alloc_ctor(1, vec![ObjRef::scalar(i), list]);
+        }
+        assert_eq!(h.stats().live, 101);
+        h.dec(list);
+        assert_eq!(h.stats().live, 0);
+        assert_eq!(h.stats().frees, 101);
+    }
+
+    #[test]
+    fn shared_child_survives_parent_free() {
+        let mut h = Heap::new();
+        let child = h.alloc_ctor(7, vec![]);
+        h.inc(child); // one ref for us, one for parent
+        let parent = h.alloc_ctor(1, vec![child]);
+        h.dec(parent);
+        assert_eq!(h.stats().live, 1);
+        assert_eq!(h.ctor_tag(child), 7);
+        h.dec(child);
+        assert_eq!(h.stats().live, 0);
+    }
+
+    #[test]
+    fn deep_list_free_does_not_overflow_stack() {
+        let mut h = Heap::new();
+        let mut list = h.alloc_ctor(0, vec![]);
+        for _ in 0..1_000_000 {
+            list = h.alloc_ctor(1, vec![ObjRef::scalar(0), list]);
+        }
+        h.dec(list);
+        assert_eq!(h.stats().live, 0);
+    }
+
+    #[test]
+    fn mk_nat_boxes_only_large() {
+        let mut h = Heap::new();
+        let small = h.mk_nat(Nat::from_u64(12345));
+        assert!(small.is_scalar());
+        let big = h.mk_nat(Nat::from_u64(u64::MAX));
+        assert!(big.is_heap());
+        assert_eq!(h.get_nat(big).to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn mk_int_negative_scalars() {
+        let mut h = Heap::new();
+        let v = h.mk_int(Int::from_i64(-5));
+        assert_eq!(v.as_scalar(), Some(-5));
+        let big = h.mk_int(Int::from_i64(i64::MIN));
+        assert!(big.is_heap());
+        assert_eq!(h.get_int(big).to_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn array_set_exclusive_in_place() {
+        let mut h = Heap::new();
+        let arr = h.alloc_array(vec![ObjRef::scalar(1), ObjRef::scalar(2)]);
+        let arr2 = h.array_set(arr, 0, ObjRef::scalar(9));
+        assert_eq!(arr, arr2, "exclusive update must be in place");
+        assert_eq!(h.array_get(arr2, 0).as_scalar(), Some(9));
+        assert_eq!(h.stats().allocs, 1);
+    }
+
+    #[test]
+    fn array_set_shared_copies() {
+        let mut h = Heap::new();
+        let arr = h.alloc_array(vec![ObjRef::scalar(1), ObjRef::scalar(2)]);
+        h.inc(arr); // simulate sharing
+        let arr2 = h.array_set(arr, 0, ObjRef::scalar(9));
+        assert_ne!(arr, arr2, "shared update must copy");
+        assert_eq!(h.array_get(arr, 0).as_scalar(), Some(1));
+        assert_eq!(h.array_get(arr2, 0).as_scalar(), Some(9));
+        h.dec(arr);
+        h.dec(arr2);
+        assert_eq!(h.stats().live, 0);
+    }
+
+    #[test]
+    fn array_set_shared_preserves_heap_elements() {
+        let mut h = Heap::new();
+        let elem = h.alloc_ctor(3, vec![]);
+        let arr = h.alloc_array(vec![elem, ObjRef::scalar(0)]);
+        h.inc(arr);
+        let arr2 = h.array_set(arr, 1, ObjRef::scalar(5));
+        // `elem` is now referenced by both arrays.
+        assert_eq!(h.rc(elem), 2);
+        h.dec(arr);
+        h.dec(arr2);
+        assert_eq!(h.stats().live, 0);
+    }
+
+    #[test]
+    fn array_push_shared_and_exclusive() {
+        let mut h = Heap::new();
+        let arr = h.alloc_array(vec![]);
+        let arr = h.array_push(arr, ObjRef::scalar(1));
+        let arr = h.array_push(arr, ObjRef::scalar(2));
+        assert_eq!(h.array_len(arr), 2);
+        h.inc(arr);
+        let arr2 = h.array_push(arr, ObjRef::scalar(3));
+        assert_ne!(arr, arr2);
+        assert_eq!(h.array_len(arr), 2);
+        assert_eq!(h.array_len(arr2), 3);
+        h.dec(arr);
+        h.dec(arr2);
+        assert_eq!(h.stats().live, 0);
+    }
+
+    #[test]
+    fn deep_eq_structures() {
+        let mut h = Heap::new();
+        let n1 = h.alloc_ctor(0, vec![]);
+        let n2 = h.alloc_ctor(0, vec![]);
+        let l1 = h.alloc_ctor(1, vec![ObjRef::scalar(5), n1]);
+        let l2 = h.alloc_ctor(1, vec![ObjRef::scalar(5), n2]);
+        assert!(h.deep_eq(l1, l2));
+        let l3 = h.alloc_ctor(1, vec![ObjRef::scalar(6), l1]);
+        assert!(!h.deep_eq(l2, l3));
+    }
+
+    #[test]
+    fn deep_eq_scalar_vs_boxed_ctor() {
+        let mut h = Heap::new();
+        let boxed_true = h.alloc_ctor(1, vec![]);
+        assert!(h.deep_eq(ObjRef::scalar(1), boxed_true));
+        assert!(!h.deep_eq(ObjRef::scalar(0), boxed_true));
+    }
+
+    #[test]
+    fn render_values() {
+        let mut h = Heap::new();
+        let nil = h.alloc_ctor(0, vec![]);
+        let cons = h.alloc_ctor(1, vec![ObjRef::scalar(3), nil]);
+        assert_eq!(h.render(cons), "ctor1(3, ctor0)");
+        let arr = h.alloc_array(vec![ObjRef::scalar(1)]);
+        assert_eq!(h.render(arr), "#[1]");
+        let clos = h.alloc_closure(FuncId(2), 3, vec![ObjRef::scalar(0)]);
+        assert_eq!(h.render(clos), "closure<@fn2/3:1>");
+    }
+
+    #[test]
+    fn peak_live_tracking() {
+        let mut h = Heap::new();
+        let a = h.alloc_ctor(0, vec![]);
+        let b = h.alloc_ctor(0, vec![]);
+        h.dec(a);
+        h.dec(b);
+        let _c = h.alloc_ctor(0, vec![]);
+        assert_eq!(h.stats().peak_live, 2);
+        assert_eq!(h.stats().live, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the bignum substrate against machine-integer
+//! oracles (`u128`/`i128`) and algebraic laws.
+
+use lssa_rt::bignum::{Int, Nat};
+use proptest::prelude::*;
+
+fn nat_strategy() -> impl Strategy<Value = Nat> {
+    prop::collection::vec(any::<u64>(), 0..5).prop_map(Nat::from_limbs)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let r = Nat::from_u64(a).add(&Nat::from_u64(b));
+        prop_assert_eq!(r.to_u128().unwrap(), a as u128 + b as u128);
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let r = Nat::from_u64(a).mul(&Nat::from_u64(b));
+        prop_assert_eq!(r.to_u128().unwrap(), a as u128 * b as u128);
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let r = Nat::from_u128(hi).checked_sub(&Nat::from_u128(lo)).unwrap();
+        prop_assert_eq!(r.to_u128().unwrap(), hi - lo);
+        prop_assert!(Nat::from_u128(lo).checked_sub(&Nat::from_u128(hi)).is_none() || hi == lo);
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = Nat::from_u128(a).div_rem(&Nat::from_u128(b));
+        prop_assert_eq!(q.to_u128().unwrap(), a / b);
+        prop_assert_eq!(r.to_u128().unwrap(), a % b);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in nat_strategy(), b in nat_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn add_commutative_associative(a in nat_strategy(), b in nat_strategy(), c in nat_strategy()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in nat_strategy(), b in nat_strategy(), c in nat_strategy()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in nat_strategy()) {
+        let s = a.to_string();
+        prop_assert_eq!(Nat::from_str_decimal(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers(a in nat_strategy(), sh in 0u64..130) {
+        let two_sh = Nat::from_u64(2).pow(sh);
+        prop_assert_eq!(a.shl(sh), a.mul(&two_sh));
+        prop_assert_eq!(a.shr(sh), a.div(&two_sh));
+    }
+
+    #[test]
+    fn cmp_agrees_with_sub(a in nat_strategy(), b in nat_strategy()) {
+        use std::cmp::Ordering;
+        match a.cmp_nat(&b) {
+            Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
+            _ => prop_assert!(a.checked_sub(&b).is_some()),
+        }
+    }
+
+    #[test]
+    fn int_arith_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (x, y) = (Int::from_i64(a), Int::from_i64(b));
+        let sum = x.add(&y);
+        prop_assert_eq!(sum.to_string(), (a as i128 + b as i128).to_string());
+        let prod = x.mul(&y);
+        prop_assert_eq!(prod.to_string(), (a as i128 * b as i128).to_string());
+        let diff = x.sub(&y);
+        prop_assert_eq!(diff.to_string(), (a as i128 - b as i128).to_string());
+    }
+
+    #[test]
+    fn int_div_rem_truncated(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        let (x, y) = (Int::from_i64(a), Int::from_i64(b));
+        prop_assert_eq!(x.div(&y).to_string(), (a as i128 / b as i128).to_string());
+        prop_assert_eq!(x.rem(&y).to_string(), (a as i128 % b as i128).to_string());
+    }
+
+    #[test]
+    fn gcd_divides_both(a in any::<u64>(), b in any::<u64>()) {
+        let g = Nat::from_u64(a).gcd(&Nat::from_u64(b));
+        prop_assume!(!g.is_zero());
+        prop_assert!(Nat::from_u64(a).rem(&g).is_zero());
+        prop_assert!(Nat::from_u64(b).rem(&g).is_zero());
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in 0u64..50, e1 in 0u64..8, e2 in 0u64..8) {
+        let base = Nat::from_u64(a);
+        prop_assert_eq!(base.pow(e1).mul(&base.pow(e2)), base.pow(e1 + e2));
+    }
+}

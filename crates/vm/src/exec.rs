@@ -1,0 +1,635 @@
+//! The execution engine.
+//!
+//! An iterative interpreter over an explicit frame stack:
+//!
+//! - `TailCall` *replaces* the current frame — tail calls consume no stack,
+//!   delivering the `musttail` guarantee of §III-E;
+//! - `PapExtend` uses the shared saturation semantics from `lssa-rt`, so
+//!   closure behaviour matches the reference interpreter exactly;
+//! - every instruction executed is counted, giving a deterministic
+//!   performance metric alongside wall-clock time.
+
+use crate::bytecode::{CompiledProgram, Instr, Reg};
+use lssa_rt::{pap_extend, pap_new, ApplyOutcome, FuncId, Heap, HeapStats, Int, ObjRef};
+use std::fmt;
+
+/// A runtime failure (trap, stack/step limits, type confusion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm error: {}", self.message)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+fn err(message: impl Into<String>) -> VmError {
+    VmError {
+        message: message.into(),
+    }
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Function calls made (including tail calls).
+    pub calls: u64,
+    /// Maximum frame-stack depth.
+    pub max_stack: u64,
+    /// Heap statistics at the end of the run.
+    pub heap: HeapStats,
+}
+
+/// Result of running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Stable rendering of the produced value.
+    pub rendered: String,
+    /// Statistics.
+    pub stats: ExecStats,
+}
+
+/// The virtual machine.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    program: &'p CompiledProgram,
+    /// The runtime heap (public for tests).
+    pub heap: Heap,
+    globals: Vec<ObjRef>,
+    max_steps: u64,
+    steps: u64,
+    calls: u64,
+    max_stack: u64,
+}
+
+struct Frame {
+    func: usize,
+    pc: usize,
+    regs: Vec<u64>,
+    /// Register in the *caller's* frame receiving the return value.
+    ret_dst: Reg,
+    /// Arguments still to be applied to the returned closure
+    /// (over-saturated `papextend`).
+    after_ret: Vec<ObjRef>,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM for `program` with a step budget.
+    pub fn new(program: &'p CompiledProgram, max_steps: u64) -> Vm<'p> {
+        Vm {
+            program,
+            heap: Heap::new(),
+            globals: vec![ObjRef::scalar(0); program.globals.len()],
+            max_steps,
+            steps: 0,
+            calls: 0,
+            max_stack: 0,
+        }
+    }
+
+    /// Runs `entry` (zero-argument) to completion and returns the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on traps, step exhaustion, or a missing entry point.
+    pub fn run(&mut self, entry: &str) -> Result<ObjRef, VmError> {
+        let idx = self
+            .program
+            .fn_index(entry)
+            .ok_or_else(|| err(format!("no function @{entry}")))?;
+        self.call(idx, Vec::new())
+    }
+
+    /// Calls function `idx` with owned arguments.
+    ///
+    /// # Errors
+    ///
+    /// See [`Vm::run`].
+    pub fn call(&mut self, idx: usize, args: Vec<ObjRef>) -> Result<ObjRef, VmError> {
+        let mut stack: Vec<Frame> = vec![self.new_frame(idx, args, Reg(0))?];
+        loop {
+            self.max_stack = self.max_stack.max(stack.len() as u64);
+            let frame = stack.last_mut().expect("empty stack");
+            if self.steps >= self.max_steps {
+                return Err(err("step budget exhausted (likely non-termination)"));
+            }
+            self.steps += 1;
+            let f = &self.program.fns[frame.func];
+            let instr = f
+                .code
+                .get(frame.pc)
+                .ok_or_else(|| err(format!("pc out of range in @{}", f.name)))?
+                .clone();
+            frame.pc += 1;
+            match instr {
+                Instr::ConstInt { dst, v } => frame.regs[dst.0 as usize] = v as u64,
+                Instr::LpInt { dst, v } => {
+                    frame.regs[dst.0 as usize] = ObjRef::scalar(v).to_bits();
+                }
+                Instr::LpBig { dst, idx } => {
+                    let n = self.program.big_pool[idx as usize].clone();
+                    frame.regs[dst.0 as usize] = self.heap.mk_nat(n).to_bits();
+                }
+                Instr::LpStr { dst, idx } => {
+                    let s = self.program.str_pool[idx as usize].clone();
+                    frame.regs[dst.0 as usize] = self.heap.alloc_str(s).to_bits();
+                }
+                Instr::Construct { dst, tag, ref args } => {
+                    let fields: Vec<ObjRef> = args
+                        .iter()
+                        .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
+                        .collect();
+                    frame.regs[dst.0 as usize] = self.heap.alloc_ctor(tag, fields).to_bits();
+                }
+                Instr::GetLabel { dst, src } => {
+                    let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                    frame.regs[dst.0 as usize] = self.heap.ctor_tag(o) as u64;
+                }
+                Instr::Project { dst, src, idx } => {
+                    let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                    frame.regs[dst.0 as usize] =
+                        self.heap.ctor_field(o, idx as usize).to_bits();
+                }
+                Instr::Pap {
+                    dst,
+                    func,
+                    arity,
+                    ref args,
+                } => {
+                    let vals: Vec<ObjRef> = args
+                        .iter()
+                        .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
+                        .collect();
+                    let outcome = pap_new(&mut self.heap, FuncId(func), arity, vals);
+                    self.apply(&mut stack, dst, outcome)?;
+                }
+                Instr::PapExtend {
+                    dst,
+                    closure,
+                    ref args,
+                } => {
+                    let c = ObjRef::from_bits(frame.regs[closure.0 as usize]);
+                    if !matches!(self.heap.data(c), lssa_rt::ObjData::Closure { .. }) {
+                        return Err(err("papextend of a non-closure value"));
+                    }
+                    let vals: Vec<ObjRef> = args
+                        .iter()
+                        .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
+                        .collect();
+                    let outcome = pap_extend(&mut self.heap, c, vals);
+                    self.apply(&mut stack, dst, outcome)?;
+                }
+                Instr::Inc { src } => {
+                    let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                    self.heap.inc(o);
+                }
+                Instr::Dec { src } => {
+                    let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                    self.heap.dec(o);
+                }
+                Instr::Call { dst, func, ref args } => {
+                    let vals: Vec<ObjRef> = args
+                        .iter()
+                        .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
+                        .collect();
+                    let new = self.new_frame(func as usize, vals, dst)?;
+                    stack.push(new);
+                }
+                Instr::CallBuiltin {
+                    dst,
+                    builtin,
+                    ref args,
+                } => {
+                    let vals: Vec<ObjRef> = args
+                        .iter()
+                        .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
+                        .collect();
+                    self.calls += 1;
+                    let out = builtin.call(&mut self.heap, &vals);
+                    frame.regs[dst.0 as usize] = out.to_bits();
+                }
+                Instr::TailCall { func, ref args } => {
+                    let vals: Vec<ObjRef> = args
+                        .iter()
+                        .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
+                        .collect();
+                    // Reuse the current frame: constant stack space.
+                    let ret_dst = frame.ret_dst;
+                    let after_ret = std::mem::take(&mut frame.after_ret);
+                    let mut new = self.new_frame(func as usize, vals, ret_dst)?;
+                    new.after_ret = after_ret;
+                    *stack.last_mut().unwrap() = new;
+                }
+                Instr::Ret { src } => {
+                    let value = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                    let done = stack.pop().expect("ret on empty stack");
+                    if !done.after_ret.is_empty() {
+                        // Continue an over-saturated application.
+                        if !matches!(self.heap.data(value), lssa_rt::ObjData::Closure { .. }) {
+                            return Err(err("over-application of a non-closure result"));
+                        }
+                        let outcome = pap_extend(&mut self.heap, value, done.after_ret);
+                        match stack.last_mut() {
+                            Some(_) => self.apply(&mut stack, done.ret_dst, outcome)?,
+                            None => {
+                                // Whole-program result must not be pending.
+                                return match outcome {
+                                    ApplyOutcome::Partial(c) => Ok(c),
+                                    _ => Err(err("dangling over-application at exit")),
+                                };
+                            }
+                        }
+                        continue;
+                    }
+                    match stack.last_mut() {
+                        Some(caller) => {
+                            caller.regs[done.ret_dst.0 as usize] = value.to_bits()
+                        }
+                        None => return Ok(value),
+                    }
+                }
+                Instr::Jump { target } => frame.pc = target,
+                Instr::Branch {
+                    cond,
+                    then_t,
+                    else_t,
+                } => {
+                    frame.pc = if frame.regs[cond.0 as usize] != 0 {
+                        then_t
+                    } else {
+                        else_t
+                    };
+                }
+                Instr::Switch {
+                    idx,
+                    ref cases,
+                    default,
+                } => {
+                    let v = frame.regs[idx.0 as usize] as i64;
+                    frame.pc = cases
+                        .iter()
+                        .find(|&&(c, _)| c == v)
+                        .map(|&(_, t)| t)
+                        .unwrap_or(default);
+                }
+                Instr::Bin { op, dst, a, b } => {
+                    let x = frame.regs[a.0 as usize] as i64;
+                    let y = frame.regs[b.0 as usize] as i64;
+                    let v = op
+                        .eval(x, y)
+                        .ok_or_else(|| err("integer division by zero"))?;
+                    frame.regs[dst.0 as usize] = v as u64;
+                }
+                Instr::Cmp { pred, dst, a, b } => {
+                    let x = frame.regs[a.0 as usize] as i64;
+                    let y = frame.regs[b.0 as usize] as i64;
+                    frame.regs[dst.0 as usize] = pred.eval(x, y) as u64;
+                }
+                Instr::Select { dst, c, a, b } => {
+                    let v = if frame.regs[c.0 as usize] != 0 {
+                        frame.regs[a.0 as usize]
+                    } else {
+                        frame.regs[b.0 as usize]
+                    };
+                    frame.regs[dst.0 as usize] = v;
+                }
+                Instr::Mask { dst, src, mask } => {
+                    frame.regs[dst.0 as usize] = frame.regs[src.0 as usize] & mask;
+                }
+                Instr::Move { dst, src } => {
+                    frame.regs[dst.0 as usize] = frame.regs[src.0 as usize];
+                }
+                Instr::GlobalLoad { dst, idx } => {
+                    frame.regs[dst.0 as usize] = self.globals[idx as usize].to_bits();
+                }
+                Instr::GlobalStore { idx, src } => {
+                    self.globals[idx as usize] = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                }
+                Instr::Trap => {
+                    return Err(err(format!(
+                        "reached unreachable code in @{}",
+                        self.program.fns[stack.last().unwrap().func].name
+                    )))
+                }
+            }
+        }
+    }
+
+    fn new_frame(&mut self, func: usize, args: Vec<ObjRef>, ret_dst: Reg) -> Result<Frame, VmError> {
+        let f = self
+            .program
+            .fns
+            .get(func)
+            .ok_or_else(|| err(format!("bad function index {func}")))?;
+        if args.len() != f.arity as usize {
+            return Err(err(format!(
+                "@{} called with {} args (arity {})",
+                f.name,
+                args.len(),
+                f.arity
+            )));
+        }
+        self.calls += 1;
+        let mut regs = vec![0u64; f.n_regs as usize];
+        for (i, a) in args.into_iter().enumerate() {
+            regs[i] = a.to_bits();
+        }
+        Ok(Frame {
+            func,
+            pc: 0,
+            regs,
+            ret_dst,
+            after_ret: Vec::new(),
+        })
+    }
+
+    /// Handles a pap/papextend outcome: either a value, or frames to push.
+    fn apply(
+        &mut self,
+        stack: &mut Vec<Frame>,
+        dst: Reg,
+        outcome: ApplyOutcome,
+    ) -> Result<(), VmError> {
+        match outcome {
+            ApplyOutcome::Partial(c) => {
+                let frame = stack.last_mut().expect("apply without frame");
+                frame.regs[dst.0 as usize] = c.to_bits();
+                Ok(())
+            }
+            ApplyOutcome::Call { func, args } => {
+                let new = self.new_frame(func.0 as usize, args, dst)?;
+                stack.push(new);
+                Ok(())
+            }
+            ApplyOutcome::CallThen { func, args, rest } => {
+                let mut new = self.new_frame(func.0 as usize, args, dst)?;
+                new.after_ret = rest;
+                stack.push(new);
+                Ok(())
+            }
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        ExecStats {
+            instructions: self.steps,
+            calls: self.calls,
+            max_stack: self.max_stack,
+            heap: self.heap.stats(),
+        }
+    }
+
+    /// Decodes an integer result (convenience for tests).
+    pub fn to_int(&self, r: ObjRef) -> Int {
+        self.heap.get_int(r)
+    }
+}
+
+/// Runs `entry` of `program` and renders the result.
+///
+/// # Errors
+///
+/// See [`Vm::run`].
+pub fn run_program(
+    program: &CompiledProgram,
+    entry: &str,
+    max_steps: u64,
+) -> Result<RunOutcome, VmError> {
+    let mut vm = Vm::new(program, max_steps);
+    let result = vm.run(entry)?;
+    let rendered = vm.heap.render(result);
+    vm.heap.dec(result);
+    Ok(RunOutcome {
+        rendered,
+        stats: vm.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{BinOp, CmpPred, CompiledFn, CompiledProgram};
+
+    fn single(code: Vec<Instr>, n_regs: u16) -> CompiledProgram {
+        CompiledProgram {
+            fns: vec![CompiledFn {
+                name: "main".into(),
+                arity: 0,
+                n_regs,
+                code,
+            }],
+            ..CompiledProgram::default()
+        }
+    }
+
+    #[test]
+    fn returns_scalar() {
+        let p = single(
+            vec![Instr::LpInt { dst: Reg(0), v: 42 }, Instr::Ret { src: Reg(0) }],
+            1,
+        );
+        let out = run_program(&p, "main", 1000).unwrap();
+        assert_eq!(out.rendered, "42");
+        assert_eq!(out.stats.instructions, 2);
+    }
+
+    #[test]
+    fn arithmetic_and_branching() {
+        // if (2 < 3) then 10 else 20
+        let p = single(
+            vec![
+                Instr::ConstInt { dst: Reg(0), v: 2 },
+                Instr::ConstInt { dst: Reg(1), v: 3 },
+                Instr::Cmp {
+                    pred: CmpPred::Slt,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Instr::Branch {
+                    cond: Reg(2),
+                    then_t: 4,
+                    else_t: 6,
+                },
+                Instr::LpInt { dst: Reg(3), v: 10 },
+                Instr::Ret { src: Reg(3) },
+                Instr::LpInt { dst: Reg(3), v: 20 },
+                Instr::Ret { src: Reg(3) },
+            ],
+            4,
+        );
+        assert_eq!(run_program(&p, "main", 1000).unwrap().rendered, "10");
+    }
+
+    #[test]
+    fn tail_call_uses_constant_stack() {
+        // loop(n): if n == 0 ret 7 else tail loop(n-1)
+        let p = CompiledProgram {
+            fns: vec![
+                CompiledFn {
+                    name: "main".into(),
+                    arity: 0,
+                    n_regs: 2,
+                    code: vec![
+                        Instr::LpInt {
+                            dst: Reg(0),
+                            v: 1_000_000,
+                        },
+                        Instr::Call {
+                            dst: Reg(1),
+                            func: 1,
+                            args: vec![Reg(0)],
+                        },
+                        Instr::Ret { src: Reg(1) },
+                    ],
+                },
+                CompiledFn {
+                    name: "loop".into(),
+                    arity: 1,
+                    n_regs: 4,
+                    code: vec![
+                        // r1 = raw n (scalar decode: just compare object bits
+                        // against scalar 0 encoding via getlabel)
+                        Instr::GetLabel {
+                            dst: Reg(1),
+                            src: Reg(0),
+                        },
+                        Instr::ConstInt { dst: Reg(2), v: 0 },
+                        Instr::Cmp {
+                            pred: CmpPred::Eq,
+                            dst: Reg(2),
+                            a: Reg(1),
+                            b: Reg(2),
+                        },
+                        Instr::Branch {
+                            cond: Reg(2),
+                            then_t: 4,
+                            else_t: 6,
+                        },
+                        Instr::LpInt { dst: Reg(3), v: 7 },
+                        Instr::Ret { src: Reg(3) },
+                        Instr::LpInt { dst: Reg(2), v: 1 },
+                        Instr::CallBuiltin {
+                            dst: Reg(3),
+                            builtin: lssa_rt::Builtin::NatSub,
+                            args: vec![Reg(0), Reg(2)],
+                        },
+                        Instr::TailCall {
+                            func: 1,
+                            args: vec![Reg(3)],
+                        },
+                    ],
+                },
+            ],
+            ..CompiledProgram::default()
+        };
+        let mut vm = Vm::new(&p, 100_000_000);
+        let r = vm.run("main").unwrap();
+        assert_eq!(vm.heap.render(r), "7");
+        assert!(vm.stats().max_stack <= 2, "tail calls must not grow stack");
+    }
+
+    #[test]
+    fn closure_via_pap_extend() {
+        // add(a, b) = a + b ; main: c = pap add [10]; papextend c [32]
+        let p = CompiledProgram {
+            fns: vec![
+                CompiledFn {
+                    name: "main".into(),
+                    arity: 0,
+                    n_regs: 3,
+                    code: vec![
+                        Instr::LpInt { dst: Reg(0), v: 10 },
+                        Instr::Pap {
+                            dst: Reg(1),
+                            func: 1,
+                            arity: 2,
+                            args: vec![Reg(0)],
+                        },
+                        Instr::LpInt { dst: Reg(2), v: 32 },
+                        Instr::PapExtend {
+                            dst: Reg(0),
+                            closure: Reg(1),
+                            args: vec![Reg(2)],
+                        },
+                        Instr::Ret { src: Reg(0) },
+                    ],
+                },
+                CompiledFn {
+                    name: "add".into(),
+                    arity: 2,
+                    n_regs: 3,
+                    code: vec![
+                        Instr::CallBuiltin {
+                            dst: Reg(2),
+                            builtin: lssa_rt::Builtin::NatAdd,
+                            args: vec![Reg(0), Reg(1)],
+                        },
+                        Instr::Ret { src: Reg(2) },
+                    ],
+                },
+            ],
+            ..CompiledProgram::default()
+        };
+        let out = run_program(&p, "main", 1000).unwrap();
+        assert_eq!(out.rendered, "42");
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        let p = single(vec![Instr::Jump { target: 0 }], 1);
+        let e = run_program(&p, "main", 100).unwrap_err();
+        assert!(e.message.contains("step budget"));
+    }
+
+    #[test]
+    fn trap_reports_function() {
+        let p = single(vec![Instr::Trap], 1);
+        let e = run_program(&p, "main", 100).unwrap_err();
+        assert!(e.message.contains("unreachable"), "{e}");
+        assert!(e.message.contains("main"), "{e}");
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let p = single(
+            vec![
+                Instr::ConstInt { dst: Reg(0), v: 1 },
+                Instr::ConstInt { dst: Reg(1), v: 0 },
+                Instr::Bin {
+                    op: BinOp::Div,
+                    dst: Reg(0),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Instr::Ret { src: Reg(0) },
+            ],
+            2,
+        );
+        let e = run_program(&p, "main", 100).unwrap_err();
+        assert!(e.message.contains("division"), "{e}");
+    }
+
+    #[test]
+    fn globals_round_trip() {
+        let mut p = single(
+            vec![
+                Instr::LpInt { dst: Reg(0), v: 5 },
+                Instr::GlobalStore { idx: 0, src: Reg(0) },
+                Instr::GlobalLoad { dst: Reg(1), idx: 0 },
+                Instr::Ret { src: Reg(1) },
+            ],
+            2,
+        );
+        p.globals.push("slot".into());
+        assert_eq!(run_program(&p, "main", 100).unwrap().rendered, "5");
+    }
+}

@@ -1,0 +1,24 @@
+//! # lssa-vm: the execution engine
+//!
+//! Stand-in for the paper's LLVM backend: compiles fully-lowered flat-CFG IR
+//! modules ([`compile`]) to a register bytecode ([`bytecode`]) and executes
+//! them ([`exec`]) over the shared `lssa-rt` heap.
+//!
+//! Two properties matter for the reproduction:
+//!
+//! - **Guaranteed tail calls** — `TailCall` replaces the current frame, so
+//!   `musttail`-annotated calls (§III-E) run in constant stack space;
+//! - **Determinism** — instruction/call/allocation counters provide a
+//!   noise-free performance metric next to wall-clock time, keeping the
+//!   evaluation's *shape* reproducible on any machine.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bytecode;
+pub mod compile;
+pub mod exec;
+
+pub use bytecode::{CompiledFn, CompiledProgram, Instr, Reg};
+pub use compile::{compile_module, CompileError};
+pub use exec::{run_program, ExecStats, RunOutcome, Vm, VmError};

@@ -1,0 +1,19 @@
+//! # lambda-ssa — λ the Ultimate SSA, reproduced in Rust
+//!
+//! Umbrella crate re-exporting the whole system. See the individual crates:
+//!
+//! - [`rt`](lssa_rt) — runtime (refcounted heap, bignums, closures),
+//! - [`ir`](lssa_ir) — SSA+regions compiler IR (MLIR stand-in),
+//! - [`lambda`](lssa_lambda) — λpure/λrc frontend, simplifier, interpreter,
+//! - [`core`](lssa_core) — the lp and rgn dialects (the paper's contribution),
+//! - [`vm`](lssa_vm) — bytecode backend with guaranteed tail calls,
+//! - [`driver`](lssa_driver) — pipelines, differential testing, benchmarks.
+
+#![forbid(unsafe_code)]
+
+pub use lssa_core as core;
+pub use lssa_driver as driver;
+pub use lssa_ir as ir;
+pub use lssa_lambda as lambda;
+pub use lssa_rt as rt;
+pub use lssa_vm as vm;

@@ -1,0 +1,111 @@
+//! Shape checks for the evaluation figures: the reproduced numbers must
+//! show the same *qualitative* result as the paper even at test scale,
+//! using the deterministic instruction-count metric (wall time is checked
+//! by the bench harness).
+
+use lambda_ssa::driver::pipelines::{compile, CompilerConfig};
+use lambda_ssa::driver::workloads::{all, Scale};
+
+const MAX_STEPS: u64 = 500_000_000;
+
+fn instructions(src: &str, config: CompilerConfig) -> u64 {
+    let program = compile(src, config).unwrap();
+    lambda_ssa::vm::run_program(&program, "main", MAX_STEPS)
+        .unwrap()
+        .stats
+        .instructions
+}
+
+#[test]
+fn fig9_shape_performance_parity() {
+    // Paper: geomean 1.09× — parity. Here: the instruction-count ratio of
+    // baseline/mlir must be close to 1 on every benchmark (within ±40%)
+    // and the geomean within ±20%.
+    let mut ratios = Vec::new();
+    for w in all(Scale::Test) {
+        let base = instructions(&w.src, CompilerConfig::leanc()) as f64;
+        let mlir = instructions(&w.src, CompilerConfig::mlir()) as f64;
+        let ratio = base / mlir;
+        assert!(
+            (0.6..=1.67).contains(&ratio),
+            "{}: baseline/mlir instruction ratio {ratio:.2} is far from parity",
+            w.name
+        );
+        ratios.push(ratio);
+    }
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    assert!(
+        (0.8..=1.25).contains(&geomean),
+        "geomean {geomean:.2} breaks the parity claim"
+    );
+}
+
+#[test]
+fn fig10_shape_rgn_matches_simplifier() {
+    // Paper: geomean 1.0× between the rgn pipeline on raw λrc and the
+    // λrc-simplifier pipeline. Same tolerance discipline as Figure 9.
+    let mut ratios = Vec::new();
+    for w in all(Scale::Test) {
+        let a = instructions(&w.src, CompilerConfig::mlir()) as f64;
+        let b = instructions(&w.src, CompilerConfig::rgn_only()) as f64;
+        let ratio = a / b;
+        assert!(
+            (0.6..=1.67).contains(&ratio),
+            "{}: rgn-vs-simplifier instruction ratio {ratio:.2} far from parity",
+            w.name
+        );
+        ratios.push(ratio);
+    }
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    assert!(
+        (0.85..=1.18).contains(&geomean),
+        "geomean {geomean:.2} breaks the Figure 10 parity claim"
+    );
+}
+
+#[test]
+fn optimizations_never_hurt_much_nor_explode_code() {
+    // The unoptimized pipeline must not beat the optimized one by a large
+    // margin anywhere (optimizations can be neutral, not harmful).
+    for w in all(Scale::Test) {
+        let opt = instructions(&w.src, CompilerConfig::mlir()) as f64;
+        let raw = instructions(&w.src, CompilerConfig::none()) as f64;
+        assert!(
+            opt <= raw * 1.15,
+            "{}: optimized pipeline executes {opt} instrs vs {raw} unoptimized",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn region_optimizations_shrink_static_code() {
+    // Static effect of §IV-B: with region opts the compiled code is never
+    // larger than without, and shrinks somewhere.
+    let mut shrank = false;
+    for w in all(Scale::Test) {
+        let with = compile(&w.src, CompilerConfig::rgn_only()).unwrap().code_size();
+        let without = compile(
+            &w.src,
+            CompilerConfig {
+                simplify: Some(lambda_ssa::lambda::SimplifyOptions::without_simpcase()),
+                backend: lambda_ssa::driver::Backend::Mlir(
+                    lambda_ssa::core::PipelineOptions::no_opt(),
+                ),
+            },
+        )
+        .unwrap()
+        .code_size();
+        // Allow a tiny slack: selector materialization can trade one
+        // instruction shape for another (qsort gains a single move).
+        assert!(
+            with <= without + 3,
+            "{}: region opts grew code {with} > {without}",
+            w.name
+        );
+        if with < without {
+            shrank = true;
+        }
+    }
+    assert!(shrank, "region opts had no static effect on any benchmark");
+}

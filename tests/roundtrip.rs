@@ -1,0 +1,58 @@
+//! Textual IR round-trips at every pipeline stage, for every benchmark:
+//! `parse(print(m))` prints identically — the property that makes
+//! FileCheck-style testing (Figure 11) possible.
+
+use lambda_ssa::core::PipelineOptions;
+use lambda_ssa::driver::pipelines::{frontend, CompilerConfig};
+use lambda_ssa::driver::workloads::{all, Scale};
+use lambda_ssa::ir::parser::parse_module;
+use lambda_ssa::ir::printer::print_module;
+use lambda_ssa::ir::prelude::Module;
+
+fn assert_round_trip(m: &Module, what: &str) {
+    let text = print_module(m);
+    let reparsed =
+        parse_module(&text).unwrap_or_else(|e| panic!("{what}: reparse failed: {e}\n{text}"));
+    let text2 = print_module(&reparsed);
+    assert_eq!(text, text2, "{what}: printer not canonical");
+    // And the reparsed module still verifies.
+    lambda_ssa::ir::verifier::verify_module(&reparsed)
+        .unwrap_or_else(|e| panic!("{what}: reparsed module invalid: {e:?}"));
+}
+
+#[test]
+fn workloads_round_trip_at_every_stage() {
+    for w in all(Scale::Test) {
+        let rc = frontend(&w.src, CompilerConfig::mlir()).unwrap();
+        // Stage 1: lp.
+        let mut m = lambda_ssa::core::lp::from_lambda::lower_program(&rc);
+        assert_round_trip(&m, &format!("{} lp", w.name));
+        // Stage 2: rgn.
+        lambda_ssa::core::rgn::from_lp::lower_module(&mut m);
+        assert_round_trip(&m, &format!("{} rgn", w.name));
+        // Stage 3: optimized CFG.
+        let cfg = lambda_ssa::core::pipeline::compile(&rc, PipelineOptions::full());
+        assert_round_trip(&cfg, &format!("{} cfg", w.name));
+        // Baseline backend too.
+        let base = lambda_ssa::driver::baseline::lower_program(&rc);
+        assert_round_trip(&base, &format!("{} baseline", w.name));
+    }
+}
+
+#[test]
+fn parsed_module_executes_identically() {
+    // Print → parse → compile → run must give the same result as the
+    // original module.
+    let w = lambda_ssa::driver::workloads::by_name("filter", Scale::Test).unwrap();
+    let rc = frontend(&w.src, CompilerConfig::mlir()).unwrap();
+    let m = lambda_ssa::core::pipeline::compile(&rc, PipelineOptions::full());
+    let direct = lambda_ssa::vm::compile_module(&m).unwrap();
+    let direct_out = lambda_ssa::vm::run_program(&direct, "main", 100_000_000).unwrap();
+
+    let reparsed = parse_module(&print_module(&m)).unwrap();
+    let via_text = lambda_ssa::vm::compile_module(&reparsed).unwrap();
+    let text_out = lambda_ssa::vm::run_program(&via_text, "main", 100_000_000).unwrap();
+
+    assert_eq!(direct_out.rendered, text_out.rendered);
+    assert_eq!(direct_out.stats.instructions, text_out.stats.instructions);
+}
