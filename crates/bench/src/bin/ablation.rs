@@ -19,7 +19,10 @@ use lssa_lambda::SimplifyOptions;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = if args.windows(2).any(|w| w[0] == "--scale" && w[1] == "bench") {
+    let scale = if args
+        .windows(2)
+        .any(|w| w[0] == "--scale" && w[1] == "bench")
+    {
         Scale::Bench
     } else {
         Scale::Test
@@ -64,13 +67,8 @@ fn main() {
                 backend: Backend::Mlir(*opts),
             };
             let program = compile(&w.src, config).expect("compile");
-            let out =
-                lssa_vm::run_program(&program, "main", lssa_bench::MAX_STEPS).expect("run");
-            print!(
-                " {:>10}/{:<5}",
-                out.stats.instructions,
-                program.code_size()
-            );
+            let out = lssa_vm::run_program(&program, "main", lssa_bench::MAX_STEPS).expect("run");
+            print!(" {:>10}/{:<5}", out.stats.instructions, program.code_size());
         }
         println!();
     }

@@ -123,7 +123,10 @@ def main() := even(50000)
 
     println!("Figure 11: Ecosystem differences between the backends");
     println!();
-    println!("{:<24} {:<34} lp + rgn (this backend)", "Feature", "λrc + C (leanc model)");
+    println!(
+        "{:<24} {:<34} lp + rgn (this backend)",
+        "Feature", "λrc + C (leanc model)"
+    );
     println!("{}", "-".repeat(100));
     for r in &rows {
         println!("{:<24} {:<34} {}", r.feature, r.leanc, r.mlir);
@@ -135,5 +138,8 @@ def main() := even(50000)
     let a = compile_and_run(&w.src, CompilerConfig::leanc(), 1_000_000_000).unwrap();
     let b = compile_and_run(&w.src, CompilerConfig::mlir(), 1_000_000_000).unwrap();
     assert_eq!(a.rendered, b.rendered);
-    println!("probe check: both backends agree on `filter` = {}", a.rendered);
+    println!(
+        "probe check: both backends agree on `filter` = {}",
+        a.rendered
+    );
 }

@@ -137,8 +137,9 @@ pub fn fig10_rows(scale: Scale, runs: usize) -> Vec<(String, SpeedupRow, Speedup
 
 /// Renders an ASCII bar for a speedup value (figure-style output).
 pub fn bar(speedup: f64, width: usize) -> String {
-    let filled =
-        ((speedup / 1.5) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let filled = ((speedup / 1.5) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     let mut s = String::new();
     for i in 0..width {
         s.push(if i < filled { '█' } else { ' ' });

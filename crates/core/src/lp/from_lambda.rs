@@ -25,7 +25,11 @@ pub fn lower_program(program: &Program) -> Module {
         module.intern(&f.name);
     }
     // First create all signatures (needed for callee checks), then bodies.
-    let sigs: Vec<Signature> = program.fns.iter().map(|f| Signature::obj(f.arity())).collect();
+    let sigs: Vec<Signature> = program
+        .fns
+        .iter()
+        .map(|f| Signature::obj(f.arity()))
+        .collect();
     for (f, sig) in program.fns.iter().zip(&sigs) {
         let body = lower_fn(&mut module, program, f);
         module.add_function(&f.name, sig.clone(), body);
@@ -76,7 +80,11 @@ impl LowerCtx<'_> {
         env: &mut HashMap<u32, ValueId>,
     ) {
         match e {
-            Expr::Let { var, val, body: rest } => {
+            Expr::Let {
+                var,
+                val,
+                body: rest,
+            } => {
                 let v = self.lower_value(body, block, val, env);
                 env.insert(*var, v);
                 self.lower_expr(body, block, rest, env);
@@ -237,7 +245,11 @@ mod tests {
         let m = lower_program(&rc);
         if let Err(errs) = verify_module(&m) {
             let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
-            panic!("lowered module does not verify:\n{}\n{}", msgs.join("\n"), print_module(&m));
+            panic!(
+                "lowered module does not verify:\n{}\n{}",
+                msgs.join("\n"),
+                print_module(&m)
+            );
         }
         m
     }

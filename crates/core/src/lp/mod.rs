@@ -5,7 +5,8 @@
 //!
 //! - [`from_lambda`] — the λrc → lp lowering (data constructors, staged
 //!   integer matching, join points, closures, reference counting),
-//! - [`externs`] — declaring the LEAN runtime-call surface in a module.
+//! - [`declare_externs`] — declaring the LEAN runtime-call surface in a
+//!   module.
 
 pub mod from_lambda;
 

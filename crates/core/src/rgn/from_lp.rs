@@ -32,9 +32,7 @@ pub fn lower_body(body: &mut Body) {
             )
         });
         match target {
-            Some(op) if body.ops[op.index()].opcode == Opcode::LpSwitch => {
-                lower_switch(body, op)
-            }
+            Some(op) if body.ops[op.index()].opcode == Opcode::LpSwitch => lower_switch(body, op),
             Some(op) => lower_joinpoint(body, op),
             None => break,
         }
@@ -113,7 +111,11 @@ fn lower_joinpoint(body: &mut Body, op: OpId) {
     let lbl = body.ops[rv.index()].result().unwrap();
     // Splice the (single-block) pre-jump code inline.
     let pre_blocks = body.regions[pre_region.index()].blocks.clone();
-    assert_eq!(pre_blocks.len(), 1, "pre-jump region must be a single block");
+    assert_eq!(
+        pre_blocks.len(),
+        1,
+        "pre-jump region must be a single block"
+    );
     let pre = pre_blocks[0];
     let moved = std::mem::take(&mut body.blocks[pre.index()].ops);
     for &m in &moved {
@@ -141,7 +143,10 @@ fn rewrite_jumps(body: &mut Body, roots: &[OpId], label: Symbol, lbl: lssa_ir::i
             }
         }
         let is_target = body.ops[op.index()].opcode == Opcode::LpJump
-            && body.ops[op.index()].attr(AttrKey::Label).and_then(|a| a.as_sym()) == Some(label);
+            && body.ops[op.index()]
+                .attr(AttrKey::Label)
+                .and_then(|a| a.as_sym())
+                == Some(label);
         if is_target {
             let args = body.ops[op.index()].operands.clone();
             let parent = body.ops[op.index()].parent.expect("detached jump");
@@ -256,8 +261,7 @@ def f(b, y) :=
         let f = m.func_by_name("f").unwrap();
         let body = f.body.as_ref().unwrap();
         let has_run_with_args = body.walk_ops().iter().any(|&op| {
-            body.ops[op.index()].opcode == Opcode::RgnRun
-                && body.ops[op.index()].operands.len() > 1
+            body.ops[op.index()].opcode == Opcode::RgnRun && body.ops[op.index()].operands.len() > 1
         });
         assert!(has_run_with_args, "{text}");
     }
@@ -313,9 +317,7 @@ def len(xs) :=
                     if body.value_type(v) == Type::Rgn {
                         let ok = matches!(
                             (body.ops[op.index()].opcode, i),
-                            (Opcode::Select, 1 | 2)
-                                | (Opcode::SwitchVal, _)
-                                | (Opcode::RgnRun, 0)
+                            (Opcode::Select, 1 | 2) | (Opcode::SwitchVal, _) | (Opcode::RgnRun, 0)
                         );
                         assert!(ok);
                     }

@@ -241,10 +241,7 @@ mod tests {
         let y = mk_region_const(&mut body, entry, 7);
         let rx = body.ops[body.defining_op(x).unwrap().index()].regions[0];
         let ry = body.ops[body.defining_op(y).unwrap().index()].regions[0];
-        assert_eq!(
-            region_fingerprint(&body, rx),
-            region_fingerprint(&body, ry)
-        );
+        assert_eq!(region_fingerprint(&body, rx), region_fingerprint(&body, ry));
         assert!(regions_structurally_equal(&body, rx, ry));
     }
 
@@ -256,10 +253,7 @@ mod tests {
         let y = mk_region_const(&mut body, entry, 8);
         let rx = body.ops[body.defining_op(x).unwrap().index()].regions[0];
         let ry = body.ops[body.defining_op(y).unwrap().index()].regions[0];
-        assert_ne!(
-            region_fingerprint(&body, rx),
-            region_fingerprint(&body, ry)
-        );
+        assert_ne!(region_fingerprint(&body, rx), region_fingerprint(&body, ry));
         assert!(!regions_structurally_equal(&body, rx, ry));
     }
 
@@ -278,14 +272,8 @@ mod tests {
         let r1 = mk(&mut body, params[0]);
         let r2 = mk(&mut body, params[1]);
         let r3 = mk(&mut body, params[0]);
-        assert_ne!(
-            region_fingerprint(&body, r1),
-            region_fingerprint(&body, r2)
-        );
-        assert_eq!(
-            region_fingerprint(&body, r1),
-            region_fingerprint(&body, r3)
-        );
+        assert_ne!(region_fingerprint(&body, r1), region_fingerprint(&body, r2));
+        assert_eq!(region_fingerprint(&body, r1), region_fingerprint(&body, r3));
         assert!(!regions_structurally_equal(&body, r1, r2));
         assert!(regions_structurally_equal(&body, r1, r3));
     }
@@ -351,9 +339,6 @@ mod tests {
         }
         let rx = body.ops[body.defining_op(x).unwrap().index()].regions[0];
         let ry = body.ops[body.defining_op(y).unwrap().index()].regions[0];
-        assert_ne!(
-            region_fingerprint(&body, rx),
-            region_fingerprint(&body, ry)
-        );
+        assert_ne!(region_fingerprint(&body, rx), region_fingerprint(&body, ry));
     }
 }

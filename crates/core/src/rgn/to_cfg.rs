@@ -8,13 +8,13 @@
 //! switch (or select) is compiled to a jump-table. Finally, dead rgn.val
 //! instructions are entirely dropped."
 
+use lssa_ir::attr::AttrKey;
 use lssa_ir::body::{Body, ROOT_REGION};
 use lssa_ir::builder::Builder;
 use lssa_ir::ids::{BlockId, OpId, ValueId};
 use lssa_ir::module::Module;
 use lssa_ir::opcode::Opcode;
 use lssa_ir::pass::{for_each_function, Pass};
-use lssa_ir::attr::AttrKey;
 use lssa_ir::rewrite::erase_trivially_dead;
 use lssa_ir::types::Type;
 use std::collections::HashMap;
@@ -397,7 +397,9 @@ def eval(x, y, z) :=
             .iter()
             .filter(|&&op| {
                 body.ops[op.index()].opcode == Opcode::LpInt
-                    && body.ops[op.index()].attr(AttrKey::Value).and_then(|a| a.as_int())
+                    && body.ops[op.index()]
+                        .attr(AttrKey::Value)
+                        .and_then(|a| a.as_int())
                         == Some(60)
             })
             .count();

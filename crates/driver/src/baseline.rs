@@ -71,7 +71,11 @@ impl Ctx<'_> {
     /// Lowers `e` into `block`, leaving it terminated.
     fn lower_expr(&mut self, body: &mut Body, block: BlockId, e: &Expr) {
         match e {
-            Expr::Let { var, val, body: rest } => {
+            Expr::Let {
+                var,
+                val,
+                body: rest,
+            } => {
                 let v = self.lower_value(body, block, val);
                 self.env.insert(*var, v);
                 self.lower_expr(body, block, rest);

@@ -95,10 +95,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     print!("{}", lssa_ir::printer::print_module(&m));
                 }
                 "cfg" => {
-                    let m = lssa_core::pipeline::compile(
-                        &rc,
-                        lssa_core::PipelineOptions::full(),
-                    );
+                    let m = lssa_core::pipeline::compile(&rc, lssa_core::PipelineOptions::full());
                     print!("{}", lssa_ir::printer::print_module(&m));
                 }
                 other => return Err(format!("unknown stage `{other}`")),
@@ -127,8 +124,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let w = by_name(name, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
             for config in lssa_driver::diff::configs() {
                 let start = std::time::Instant::now();
-                let out =
-                    compile_and_run(&w.src, config, MAX_STEPS).map_err(|e| e.to_string())?;
+                let out = compile_and_run(&w.src, config, MAX_STEPS).map_err(|e| e.to_string())?;
                 let elapsed = start.elapsed();
                 println!(
                     "{:28} {:>12?} {:>14} instrs  result={}",

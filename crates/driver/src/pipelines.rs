@@ -217,7 +217,10 @@ def main() := sum(build(50))
     #[test]
     fn labels_are_informative() {
         assert_eq!(CompilerConfig::leanc().label(), "simplified/leanc");
-        assert_eq!(CompilerConfig::mlir().label(), "simplified/mlir+rgn+generic");
+        assert_eq!(
+            CompilerConfig::mlir().label(),
+            "simplified/mlir+rgn+generic"
+        );
         assert_eq!(CompilerConfig::none().label(), "raw/mlir");
     }
 
@@ -229,10 +232,7 @@ def main() := sum(build(50))
 
     #[test]
     fn wellformedness_errors_reported() {
-        let e = compile(
-            "def f() := g(1)\ndef g(a, b) := a",
-            CompilerConfig::mlir(),
-        );
+        let e = compile("def f() := g(1)\ndef g(a, b) := a", CompilerConfig::mlir());
         // Over/under application of known functions is handled (pap), so
         // this actually compiles; use a genuinely ill-formed program:
         let _ = e;

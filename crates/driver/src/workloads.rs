@@ -48,8 +48,7 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
     all(scale).into_iter().find(|w| w.name == name)
 }
 
-const LCG: &str =
-    "def lcg(s) := (s * 1103515245 + 12345) % 2147483648\n";
+const LCG: &str = "def lcg(s) := (s * 1103515245 + 12345) % 2147483648\n";
 
 /// Purely functional binary tree build/check sweeps.
 pub fn binarytrees(scale: Scale) -> Workload {
@@ -482,8 +481,8 @@ mod tests {
     #[test]
     fn workloads_run_on_reference_interpreter() {
         for w in all(Scale::Test) {
-            let p = lssa_lambda::parse_program(&w.src)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let p =
+                lssa_lambda::parse_program(&w.src).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             lssa_lambda::check_program(&p).unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
             let rc = lssa_lambda::insert_rc(&p);
             let out = lssa_lambda::run_program(&rc, "main", true, MAX_STEPS)

@@ -24,7 +24,11 @@ def main() := len(Cons(1, Cons(2, Cons(3, Nil))))
 fn run_prints_result() {
     let path = write_temp("run", PROGRAM);
     let out = lssa().args(["run"]).arg(&path).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
     std::fs::remove_file(path).ok();
 }
@@ -40,7 +44,11 @@ fn run_all_backends() {
             .output()
             .unwrap();
         assert!(out.status.success(), "{backend}");
-        assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3", "{backend}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
+            "3",
+            "{backend}"
+        );
     }
     std::fs::remove_file(path).ok();
 }

@@ -364,8 +364,8 @@ impl Body {
             if op.dead || op.parent.is_none() {
                 continue;
             }
-            let uses = op.operands.contains(&v)
-                || op.successors.iter().any(|s| s.args.contains(&v));
+            let uses =
+                op.operands.contains(&v) || op.successors.iter().any(|s| s.args.contains(&v));
             if uses {
                 out.push(OpId(i as u32));
             }
@@ -491,11 +491,7 @@ impl Body {
             .iter()
             .map(|v| value_map.get(v).copied().unwrap_or(*v))
             .collect();
-        let result_tys: Vec<Type> = data
-            .results
-            .iter()
-            .map(|&r| self.value_type(r))
-            .collect();
+        let result_tys: Vec<Type> = data.results.iter().map(|&r| self.value_type(r)).collect();
         let new_op = self.create_op(data.opcode, operands, &result_tys, data.attrs.clone());
         for (i, &old_r) in data.results.iter().enumerate() {
             let new_r = self.ops[new_op.index()].results[i];

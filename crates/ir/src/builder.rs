@@ -56,7 +56,12 @@ impl<'a> Builder<'a> {
 
     /// `arith.constant` of the given type.
     pub fn const_i(&mut self, v: i64, ty: Type) -> ValueId {
-        self.push1(Opcode::ConstI, vec![], ty, vec![(AttrKey::Value, Attr::Int(v))])
+        self.push1(
+            Opcode::ConstI,
+            vec![],
+            ty,
+            vec![(AttrKey::Value, Attr::Int(v))],
+        )
     }
 
     /// Boolean constant (`i1`).
@@ -243,7 +248,12 @@ impl<'a> Builder<'a> {
 
     /// `lp.int {value}`.
     pub fn lp_int(&mut self, v: i64) -> ValueId {
-        self.push1(Opcode::LpInt, vec![], Type::Obj, vec![(AttrKey::Value, Attr::Int(v))])
+        self.push1(
+            Opcode::LpInt,
+            vec![],
+            Type::Obj,
+            vec![(AttrKey::Value, Attr::Int(v))],
+        )
     }
 
     /// `lp.bigint {value = "…"}`.
@@ -333,11 +343,7 @@ impl<'a> Builder<'a> {
     /// `lp.joinpoint {label}` terminator. Creates the join-point region (its
     /// entry block gets `jp_arg_tys` arguments) and the body ("pre-jump")
     /// region. Returns `(op, jp-entry, body-entry)`.
-    pub fn lp_joinpoint(
-        &mut self,
-        label: Symbol,
-        jp_arg_tys: &[Type],
-    ) -> (OpId, BlockId, BlockId) {
+    pub fn lp_joinpoint(&mut self, label: Symbol, jp_arg_tys: &[Type]) -> (OpId, BlockId, BlockId) {
         let op = self.push(
             Opcode::LpJoinPoint,
             vec![],
@@ -486,12 +492,7 @@ mod tests {
         let (mut body, params) = Body::new(&[Type::I8, Type::Rgn, Type::Rgn, Type::Rgn]);
         let entry = body.entry_block();
         let mut b = Builder::at_end(&mut body, entry);
-        let v = b.switch_val(
-            params[0],
-            vec![0, 1],
-            vec![params[1], params[2]],
-            params[3],
-        );
+        let v = b.switch_val(params[0], vec![0, 1], vec![params[1], params[2]], params[3]);
         assert_eq!(body.value_type(v), Type::Rgn);
         let op = body.defining_op(v).unwrap();
         assert_eq!(body.ops[op.index()].operands.len(), 4);

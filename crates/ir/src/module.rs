@@ -85,7 +85,10 @@ impl Module {
     pub fn declare_extern(&mut self, name: &str, sig: Signature) -> Symbol {
         let sym = self.intern(name);
         if let Some(&i) = self.func_index.get(&sym) {
-            assert_eq!(self.funcs[i].sig, sig, "conflicting redeclaration of @{name}");
+            assert_eq!(
+                self.funcs[i].sig, sig,
+                "conflicting redeclaration of @{name}"
+            );
             return sym;
         }
         self.func_index.insert(sym, self.funcs.len());

@@ -259,9 +259,7 @@ impl Opcode {
             | Opcode::LpProject
             | Opcode::LpInt
             | Opcode::RgnVal => Purity::Pure,
-            Opcode::LpBigInt | Opcode::LpStr | Opcode::LpConstruct | Opcode::LpPap => {
-                Purity::Alloc
-            }
+            Opcode::LpBigInt | Opcode::LpStr | Opcode::LpConstruct | Opcode::LpPap => Purity::Alloc,
             Opcode::Call
             | Opcode::LpPapExtend
             | Opcode::LpInc

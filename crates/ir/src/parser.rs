@@ -370,8 +370,7 @@ impl<'a> Parser<'a> {
             Tok::TypeLit(s) => s,
             other => return Err(self.err(format!("expected type, found {other:?}"))),
         };
-        s.parse::<Type>()
-            .map_err(|e| self.err(e.to_string()))
+        s.parse::<Type>().map_err(|e| self.err(e.to_string()))
     }
 
     fn parse_percent(&mut self) -> Result<u32, ParseError> {
@@ -606,9 +605,7 @@ impl<'a> Parser<'a> {
                 loop {
                     let label = match self.advance()? {
                         Tok::Caret(n) => n,
-                        other => {
-                            return Err(self.err(format!("expected ^block, found {other:?}")))
-                        }
+                        other => return Err(self.err(format!("expected ^block, found {other:?}"))),
                     };
                     let mut args = Vec::new();
                     if self.eat(&Tok::LParen)? {
@@ -688,9 +685,7 @@ impl<'a> Parser<'a> {
                         match self.advance()? {
                             Tok::Int(v) => vs.push(v),
                             other => {
-                                return Err(
-                                    self.err(format!("expected integer, found {other:?}"))
-                                )
+                                return Err(self.err(format!("expected integer, found {other:?}")))
                             }
                         }
                         if !self.eat(&Tok::Comma)? {
@@ -791,7 +786,11 @@ impl Binder<'_> {
                     .map(|(k, a)| (*k, self.bind_attr(a)))
                     .collect();
                 let op = body.create_op(pop.opcode, Vec::new(), &result_tys, attrs);
-                for (&n, &r) in pop.results.iter().zip(&body.ops[op.index()].results.to_vec()) {
+                for (&n, &r) in pop
+                    .results
+                    .iter()
+                    .zip(&body.ops[op.index()].results.to_vec())
+                {
                     self.values.insert(n, r);
                 }
                 ids.push(op);
@@ -875,8 +874,8 @@ mod tests {
     fn round_trip(src: &str) {
         let m = parse_module(src).expect("first parse");
         let printed = print_module(&m);
-        let m2 = parse_module(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let m2 =
+            parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         let printed2 = print_module(&m2);
         assert_eq!(printed, printed2, "printer not canonical");
     }

@@ -20,7 +20,10 @@ pub trait Pass {
 
 /// Runs `f` on every function body, with the module visible (minus the body
 /// being transformed). Returns whether any function changed.
-pub fn for_each_function(module: &mut Module, mut f: impl FnMut(&Module, &mut Body) -> bool) -> bool {
+pub fn for_each_function(
+    module: &mut Module,
+    mut f: impl FnMut(&Module, &mut Body) -> bool,
+) -> bool {
     let mut changed = false;
     for i in 0..module.funcs.len() {
         let Some(mut body) = module.funcs[i].body.take() else {
@@ -42,7 +45,10 @@ pub struct PassManager {
 impl std::fmt::Debug for PassManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PassManager")
-            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
             .field("verify_each", &self.verify_each)
             .finish()
     }

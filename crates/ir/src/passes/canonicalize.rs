@@ -448,15 +448,20 @@ impl RewritePattern for FoldSwitchBr {
 mod tests {
     use super::*;
     use crate::attr::CmpPred;
-    use crate::builder::Builder;
     use crate::body::ROOT_REGION;
+    use crate::builder::Builder;
     use crate::types::Signature;
 
     fn canonicalized(body: Body) -> Body {
         let mut m = Module::new();
         m.add_function("f", Signature::new(vec![], Type::I64), body);
         // Note: not verifying here (tests build partial functions freely).
-        let mut body = m.func_mut(m.interner.get("f").unwrap()).unwrap().body.take().unwrap();
+        let mut body = m
+            .func_mut(m.interner.get("f").unwrap())
+            .unwrap()
+            .body
+            .take()
+            .unwrap();
         let patterns = canonicalization_patterns();
         let ctx = RewriteCtx { module: &m };
         apply_patterns_greedily(&mut body, &ctx, &patterns);
@@ -594,7 +599,12 @@ mod tests {
         let bd = body.new_block(ROOT_REGION, &[]);
         let mut b = Builder::at_end(&mut body, entry);
         let c = b.const_i(1, Type::I8);
-        b.switch_br(c, vec![0, 1], vec![(b0, vec![]), (b1, vec![])], (bd, vec![]));
+        b.switch_br(
+            c,
+            vec![0, 1],
+            vec![(b0, vec![]), (b1, vec![])],
+            (bd, vec![]),
+        );
         for blk in [b0, b1, bd] {
             let mut bb = Builder::at_end(&mut body, blk);
             let v = bb.const_i(0, Type::I64);

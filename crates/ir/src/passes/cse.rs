@@ -102,9 +102,9 @@ fn cse_region(body: &mut Body, region: RegionId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attr::CmpPred;
     use crate::body::ROOT_REGION;
     use crate::builder::Builder;
-    use crate::attr::CmpPred;
 
     #[test]
     fn duplicate_constants_merge() {

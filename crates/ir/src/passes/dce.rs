@@ -84,7 +84,12 @@ mod tests {
         let opcodes: Vec<Opcode> = ops.iter().map(|o| body.ops[o.index()].opcode).collect();
         assert_eq!(
             opcodes,
-            vec![Opcode::RgnVal, Opcode::LpInt, Opcode::LpReturn, Opcode::RgnRun]
+            vec![
+                Opcode::RgnVal,
+                Opcode::LpInt,
+                Opcode::LpReturn,
+                Opcode::RgnRun
+            ]
         );
     }
 

@@ -165,8 +165,8 @@ pub fn inline_module(module: &mut Module, max_callee_ops: usize) -> bool {
 mod tests {
     use super::*;
     use crate::builder::Builder;
-    use crate::types::{Signature, Type};
     use crate::ids::Symbol;
+    use crate::types::{Signature, Type};
 
     fn make_square(m: &mut Module) -> Symbol {
         let (mut body, params) = Body::new(&[Type::I64]);

@@ -108,7 +108,9 @@ pub fn merge_straightline_blocks(body: &mut Body) -> bool {
                 let succ = body.ops[term.index()].successors[0].block;
                 // Never merge the region entry (it has an implicit
                 // predecessor: the region's own entry edge).
-                if succ == pred || succ == blocks[0] || pred_edges.get(&succ).copied().unwrap_or(0) != 1
+                if succ == pred
+                    || succ == blocks[0]
+                    || pred_edges.get(&succ).copied().unwrap_or(0) != 1
                 {
                     continue;
                 }
@@ -138,8 +140,8 @@ pub fn merge_straightline_blocks(body: &mut Body) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::Builder;
     use crate::body::ROOT_REGION;
+    use crate::builder::Builder;
     use crate::types::Type;
 
     #[test]

@@ -21,10 +21,10 @@
 //! Values and blocks are renumbered densely in definition order, so printing
 //! is canonical: `print(parse(print(m))) == print(m)`.
 
+use crate::attr::Attr;
 use crate::body::{Body, ValueDef};
 use crate::ids::{BlockId, OpId, RegionId, ValueId};
 use crate::module::{Function, Module};
-use crate::attr::Attr;
 use std::collections::HashMap;
 use std::fmt::Write;
 
@@ -173,12 +173,7 @@ impl<'a> FuncPrinter<'a> {
                         if j > 0 {
                             out.push_str(", ");
                         }
-                        let _ = write!(
-                            out,
-                            "{}: {}",
-                            self.value_name(a),
-                            self.body.value_type(a)
-                        );
+                        let _ = write!(out, "{}: {}", self.value_name(a), self.body.value_type(a));
                     }
                     out.push(')');
                 }
@@ -330,7 +325,10 @@ mod tests {
         m.add_function("inc", Signature::new(vec![Type::I64], Type::I64), body);
         let text = print_module(&m);
         assert!(text.contains("func @inc(%0: i64) -> i64 {"), "{text}");
-        assert!(text.contains("%1 = arith.constant {value = 1} : i64"), "{text}");
+        assert!(
+            text.contains("%1 = arith.constant {value = 1} : i64"),
+            "{text}"
+        );
         assert!(text.contains("%2 = arith.addi(%0, %1) : i64"), "{text}");
         assert!(text.contains("func.return(%2)"), "{text}");
     }
@@ -377,10 +375,7 @@ mod tests {
         be.ret(else_arg);
         m.add_function("g", Signature::new(vec![Type::I1], Type::I64), body);
         let text = print_module(&m);
-        assert!(
-            text.contains("cf.cond_br(%0) [^bb1, ^bb2(%1)]"),
-            "{text}"
-        );
+        assert!(text.contains("cf.cond_br(%0) [^bb1, ^bb2(%1)]"), "{text}");
         assert!(text.contains("^bb2(%3: i64):"), "{text}");
     }
 

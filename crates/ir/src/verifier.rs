@@ -121,10 +121,7 @@ impl Verifier<'_> {
             let data = &self.body.ops[op.index()];
             for &v in &data.operands {
                 if !dom.value_dominates_op(self.body, v, op) {
-                    self.error(
-                        Some(op),
-                        format!("operand {v} does not dominate its use"),
-                    );
+                    self.error(Some(op), format!("operand {v} does not dominate its use"));
                 }
             }
             for s in &data.successors {
@@ -163,10 +160,7 @@ impl Verifier<'_> {
             }
             for &op in &ops[..ops.len() - 1] {
                 if self.body.ops[op.index()].opcode.is_terminator() {
-                    self.error(
-                        Some(op),
-                        format!("terminator in the middle of block {b}"),
-                    );
+                    self.error(Some(op), format!("terminator in the middle of block {b}"));
                 }
             }
             for &op in &ops {
@@ -286,10 +280,8 @@ impl Verifier<'_> {
                 self.check(op, has_val, "constant needs an integer `value` attribute");
             }
             AddI | SubI | MulI | DivI | RemI | AndI | OrI | XorI => {
-                let ok = tys.len() == 2
-                    && tys[0] == tys[1]
-                    && tys[0].is_int()
-                    && res == Some(tys[0]);
+                let ok =
+                    tys.len() == 2 && tys[0] == tys[1] && tys[0].is_int() && res == Some(tys[0]);
                 self.check(op, ok, "binary arith op needs two equal integer operands");
             }
             CmpI => {
@@ -305,7 +297,11 @@ impl Verifier<'_> {
             Select => {
                 let ok = tys.len() == 3 && tys[0] == Type::I1 && tys[1] == tys[2];
                 self.check(op, ok, "select needs (i1, T, T) operands");
-                self.check(op, res == tys.get(1).copied(), "select result type mismatch");
+                self.check(
+                    op,
+                    res == tys.get(1).copied(),
+                    "select result type mismatch",
+                );
             }
             SwitchVal => {
                 let cases = self.body.ops[op.index()]
@@ -313,7 +309,9 @@ impl Verifier<'_> {
                     .and_then(|a| a.as_int_list())
                     .map(|c| c.len());
                 match cases {
-                    None => self.error(Some(op), "switch_val needs a `cases` attribute".to_string()),
+                    None => {
+                        self.error(Some(op), "switch_val needs a `cases` attribute".to_string())
+                    }
                     Some(n) => {
                         let ok = tys.len() == n + 2 && tys[0].is_int();
                         self.check(
@@ -337,7 +335,10 @@ impl Verifier<'_> {
                 let ok = tys.len() == 1 && tys[0].is_int() && matches!(res, Some(t) if t.is_int());
                 self.check(op, ok, "integer cast needs one integer operand");
                 if ok {
-                    let (from, to) = (tys[0].bit_width().unwrap(), res.unwrap().bit_width().unwrap());
+                    let (from, to) = (
+                        tys[0].bit_width().unwrap(),
+                        res.unwrap().bit_width().unwrap(),
+                    );
                     match opcode {
                         ExtUI => self.check(op, to > from, "extui must widen"),
                         TruncI => self.check(op, to < from, "trunci must narrow"),
@@ -489,24 +490,22 @@ impl Verifier<'_> {
                     );
                 }
             }
-            LpJump => {
-                match self.enclosing_joinpoint(op) {
-                    Some(jp) => {
-                        let jp_region = self.body.ops[jp.index()].regions[0];
-                        let jp_entry = self.body.regions[jp_region.index()].blocks[0];
-                        let expected = self.body.blocks[jp_entry.index()].args.len();
-                        self.check(
-                            op,
-                            tys.len() == expected,
-                            "lp.jump argument count must match the join point",
-                        );
-                    }
-                    None => self.error(
-                        Some(op),
-                        "lp.jump label does not name an enclosing join point".to_string(),
-                    ),
+            LpJump => match self.enclosing_joinpoint(op) {
+                Some(jp) => {
+                    let jp_region = self.body.ops[jp.index()].regions[0];
+                    let jp_entry = self.body.regions[jp_region.index()].blocks[0];
+                    let expected = self.body.blocks[jp_entry.index()].args.len();
+                    self.check(
+                        op,
+                        tys.len() == expected,
+                        "lp.jump argument count must match the join point",
+                    );
                 }
-            }
+                None => self.error(
+                    Some(op),
+                    "lp.jump label does not name an enclosing join point".to_string(),
+                ),
+            },
             LpSwitch => {
                 let ok = tys.len() == 1 && tys[0].is_int();
                 self.check(op, ok, "lp.switch scrutinee must be an integer");
@@ -608,7 +607,10 @@ impl Verifier<'_> {
             );
         }
         if self.body.ops[op.index()].opcode == Opcode::Call && res != Some(sig.ret) {
-            self.error(Some(op), "call result type must match the callee".to_string());
+            self.error(
+                Some(op),
+                "call result type must match the callee".to_string(),
+            );
         }
     }
 
@@ -649,9 +651,7 @@ impl Verifier<'_> {
                 if !allowed {
                     self.error(
                         Some(op),
-                        format!(
-                            "region value {v} may only be used by select/switch_val/rgn.run"
-                        ),
+                        format!("region value {v} may only be used by select/switch_val/rgn.run"),
                     );
                 }
             }
@@ -719,7 +719,10 @@ mod tests {
             m.add_function("f", Signature::new(vec![], Type::I64), body);
         });
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("terminator")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("terminator")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -757,7 +760,10 @@ mod tests {
             m.add_function("f", Signature::new(vec![], Type::I64), body);
         });
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("dominate")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("dominate")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -29,7 +29,12 @@ fn op_kind() -> impl Strategy<Value = OpKind> {
         (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpKind::And(a, b)),
         (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpKind::Or(a, b)),
         (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpKind::Xor(a, b)),
-        (any::<usize>(), any::<usize>(), any::<usize>(), any::<usize>())
+        (
+            any::<usize>(),
+            any::<usize>(),
+            any::<usize>(),
+            any::<usize>()
+        )
             .prop_map(|(c, a, b, d)| OpKind::CmpSelect(c, a, b, d)),
     ]
 }
@@ -114,7 +119,11 @@ fn run(module: &Module, a: i64, b: i64) -> i64 {
     ops.insert(0, c1);
     body.replace_all_uses(params[0], ca);
     body.replace_all_uses(params[1], cb);
-    m2.add_function("f", Signature::new(vec![Type::I64, Type::I64], Type::I64), body);
+    m2.add_function(
+        "f",
+        Signature::new(vec![Type::I64, Type::I64], Type::I64),
+        body,
+    );
     // Evaluate by running canonicalization to a constant — the pure
     // straight-line function must fold completely.
     lssa_ir::passes::CanonicalizePass::new().run(&mut m2);

@@ -342,9 +342,7 @@ impl Expr {
                         body: a.body.rename_rec(map, bound),
                     })
                     .collect(),
-                default: default
-                    .as_ref()
-                    .map(|d| Box::new(d.rename_rec(map, bound))),
+                default: default.as_ref().map(|d| Box::new(d.rename_rec(map, bound))),
             },
             Expr::Jump { label, args } => Expr::Jump {
                 label: *label,
@@ -395,29 +393,24 @@ impl AlphaCtx {
 
 fn value_alpha_eq(a: &Value, b: &Value, ctx: &AlphaCtx) -> bool {
     let veq = |x: &VarId, y: &VarId| ctx.var_eq(*x, *y);
-    let args_eq =
-        |xs: &[VarId], ys: &[VarId]| xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| veq(x, y));
+    let args_eq = |xs: &[VarId], ys: &[VarId]| {
+        xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| veq(x, y))
+    };
     match (a, b) {
         (Value::Var(x), Value::Var(y)) => veq(x, y),
         (Value::LitInt(x), Value::LitInt(y)) => x == y,
         (Value::LitBig(x), Value::LitBig(y)) => x == y,
         (Value::LitStr(x), Value::LitStr(y)) => x == y,
-        (
-            Value::Ctor { tag: t1, args: a1 },
-            Value::Ctor { tag: t2, args: a2 },
-        ) => t1 == t2 && args_eq(a1, a2),
-        (
-            Value::Proj { var: v1, idx: i1 },
-            Value::Proj { var: v2, idx: i2 },
-        ) => veq(v1, v2) && i1 == i2,
-        (
-            Value::Call { func: f1, args: a1 },
-            Value::Call { func: f2, args: a2 },
-        )
-        | (
-            Value::Pap { func: f1, args: a1 },
-            Value::Pap { func: f2, args: a2 },
-        ) => f1 == f2 && args_eq(a1, a2),
+        (Value::Ctor { tag: t1, args: a1 }, Value::Ctor { tag: t2, args: a2 }) => {
+            t1 == t2 && args_eq(a1, a2)
+        }
+        (Value::Proj { var: v1, idx: i1 }, Value::Proj { var: v2, idx: i2 }) => {
+            veq(v1, v2) && i1 == i2
+        }
+        (Value::Call { func: f1, args: a1 }, Value::Call { func: f2, args: a2 })
+        | (Value::Pap { func: f1, args: a1 }, Value::Pap { func: f2, args: a2 }) => {
+            f1 == f2 && args_eq(a1, a2)
+        }
         (
             Value::App {
                 closure: c1,
@@ -512,9 +505,10 @@ fn alpha_eq_rec(a: &Expr, b: &Expr, ctx: &mut AlphaCtx) -> bool {
         ) => {
             ctx.var_eq(*s1, *s2)
                 && a1.len() == a2.len()
-                && a1.iter().zip(a2).all(|(x, y)| {
-                    x.tag == y.tag && alpha_eq_rec(&x.body, &y.body, ctx)
-                })
+                && a1
+                    .iter()
+                    .zip(a2)
+                    .all(|(x, y)| x.tag == y.tag && alpha_eq_rec(&x.body, &y.body, ctx))
                 && match (d1, d2) {
                     (None, None) => true,
                     (Some(x), Some(y)) => alpha_eq_rec(x, y, ctx),
@@ -548,10 +542,9 @@ fn alpha_eq_rec(a: &Expr, b: &Expr, ctx: &mut AlphaCtx) -> bool {
                 body: b2,
             },
         ) => ctx.var_eq(*v1, *v2) && n1 == n2 && alpha_eq_rec(b1, b2, ctx),
-        (
-            Expr::Dec { var: v1, body: b1 },
-            Expr::Dec { var: v2, body: b2 },
-        ) => ctx.var_eq(*v1, *v2) && alpha_eq_rec(b1, b2, ctx),
+        (Expr::Dec { var: v1, body: b1 }, Expr::Dec { var: v2, body: b2 }) => {
+            ctx.var_eq(*v1, *v2) && alpha_eq_rec(b1, b2, ctx)
+        }
         _ => false,
     }
 }
@@ -840,7 +833,11 @@ mod tests {
     #[test]
     fn value_droppable_classification() {
         assert!(Value::LitInt(3).is_droppable());
-        assert!(Value::Ctor { tag: 0, args: vec![] }.is_droppable());
+        assert!(Value::Ctor {
+            tag: 0,
+            args: vec![]
+        }
+        .is_droppable());
         assert!(!Value::Call {
             func: "f".into(),
             args: vec![]

@@ -122,7 +122,11 @@ impl<'p> Interp<'p> {
     /// Tail calls (`let x = call f(…); [inc/dec…;] ret x`) are executed with
     /// a trampoline — LEAN guarantees tail-call elimination (§III-E), so the
     /// oracle must too.
-    pub fn call_fn(&mut self, mut idx: usize, mut args: Vec<ObjRef>) -> Result<ObjRef, InterpError> {
+    pub fn call_fn(
+        &mut self,
+        mut idx: usize,
+        mut args: Vec<ObjRef>,
+    ) -> Result<ObjRef, InterpError> {
         loop {
             self.spend(1)?;
             let f = &self.program.fns[idx];
@@ -173,10 +177,8 @@ impl<'p> Interp<'p> {
                     if let Value::Call { func, args } = val {
                         if !func.starts_with("lean_") {
                             if let Some(rc_ops) = tail_continuation(body, *var) {
-                                let callee = *self
-                                    .fn_index
-                                    .get(func.as_str())
-                                    .ok_or_else(|| {
+                                let callee =
+                                    *self.fn_index.get(func.as_str()).ok_or_else(|| {
                                         err(format!("call to unknown function @{func}"))
                                     })?;
                                 let call_args = self.owned_args(env, args)?;

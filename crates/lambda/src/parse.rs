@@ -61,7 +61,17 @@ enum Tok {
 }
 
 const KEYWORDS: &[&str] = &[
-    "inductive", "def", "let", "case", "of", "end", "if", "then", "else", "true", "false",
+    "inductive",
+    "def",
+    "let",
+    "case",
+    "of",
+    "end",
+    "if",
+    "then",
+    "else",
+    "true",
+    "false",
 ];
 
 struct Lexer<'a> {
@@ -336,7 +346,9 @@ impl<'a> Parser<'a> {
                     self.advance()?;
                     let _name = match self.advance()? {
                         Tok::UpperIdent(s) => s,
-                        other => return Err(self.err(format!("expected type name, found {other:?}"))),
+                        other => {
+                            return Err(self.err(format!("expected type name, found {other:?}")))
+                        }
                     };
                     self.expect_punct(":=")?;
                     let mut tag = 0u32;
@@ -464,9 +476,9 @@ impl<'a> Parser<'a> {
                             Tok::LowerIdent(s) => binders.push(s),
                             Tok::Punct("_") => binders.push("_".into()),
                             other => {
-                                return Err(self.err(format!(
-                                    "expected field binder, found {other:?}"
-                                )))
+                                return Err(
+                                    self.err(format!("expected field binder, found {other:?}"))
+                                )
                             }
                         }
                         if !self.eat_punct(",")? {
@@ -612,7 +624,10 @@ enum Kont<'k> {
 }
 
 impl<'a> Lowerer<'a> {
-    fn new(ctors: &'a HashMap<String, CtorInfo>, arities: &'a HashMap<String, usize>) -> Lowerer<'a> {
+    fn new(
+        ctors: &'a HashMap<String, CtorInfo>,
+        arities: &'a HashMap<String, usize>,
+    ) -> Lowerer<'a> {
         Lowerer {
             ctors,
             arities,
@@ -836,10 +851,8 @@ impl<'a> Lowerer<'a> {
                                 let first: Vec<VarId> = arg_vars[..arity].to_vec();
                                 let rest: Vec<VarId> = arg_vars[arity..].to_vec();
                                 let clos = this.fresh();
-                                let inner = this.bind_value_into(
-                                    clos,
-                                    Value::Call { func, args: first },
-                                );
+                                let inner =
+                                    this.bind_value_into(clos, Value::Call { func, args: first });
                                 let app = Value::App {
                                     closure: clos,
                                     args: rest,
@@ -854,28 +867,34 @@ impl<'a> Lowerer<'a> {
                     // Closure application.
                     let head = (**head).clone();
                     let args_cloned = args.clone();
-                    self.lower(&head, Kont::Then(Box::new(move |this, clos| {
-                        this.lower_args(&args_cloned, move |this, arg_vars| {
-                            this.bind_value(
-                                Value::App {
-                                    closure: clos,
-                                    args: arg_vars,
-                                },
-                                k,
-                            )
-                        })
-                    })))
+                    self.lower(
+                        &head,
+                        Kont::Then(Box::new(move |this, clos| {
+                            this.lower_args(&args_cloned, move |this, arg_vars| {
+                                this.bind_value(
+                                    Value::App {
+                                        closure: clos,
+                                        args: arg_vars,
+                                    },
+                                    k,
+                                )
+                            })
+                        })),
+                    )
                 }
             },
             SExpr::Let(name, rhs, body) => {
                 let name = name.clone();
                 let body = (**body).clone();
-                self.lower(rhs, Kont::Then(Box::new(move |this, v| {
-                    this.scope.push((name, v));
-                    let out = this.lower(&body, k);
-                    this.scope.pop();
-                    out
-                })))
+                self.lower(
+                    rhs,
+                    Kont::Then(Box::new(move |this, v| {
+                        this.scope.push((name, v));
+                        let out = this.lower(&body, k);
+                        this.scope.pop();
+                        out
+                    })),
+                )
             }
             SExpr::If(c, t, e) => {
                 let case = SExpr::Case(
@@ -894,9 +913,10 @@ impl<'a> Lowerer<'a> {
                     return self.lower(&desugared, k);
                 }
                 let arms = arms.clone();
-                self.lower(scrut, Kont::Then(Box::new(move |this, sv| {
-                    this.lower_ctor_case(sv, &arms, k)
-                })))
+                self.lower(
+                    scrut,
+                    Kont::Then(Box::new(move |this, sv| this.lower_ctor_case(sv, &arms, k))),
+                )
             }
         }
     }
@@ -921,15 +941,10 @@ impl<'a> Lowerer<'a> {
                 }
             }
         }
-        let mut out = default.ok_or_else(|| {
-            self.err("integer case needs a `_` default arm".to_string())
-        })?;
+        let mut out =
+            default.ok_or_else(|| self.err("integer case needs a `_` default arm".to_string()))?;
         for (digits, body) in int_arms.into_iter().rev() {
-            let cmp = SExpr::Binop(
-                "==",
-                Box::new(scrut.clone()),
-                Box::new(SExpr::Int(digits)),
-            );
+            let cmp = SExpr::Binop("==", Box::new(scrut.clone()), Box::new(SExpr::Int(digits)));
             out = SExpr::If(Box::new(cmp), Box::new(body), Box::new(out));
         }
         Ok(out)
@@ -975,8 +990,7 @@ impl<'a> Lowerer<'a> {
                 params.push(pvar);
                 let jp_body = jp_body.rename_free(&rename);
                 let captured = fv;
-                let (alts, default) =
-                    self.lower_arms(sv, arms, Some((label, captured)))?;
+                let (alts, default) = self.lower_arms(sv, arms, Some((label, captured)))?;
                 Ok(Expr::LetJoin {
                     label,
                     params,
@@ -1091,10 +1105,13 @@ impl<'a> Lowerer<'a> {
             None => f(self, acc),
             Some((first, tail)) => {
                 let tail = tail.to_vec();
-                self.lower(first, Kont::Then(Box::new(move |this, v| {
-                    acc.push(v);
-                    this.lower_args_acc(&tail, acc, f)
-                })))
+                self.lower(
+                    first,
+                    Kont::Then(Box::new(move |this, v| {
+                        acc.push(v);
+                        this.lower_args_acc(&tail, acc, f)
+                    })),
+                )
             }
         }
     }

@@ -151,10 +151,7 @@ fn transform(e: &Expr, owned: &mut BTreeSet<VarId>) -> Expr {
                 .map(|alt| {
                     let mut arm_owned = owned.clone();
                     let body = shed_then_transform(&alt.body, &mut arm_owned);
-                    Alt {
-                        tag: alt.tag,
-                        body,
-                    }
+                    Alt { tag: alt.tag, body }
                 })
                 .collect();
             let default = default.as_ref().map(|d| {

@@ -311,10 +311,8 @@ impl Ctx {
                     }
                     // Arms identical to the default are redundant.
                     if let Some(d) = &default {
-                        let alts: Vec<Alt> = alts
-                            .into_iter()
-                            .filter(|a| !a.body.alpha_eq(d))
-                            .collect();
+                        let alts: Vec<Alt> =
+                            alts.into_iter().filter(|a| !a.body.alpha_eq(d)).collect();
                         return Expr::Case {
                             scrutinee: s,
                             alts,
@@ -350,7 +348,9 @@ fn count_jumps(e: &Expr, label: JoinId) -> usize {
             count_jumps(jp_body, label) + count_jumps(body, label)
         }
         Expr::Case { alts, default, .. } => {
-            alts.iter().map(|a| count_jumps(&a.body, label)).sum::<usize>()
+            alts.iter()
+                .map(|a| count_jumps(&a.body, label))
+                .sum::<usize>()
                 + default.as_ref().map(|d| count_jumps(d, label)).unwrap_or(0)
         }
         Expr::Ret(_) => 0,
@@ -573,7 +573,11 @@ def main() :=
 "#;
         let p = parse_program(src).unwrap();
         let s = simplify_program(&p, SimplifyOptions::all());
-        assert!(s.fns[0].body.to_string().contains("10"), "{}", s.fns[0].body);
+        assert!(
+            s.fns[0].body.to_string().contains("10"),
+            "{}",
+            s.fns[0].body
+        );
     }
 
     #[test]
@@ -610,7 +614,10 @@ def main() :=
         let p = parse_program(src).unwrap();
         let s = simplify_program(&p, SimplifyOptions::all());
         assert!(
-            s.fns[0].body.to_string().contains("big(100000000000000000000)"),
+            s.fns[0]
+                .body
+                .to_string()
+                .contains("big(100000000000000000000)"),
             "{}",
             s.fns[0].body
         );

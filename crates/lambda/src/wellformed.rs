@@ -150,24 +150,17 @@ impl Checker<'_> {
                 )),
                 None => self.error(format!("pap of unknown function @{func}")),
             },
-            Value::App { args, .. }
-                if args.is_empty() => {
-                    self.error("closure application with no arguments".to_string());
-                }
-            Value::LitBig(s)
-                if (s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit())) => {
-                    self.error(format!("malformed bigint literal {s:?}"));
-                }
+            Value::App { args, .. } if args.is_empty() => {
+                self.error("closure application with no arguments".to_string());
+            }
+            Value::LitBig(s) if (s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit())) => {
+                self.error(format!("malformed bigint literal {s:?}"));
+            }
             _ => {}
         }
     }
 
-    fn check_expr(
-        &mut self,
-        e: &Expr,
-        scope: &HashSet<VarId>,
-        joins: &HashMap<u32, usize>,
-    ) {
+    fn check_expr(&mut self, e: &Expr, scope: &HashSet<VarId>, joins: &HashMap<u32, usize>) {
         match e {
             Expr::Let { var, val, body } => {
                 self.check_value(val, scope);
@@ -285,14 +278,12 @@ def length(xs) :=
 
     #[test]
     fn double_binding_rejected() {
-        let body = let_(
-            1,
-            Value::LitInt(1),
-            let_(1, Value::LitInt(2), ret(1)),
-        );
+        let body = let_(1, Value::LitInt(1), let_(1, Value::LitInt(2), ret(1)));
         let p = single_fn(body, vec![0], 10);
         let errs = check_program(&p).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("bound more than once")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("bound more than once")));
     }
 
     #[test]
@@ -378,7 +369,9 @@ def length(xs) :=
         let body = case(0, vec![(0, ret(0)), (0, ret(0))], None);
         let p = single_fn(body, vec![0], 10);
         let errs = check_program(&p).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("duplicate case tag")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("duplicate case tag")));
     }
 
     #[test]
@@ -397,7 +390,10 @@ def length(xs) :=
         );
         // f has arity 1; pap with 1 arg is not under-applying.
         let errs = check_program(&p).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("under-apply")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("under-apply")),
+            "{errs:?}"
+        );
         // With arity 2 it is fine.
         p.fns[0].params = vec![0, 9];
         p.fns[0].body = let_(

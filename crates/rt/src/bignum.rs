@@ -236,10 +236,7 @@ impl Nat {
         let mut out = Vec::with_capacity(rest.len());
         for i in 0..rest.len() {
             let lo = rest[i] >> bit_shift;
-            let hi = rest
-                .get(i + 1)
-                .map(|&l| l << (64 - bit_shift))
-                .unwrap_or(0);
+            let hi = rest.get(i + 1).map(|&l| l << (64 - bit_shift)).unwrap_or(0);
             out.push(lo | hi);
         }
         Nat::from_limbs(out)
@@ -297,8 +294,7 @@ impl Nat {
             let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
             let mut qhat = num / v_top as u128;
             let mut rhat = num % v_top as u128;
-            while qhat >> 64 != 0
-                || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            while qhat >> 64 != 0 || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
             {
                 qhat -= 1;
                 rhat += v_top as u128;
@@ -727,9 +723,18 @@ mod tests {
     fn div_rem_identity_fuzz_like() {
         // Deterministic pseudo-random-ish cases hitting the add-back branch region.
         let cases = [
-            ("1000000000000000000000000000000000000000", "99999999999999999999"),
-            ("340282366920938463463374607431768211455", "18446744073709551615"),
-            ("57896044618658097711785492504343953926634992332820282019728792003956564819968", "340282366920938463463374607431768211456"),
+            (
+                "1000000000000000000000000000000000000000",
+                "99999999999999999999",
+            ),
+            (
+                "340282366920938463463374607431768211455",
+                "18446744073709551615",
+            ),
+            (
+                "57896044618658097711785492504343953926634992332820282019728792003956564819968",
+                "340282366920938463463374607431768211456",
+            ),
         ];
         for (sa, sb) in cases {
             let a = nat(sa);
@@ -767,10 +772,7 @@ mod tests {
 
     #[test]
     fn gcd_basic() {
-        assert_eq!(
-            Nat::from_u64(48).gcd(&Nat::from_u64(36)),
-            Nat::from_u64(12)
-        );
+        assert_eq!(Nat::from_u64(48).gcd(&Nat::from_u64(36)), Nat::from_u64(12));
         assert_eq!(Nat::from_u64(7).gcd(&Nat::zero()), Nat::from_u64(7));
     }
 
@@ -842,7 +844,12 @@ mod tests {
 
     #[test]
     fn int_parse_display() {
-        for s in ["0", "-1", "12345678901234567890123", "-98765432109876543210"] {
+        for s in [
+            "0",
+            "-1",
+            "12345678901234567890123",
+            "-98765432109876543210",
+        ] {
             assert_eq!(Int::from_str_decimal(s).unwrap().to_string(), s);
         }
     }

@@ -375,7 +375,11 @@ mod tests {
     #[test]
     fn nat_add_scalars() {
         let mut h = Heap::new();
-        let r = call(&mut h, Builtin::NatAdd, &[ObjRef::scalar(2), ObjRef::scalar(3)]);
+        let r = call(
+            &mut h,
+            Builtin::NatAdd,
+            &[ObjRef::scalar(2), ObjRef::scalar(3)],
+        );
         assert_eq!(r.as_scalar(), Some(5));
         assert_eq!(h.stats().live, 0);
     }
@@ -398,16 +402,28 @@ mod tests {
     #[test]
     fn nat_sub_truncates() {
         let mut h = Heap::new();
-        let r = call(&mut h, Builtin::NatSub, &[ObjRef::scalar(3), ObjRef::scalar(10)]);
+        let r = call(
+            &mut h,
+            Builtin::NatSub,
+            &[ObjRef::scalar(3), ObjRef::scalar(10)],
+        );
         assert_eq!(r.as_scalar(), Some(0));
     }
 
     #[test]
     fn nat_div_mod_zero() {
         let mut h = Heap::new();
-        let d = call(&mut h, Builtin::NatDiv, &[ObjRef::scalar(7), ObjRef::scalar(0)]);
+        let d = call(
+            &mut h,
+            Builtin::NatDiv,
+            &[ObjRef::scalar(7), ObjRef::scalar(0)],
+        );
         assert_eq!(d.as_scalar(), Some(0));
-        let m = call(&mut h, Builtin::NatMod, &[ObjRef::scalar(7), ObjRef::scalar(0)]);
+        let m = call(
+            &mut h,
+            Builtin::NatMod,
+            &[ObjRef::scalar(7), ObjRef::scalar(0)],
+        );
         assert_eq!(m.as_scalar(), Some(7));
     }
 
@@ -435,11 +451,23 @@ mod tests {
     #[test]
     fn comparisons() {
         let mut h = Heap::new();
-        let lt = call(&mut h, Builtin::NatDecLt, &[ObjRef::scalar(2), ObjRef::scalar(3)]);
+        let lt = call(
+            &mut h,
+            Builtin::NatDecLt,
+            &[ObjRef::scalar(2), ObjRef::scalar(3)],
+        );
         assert_eq!(lt.as_scalar(), Some(1));
-        let le = call(&mut h, Builtin::NatDecLe, &[ObjRef::scalar(3), ObjRef::scalar(3)]);
+        let le = call(
+            &mut h,
+            Builtin::NatDecLe,
+            &[ObjRef::scalar(3), ObjRef::scalar(3)],
+        );
         assert_eq!(le.as_scalar(), Some(1));
-        let nlt = call(&mut h, Builtin::NatDecLt, &[ObjRef::scalar(3), ObjRef::scalar(3)]);
+        let nlt = call(
+            &mut h,
+            Builtin::NatDecLt,
+            &[ObjRef::scalar(3), ObjRef::scalar(3)],
+        );
         assert_eq!(nlt.as_scalar(), Some(0));
     }
 
@@ -514,9 +542,17 @@ mod tests {
     #[test]
     fn pow_and_gcd() {
         let mut h = Heap::new();
-        let p = call(&mut h, Builtin::NatPow, &[ObjRef::scalar(2), ObjRef::scalar(10)]);
+        let p = call(
+            &mut h,
+            Builtin::NatPow,
+            &[ObjRef::scalar(2), ObjRef::scalar(10)],
+        );
         assert_eq!(p.as_scalar(), Some(1024));
-        let g = call(&mut h, Builtin::NatGcd, &[ObjRef::scalar(48), ObjRef::scalar(36)]);
+        let g = call(
+            &mut h,
+            Builtin::NatGcd,
+            &[ObjRef::scalar(48), ObjRef::scalar(36)],
+        );
         assert_eq!(g.as_scalar(), Some(12));
     }
 

@@ -471,9 +471,7 @@ impl Heap {
                         }
                         ObjData::Ctor { tag, fields } => {
                             // Scalar-encoded enum constructor vs boxed ctor.
-                            if !fields.is_empty()
-                                || s.as_scalar() != Some(*tag as i64)
-                            {
+                            if !fields.is_empty() || s.as_scalar() != Some(*tag as i64) {
                                 return false;
                             }
                         }

@@ -328,7 +328,10 @@ mod tests {
                 name: "main".into(),
                 arity: 0,
                 n_regs: 1,
-                code: vec![Instr::LpInt { dst: Reg(0), v: 1 }, Instr::Ret { src: Reg(0) }],
+                code: vec![
+                    Instr::LpInt { dst: Reg(0), v: 1 },
+                    Instr::Ret { src: Reg(0) },
+                ],
             }],
             ..CompiledProgram::default()
         };

@@ -154,8 +154,7 @@ impl<'p> Vm<'p> {
                 }
                 Instr::Project { dst, src, idx } => {
                     let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
-                    frame.regs[dst.0 as usize] =
-                        self.heap.ctor_field(o, idx as usize).to_bits();
+                    frame.regs[dst.0 as usize] = self.heap.ctor_field(o, idx as usize).to_bits();
                 }
                 Instr::Pap {
                     dst,
@@ -194,7 +193,11 @@ impl<'p> Vm<'p> {
                     let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
                     self.heap.dec(o);
                 }
-                Instr::Call { dst, func, ref args } => {
+                Instr::Call {
+                    dst,
+                    func,
+                    ref args,
+                } => {
                     let vals: Vec<ObjRef> = args
                         .iter()
                         .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
@@ -249,9 +252,7 @@ impl<'p> Vm<'p> {
                         continue;
                     }
                     match stack.last_mut() {
-                        Some(caller) => {
-                            caller.regs[done.ret_dst.0 as usize] = value.to_bits()
-                        }
+                        Some(caller) => caller.regs[done.ret_dst.0 as usize] = value.to_bits(),
                         None => return Ok(value),
                     }
                 }
@@ -322,7 +323,12 @@ impl<'p> Vm<'p> {
         }
     }
 
-    fn new_frame(&mut self, func: usize, args: Vec<ObjRef>, ret_dst: Reg) -> Result<Frame, VmError> {
+    fn new_frame(
+        &mut self,
+        func: usize,
+        args: Vec<ObjRef>,
+        ret_dst: Reg,
+    ) -> Result<Frame, VmError> {
         let f = self
             .program
             .fns
@@ -433,7 +439,10 @@ mod tests {
     #[test]
     fn returns_scalar() {
         let p = single(
-            vec![Instr::LpInt { dst: Reg(0), v: 42 }, Instr::Ret { src: Reg(0) }],
+            vec![
+                Instr::LpInt { dst: Reg(0), v: 42 },
+                Instr::Ret { src: Reg(0) },
+            ],
             1,
         );
         let out = run_program(&p, "main", 1000).unwrap();
@@ -623,8 +632,14 @@ mod tests {
         let mut p = single(
             vec![
                 Instr::LpInt { dst: Reg(0), v: 5 },
-                Instr::GlobalStore { idx: 0, src: Reg(0) },
-                Instr::GlobalLoad { dst: Reg(1), idx: 0 },
+                Instr::GlobalStore {
+                    idx: 0,
+                    src: Reg(0),
+                },
+                Instr::GlobalLoad {
+                    dst: Reg(1),
+                    idx: 0,
+                },
                 Instr::Ret { src: Reg(1) },
             ],
             2,

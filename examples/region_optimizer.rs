@@ -79,11 +79,7 @@ fn main() {
         let mut b = Builder::at_end(&mut body, entry);
         let r = b.select(params[0], ve, vf);
         b.rgn_run(r, vec![]);
-        module.add_function(
-            "fig1c",
-            Signature::new(vec![Type::I1], Type::Obj),
-            body,
-        );
+        module.add_function("fig1c", Signature::new(vec![Type::I1], Type::Obj), body);
     }
     lambda_ssa::ir::verifier::verify_module(&module).expect("valid input IR");
 

@@ -2,14 +2,15 @@
 //!
 //! Umbrella crate re-exporting the whole system. See the individual crates:
 //!
-//! - [`rt`](lssa_rt) — runtime (refcounted heap, bignums, closures),
-//! - [`ir`](lssa_ir) — SSA+regions compiler IR (MLIR stand-in),
-//! - [`lambda`](lssa_lambda) — λpure/λrc frontend, simplifier, interpreter,
-//! - [`core`](lssa_core) — the lp and rgn dialects (the paper's contribution),
-//! - [`vm`](lssa_vm) — bytecode backend with guaranteed tail calls,
-//! - [`driver`](lssa_driver) — pipelines, differential testing, benchmarks.
+//! - [`rt`] — runtime (refcounted heap, bignums, closures),
+//! - [`ir`] — SSA+regions compiler IR (MLIR stand-in),
+//! - [`lambda`] — λpure/λrc frontend, simplifier, interpreter,
+//! - [`core`] — the lp and rgn dialects (the paper's contribution),
+//! - [`vm`] — bytecode backend with guaranteed tail calls,
+//! - [`driver`] — pipelines, differential testing, benchmarks.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use lssa_core as core;
 pub use lssa_driver as driver;

@@ -103,7 +103,10 @@ fn figure7_module_round_trips_through_text() {
     let m = build_module();
     let text = lambda_ssa::ir::printer::print_module(&m);
     assert!(text.contains("global @kslot : !lp.t"), "{text}");
-    assert!(text.contains("lp.global.store(%0) {global = @kslot}"), "{text}");
+    assert!(
+        text.contains("lp.global.store(%0) {global = @kslot}"),
+        "{text}"
+    );
     assert!(text.contains("lp.global.load {global = @kslot}"), "{text}");
     let reparsed = lambda_ssa::ir::parser::parse_module(&text).unwrap();
     assert_eq!(text, lambda_ssa::ir::printer::print_module(&reparsed));

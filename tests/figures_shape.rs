@@ -84,7 +84,9 @@ fn region_optimizations_shrink_static_code() {
     // larger than without, and shrinks somewhere.
     let mut shrank = false;
     for w in all(Scale::Test) {
-        let with = compile(&w.src, CompilerConfig::rgn_only()).unwrap().code_size();
+        let with = compile(&w.src, CompilerConfig::rgn_only())
+            .unwrap()
+            .code_size();
         let without = compile(
             &w.src,
             CompilerConfig {

@@ -66,11 +66,7 @@ fn allocation_counts_match_reference_interpreter() {
     // λrc reference interpreter (the RC insertion fixes the program's
     // allocation behaviour; backends must not add hidden allocations).
     let w = by_name("binarytrees", Scale::Test).unwrap();
-    let rc = lambda_ssa::driver::pipelines::frontend(
-        &w.src,
-        CompilerConfig::none(),
-    )
-    .unwrap();
+    let rc = lambda_ssa::driver::pipelines::frontend(&w.src, CompilerConfig::none()).unwrap();
     let oracle = lambda_ssa::lambda::run_program(&rc, "main", true, MAX_STEPS).unwrap();
     let compiled = compile_and_run(&w.src, CompilerConfig::none(), MAX_STEPS).unwrap();
     assert_eq!(oracle.stats.allocs, compiled.stats.heap.allocs);

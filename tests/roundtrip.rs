@@ -6,8 +6,8 @@ use lambda_ssa::core::PipelineOptions;
 use lambda_ssa::driver::pipelines::{frontend, CompilerConfig};
 use lambda_ssa::driver::workloads::{all, Scale};
 use lambda_ssa::ir::parser::parse_module;
-use lambda_ssa::ir::printer::print_module;
 use lambda_ssa::ir::prelude::Module;
+use lambda_ssa::ir::printer::print_module;
 
 fn assert_round_trip(m: &Module, what: &str) {
     let text = print_module(m);

@@ -1,0 +1,72 @@
+//! Differential smoke oracle: every benchmark `Workload` at `Scale::Test`
+//! runs through the λ reference interpreter (both λpure and λrc) and
+//! through all four compiled pipelines on the VM, and every route must
+//! produce the workload's recorded checksum with a balanced heap.
+//!
+//! This is the cheapest end-to-end guard for future refactors: any change
+//! that breaks a lowering, an optimization, or the runtime shows up here as
+//! a checksum mismatch on a named workload long before the full 648-program
+//! conformance suite finishes.
+
+use lambda_ssa::driver::diff::configs;
+use lambda_ssa::driver::pipelines::compile_and_run;
+use lambda_ssa::driver::workloads::{all, Scale};
+use lambda_ssa::lambda::{insert_rc, parse_program, run_program};
+
+const MAX_STEPS: u64 = 500_000_000;
+
+#[test]
+fn interpreter_matches_checksums() {
+    for w in all(Scale::Test) {
+        let p = parse_program(&w.src).unwrap_or_else(|e| panic!("{}: parse: {e}", w.name));
+        let pure = run_program(&p, "main", false, MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{}: λpure: {e}", w.name));
+        assert_eq!(pure.rendered, w.expected_test, "{}: λpure checksum", w.name);
+
+        let rc = insert_rc(&p);
+        let rc_out = run_program(&rc, "main", true, MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{}: λrc: {e}", w.name));
+        assert_eq!(rc_out.rendered, w.expected_test, "{}: λrc checksum", w.name);
+        assert_eq!(rc_out.stats.live, 0, "{}: λrc leaked objects", w.name);
+    }
+}
+
+#[test]
+fn all_pipelines_match_checksums() {
+    for w in all(Scale::Test) {
+        for config in configs() {
+            let label = config.label();
+            let out = compile_and_run(&w.src, config, MAX_STEPS)
+                .unwrap_or_else(|e| panic!("{}/{label}: {e}", w.name));
+            assert_eq!(
+                out.rendered, w.expected_test,
+                "{}/{label}: VM checksum disagrees with the oracle",
+                w.name
+            );
+            assert_eq!(
+                out.stats.heap.live, 0,
+                "{}/{label}: VM leaked objects",
+                w.name
+            );
+        }
+    }
+}
+
+/// At `Scale::Bench` the runs take seconds each, so this cross-check of the
+/// two interesting pipelines is gated behind `--features slow-tests`.
+#[cfg(feature = "slow-tests")]
+#[test]
+fn bench_scale_pipelines_agree() {
+    use lambda_ssa::driver::pipelines::CompilerConfig;
+    for w in all(Scale::Bench) {
+        let base = compile_and_run(&w.src, CompilerConfig::leanc(), MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{}/leanc: {e}", w.name));
+        let mlir = compile_and_run(&w.src, CompilerConfig::mlir(), MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{}/mlir: {e}", w.name));
+        assert_eq!(
+            base.rendered, mlir.rendered,
+            "{}: bench-scale disagreement",
+            w.name
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the strategy combinators and macros lambda-ssa's property
+//! tests use: [`prelude::any`], integer-range strategies, tuple strategies,
+//! [`collection::vec`], [`Strategy::prop_map`], [`prop_oneof!`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`]
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **no shrinking** — a failing case reports its case number and the
+//!   deterministic per-test seed instead of a minimized input;
+//! - **deterministic by default** — each test derives its seed from the
+//!   test name (override with `PROPTEST_SEED`), so CI runs are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::` namespace as re-exported by the real crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub use strategy::{BoxedStrategy, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header followed by test
+/// functions whose arguments are drawn from strategies:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in any::<u64>(), b in any::<u64>()) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let seed = $crate::test_runner::resolve_seed(stringify!($name));
+                let mut rng = $crate::TestRng::new(seed);
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    let case_seed = rng.fork_seed();
+                    let mut case_rng = $crate::TestRng::new(case_seed);
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut case_rng);)*
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "proptest {}: too many rejected cases ({} rejects, {} accepted)",
+                                    stringify!($name), rejected, accepted
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {} (seed {:#x}, case seed {:#x}):\n{}",
+                                stringify!($name), accepted, seed, case_seed, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Strategy-level `assert!`: fails the current case without aborting the
+/// whole test binary, reporting the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}\n{}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Strategy-level `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (left, right) = (&$lhs, &$rhs);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), left, right
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$lhs, &$rhs);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($lhs), stringify!($rhs), left, right, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Strategy-level `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (left, right) = (&$lhs, &$rhs);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                left
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when the assumption does not hold; the runner
+/// draws a fresh one instead of counting it as a pass or failure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Picks one of several strategies (all producing the same `Value`)
+/// uniformly at random for each case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements exactly the API surface lambda-ssa uses — [`Rng::random_range`],
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`] — over a SplitMix64
+//! generator. Deterministic for a given seed, which is all the conformance
+//! corpus generator needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a half-open `lo..hi` range.
+pub trait UniformSample: Copy {
+    /// Draws a value in `range` using `next` as the entropy source.
+    fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(range.start < range.end, "empty range in random_range");
+                let span = (range.end - range.start) as u64;
+                range.start + (next() % span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(range.start < range.end, "empty range in random_range");
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                range.start.wrapping_add((next() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// The subset of `rand::Rng` lambda-ssa relies on.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from the half-open range `lo..hi`.
+    fn random_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        let mut next = || self.next_u64();
+        T::sample(range, &mut next)
+    }
+
+    /// Samples a uniformly random `bool`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// The subset of `rand::SeedableRng` lambda-ssa relies on.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// SplitMix64 passes BigCrush and is more than adequate for generating
+    /// random conformance programs; cryptographic quality is not a goal.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(0..12u32);
+            assert!(v < 12);
+            let s = rng.random_range(-5..5i64);
+            assert!((-5..5).contains(&s));
+            let ix = rng.random_range(0..6usize);
+            assert!(ix < 6);
+        }
+    }
+}
