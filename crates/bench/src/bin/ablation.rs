@@ -6,14 +6,17 @@
 //!
 //! Reports deterministic VM instruction counts and static code size per
 //! knob, per benchmark — wall-clock-free, so the ablation is exactly
-//! reproducible anywhere.
+//! reproducible anywhere — followed by a per-pass statistics table per knob
+//! (runs, changed, live ops before/after, wall time; aggregated across the
+//! workloads) so a regression shows up attributed to the pass that caused
+//! it.
 //!
 //! ```text
 //! cargo run --release -p lssa-bench --bin ablation [-- --scale test]
 //! ```
 
-use lssa_core::PipelineOptions;
-use lssa_driver::pipelines::{compile, Backend, CompilerConfig};
+use lssa_core::{PipelineOptions, PipelineReport};
+use lssa_driver::pipelines::{compile_with_report, Backend, CompilerConfig};
 use lssa_driver::workloads::{all, Scale};
 use lssa_lambda::SimplifyOptions;
 
@@ -59,14 +62,17 @@ fn main() {
         print!(" {label:>16}");
     }
     println!();
+    let mut knob_reports: Vec<PipelineReport> =
+        knobs.iter().map(|_| PipelineReport::default()).collect();
     for w in all(scale) {
         print!("{:<20}", w.name);
-        for (_, opts) in &knobs {
+        for (i, (_, opts)) in knobs.iter().enumerate() {
             let config = CompilerConfig {
                 simplify: Some(SimplifyOptions::all()),
                 backend: Backend::Mlir(*opts),
             };
-            let program = compile(&w.src, config).expect("compile");
+            let (program, report) = compile_with_report(&w.src, config).expect("compile");
+            knob_reports[i].merge(&report.expect("mlir backend reports statistics"));
             let out = lssa_vm::run_program(&program, "main", lssa_bench::MAX_STEPS).expect("run");
             print!(" {:>10}/{:<5}", out.stats.instructions, program.code_size());
         }
@@ -76,4 +82,11 @@ fn main() {
     println!("cells are: dynamic instructions / static code size");
     println!("expected shape: -region-opts and none never beat full; -guaranteed-tco only");
     println!("affects stack depth (instruction counts are within noise of full).");
+    println!();
+    println!("Per-pass statistics per knob (aggregated across the workloads above)");
+    for ((label, _), report) in knobs.iter().zip(&knob_reports) {
+        println!();
+        println!("=== {label} ===");
+        print!("{}", report.render_table());
+    }
 }

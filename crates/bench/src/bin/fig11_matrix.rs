@@ -39,21 +39,13 @@ def main() :=
     )
     .unwrap();
     let mut unopt = lssa_core::pipeline::compile(&rc, lssa_core::PipelineOptions::no_opt());
-    let before: usize = unopt
-        .funcs
-        .iter()
-        .filter_map(|f| f.body.as_ref())
-        .map(|b| b.live_op_count())
-        .sum();
-    let mut changed_fold = lssa_ir::passes::CanonicalizePass::new().run(&mut unopt);
-    changed_fold |= lssa_ir::passes::CsePass.run(&mut unopt);
-    changed_fold |= lssa_ir::passes::DcePass.run(&mut unopt);
-    let after: usize = unopt
-        .funcs
-        .iter()
-        .filter_map(|f| f.body.as_ref())
-        .map(|b| b.live_op_count())
-        .sum();
+    let before = unopt.live_op_count();
+    let mut changed_fold = lssa_ir::passes::CanonicalizePass::new()
+        .run(&mut unopt)
+        .changed;
+    changed_fold |= lssa_ir::passes::CsePass.run(&mut unopt).changed;
+    changed_fold |= lssa_ir::passes::DcePass.run(&mut unopt).changed;
+    let after = unopt.live_op_count();
     rows.push(Row {
         feature: "Constant folding",
         leanc: "hand-written (λ simplifier)".into(),

@@ -10,13 +10,31 @@
 //!   CFG simplification, inlining) that Figure 11 credits to the ecosystem.
 //! - `guaranteed_tco` — `musttail` semantics (§III-E); the heuristic
 //!   alternative models the C backend.
+//!
+//! The phases are expressed as *named pipelines* on the instrumented
+//! [`PassManager`] engine — `rgn-opt`, `lower-cfg`, `generic-opt`, `tco`,
+//! `cleanup` — each driven to a fixpoint where iteration matters.
+//! [`compile_with_report`] returns the collected [`PipelineReport`] so
+//! drivers (the `lssa` CLI's `--pass-stats`, the `ablation` binary) can
+//! show per-pass statistics, and `print_ir_after_all` streams the module
+//! after every pass for debugging.
 
 use crate::lp::from_lambda;
 use crate::rgn::{self, GrnPass, RgnToCfgPass, TcoPass};
 use lssa_ir::module::Module;
-use lssa_ir::pass::{Pass, PassManager};
+use lssa_ir::pass::{PassManager, PipelineRunReport};
 use lssa_ir::passes::{CanonicalizePass, CsePass, DcePass, InlinePass, SimplifyCfgPass};
 use lssa_lambda::ast::Program;
+
+/// Fixpoint bound for the `rgn-opt` pipeline (GRN can expose new folds and
+/// vice versa; historically this was a hard-coded 3-iteration loop).
+pub const RGN_OPT_MAX_ITERS: usize = 3;
+
+/// Fixpoint bound for the post-TCO `cleanup` pipeline. Generous: the
+/// pipeline idempotence property (see [`reoptimize`]) relies on actually
+/// reaching the fixpoint, and each constituent pass already fixpoints
+/// internally, so convergence normally takes two or three sweeps.
+pub const CLEANUP_MAX_ITERS: usize = 8;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +47,9 @@ pub struct PipelineOptions {
     pub guaranteed_tco: bool,
     /// Verify the module between phases (slow; meant for tests).
     pub verify: bool,
+    /// Dump the module to stderr after every pass (the CLI's
+    /// `--print-ir-after-all`).
+    pub print_ir_after_all: bool,
 }
 
 impl Default for PipelineOptions {
@@ -45,6 +66,7 @@ impl PipelineOptions {
             generic_opts: true,
             guaranteed_tco: true,
             verify: false,
+            print_ir_after_all: false,
         }
     }
 
@@ -53,8 +75,7 @@ impl PipelineOptions {
         PipelineOptions {
             region_opts: false,
             generic_opts: false,
-            guaranteed_tco: true,
-            verify: false,
+            ..PipelineOptions::full()
         }
     }
 
@@ -67,40 +88,80 @@ impl PipelineOptions {
     }
 }
 
-/// Compiles a λrc program through lp and rgn down to a flat-CFG module.
-///
-/// # Panics
-///
-/// Panics if `opts.verify` is set and a phase produces invalid IR (compiler
-/// bug), or on malformed input programs.
-pub fn compile(program: &Program, opts: PipelineOptions) -> Module {
-    // λrc → lp (Figure 3).
-    let mut module = from_lambda::lower_program(program);
-    maybe_verify(&module, opts, "lp lowering");
-    // lp → rgn (Figure 8).
-    rgn::from_lp::lower_module(&mut module);
-    maybe_verify(&module, opts, "rgn lowering");
-    // Region optimizations (§IV-B).
-    if opts.region_opts {
-        let pm = PassManager::new()
-            .verify_each(opts.verify)
-            .add(CanonicalizePass::with_extra(rgn::opt::all_patterns))
-            .add(GrnPass)
-            .add(CanonicalizePass::with_extra(rgn::opt::all_patterns))
-            .add(DcePass);
-        // GRN can expose new folds and vice versa; iterate briefly.
-        for _ in 0..3 {
-            if !pm.run(&mut module) {
-                break;
+/// Statistics for a whole [`compile_with_report`] run: one
+/// [`PipelineRunReport`] per executed phase, in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Per-phase reports (`rgn-opt`, `lower-cfg`, `generic-opt`, `tco`,
+    /// `cleanup` — phases disabled by the options are absent).
+    pub phases: Vec<PipelineRunReport>,
+}
+
+impl PipelineReport {
+    /// Renders every phase's statistics table, concatenated.
+    pub fn render_table(&self) -> String {
+        self.phases
+            .iter()
+            .map(|p| p.render_table())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Folds another compilation's report into this one, phase by phase
+    /// (matched by pipeline name) — used to aggregate statistics across a
+    /// benchmark suite.
+    pub fn merge(&mut self, other: &PipelineReport) {
+        for phase in &other.phases {
+            match self
+                .phases
+                .iter_mut()
+                .find(|p| p.pipeline == phase.pipeline)
+            {
+                Some(mine) => mine.merge(phase),
+                None => self.phases.push(phase.clone()),
             }
         }
     }
-    // rgn → CFG (§IV-C).
-    RgnToCfgPass.run(&mut module);
-    maybe_verify(&module, opts, "CFG lowering");
-    // Generic CFG-level cleanups (Figure 11's "MLIR builtin" passes).
-    if opts.generic_opts {
-        let pm = PassManager::new()
+
+    /// Total wall time across phases.
+    pub fn total_duration(&self) -> std::time::Duration {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+}
+
+fn with_dump(pm: PassManager, opts: PipelineOptions) -> PassManager {
+    if !opts.print_ir_after_all {
+        return pm;
+    }
+    pm.dump_after_each(|path, module| {
+        eprintln!(
+            "// -----// IR dump after {path} //----- //\n{}",
+            lssa_ir::printer::print_module(module)
+        );
+    })
+}
+
+/// The `rgn-opt` pipeline: region optimizations (§IV-B) as rewrites over
+/// the canonicalization driver, plus GRN and DCE.
+pub fn rgn_opt_pipeline(opts: PipelineOptions) -> PassManager {
+    with_dump(
+        PassManager::named("rgn-opt")
+            .verify_each(opts.verify)
+            .fixpoint(RGN_OPT_MAX_ITERS)
+            .add(CanonicalizePass::with_extra(rgn::opt::all_patterns))
+            .add(GrnPass)
+            .add(CanonicalizePass::with_extra(rgn::opt::all_patterns))
+            .add(DcePass),
+        opts,
+    )
+}
+
+/// The `generic-opt` pipeline: MLIR's stock CFG-level passes (Figure 11's
+/// "MLIR builtin" credit), run as a single sweep like MLIR's default
+/// pipeline — the trailing [`cleanup_pipeline`] fixpoints the cheap passes.
+pub fn generic_opt_pipeline(opts: PipelineOptions) -> PassManager {
+    with_dump(
+        PassManager::named("generic-opt")
             .verify_each(opts.verify)
             .add(SimplifyCfgPass)
             .add(CanonicalizePass::new())
@@ -108,19 +169,92 @@ pub fn compile(program: &Program, opts: PipelineOptions) -> Module {
             .add(DcePass)
             .add(InlinePass::default())
             .add(CanonicalizePass::new())
-            .add(DcePass);
-        pm.run(&mut module);
+            .add(DcePass),
+        opts,
+    )
+}
+
+/// The `cleanup` pipeline: the inliner-free subset of the generic passes,
+/// safe to fixpoint after TCO (none of them can grow the module).
+pub fn cleanup_pipeline(opts: PipelineOptions) -> PassManager {
+    with_dump(
+        PassManager::named("cleanup")
+            .verify_each(opts.verify)
+            .fixpoint(CLEANUP_MAX_ITERS)
+            .add(SimplifyCfgPass)
+            .add(CanonicalizePass::new())
+            .add(CsePass)
+            .add(DcePass),
+        opts,
+    )
+}
+
+/// Re-runs the final `cleanup` fixpoint on an already-compiled module.
+///
+/// Because [`compile`] ends (when `generic_opts` is on) with exactly this
+/// pipeline driven to convergence, running it again on the compiler's own
+/// output must report `changed == false` — the pipeline idempotence
+/// property the test suite checks on generated programs.
+pub fn reoptimize(module: &mut Module, opts: PipelineOptions) -> PipelineRunReport {
+    cleanup_pipeline(opts).run(module)
+}
+
+/// Compiles a λrc program through lp and rgn down to a flat-CFG module.
+///
+/// # Panics
+///
+/// Panics if `opts.verify` is set and a phase produces invalid IR (compiler
+/// bug), or on malformed input programs.
+pub fn compile(program: &Program, opts: PipelineOptions) -> Module {
+    compile_with_report(program, opts).0
+}
+
+/// [`compile`], also returning per-pass statistics for every phase.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`compile`].
+pub fn compile_with_report(program: &Program, opts: PipelineOptions) -> (Module, PipelineReport) {
+    let mut report = PipelineReport::default();
+    // λrc → lp (Figure 3).
+    let mut module = from_lambda::lower_program(program);
+    maybe_verify(&module, opts, "lp lowering");
+    // lp → rgn (Figure 8).
+    rgn::from_lp::lower_module(&mut module);
+    maybe_verify(&module, opts, "rgn lowering");
+    // Region optimizations (§IV-B), to a fixpoint: GRN can expose new folds
+    // and vice versa.
+    if opts.region_opts {
+        report.phases.push(rgn_opt_pipeline(opts).run(&mut module));
+    }
+    // rgn → CFG (§IV-C).
+    report
+        .phases
+        .push(with_dump(PassManager::named("lower-cfg").add(RgnToCfgPass), opts).run(&mut module));
+    maybe_verify(&module, opts, "CFG lowering");
+    // Generic CFG-level cleanups (Figure 11's "MLIR builtin" passes).
+    if opts.generic_opts {
+        report
+            .phases
+            .push(generic_opt_pipeline(opts).run(&mut module));
     }
     // Tail calls (§III-E).
-    TcoPass {
-        only_self: !opts.guaranteed_tco,
-    }
-    .run(&mut module);
+    report.phases.push(
+        with_dump(
+            PassManager::named("tco").add(TcoPass {
+                only_self: !opts.guaranteed_tco,
+            }),
+            opts,
+        )
+        .run(&mut module),
+    );
+    // Final cleanup to a fixpoint — the anchor of the idempotence property
+    // (see [`reoptimize`]).
     if opts.generic_opts {
-        SimplifyCfgPass.run(&mut module);
+        report.phases.push(reoptimize(&mut module, opts));
     }
     maybe_verify(&module, opts, "final");
-    module
+    (module, report)
 }
 
 fn maybe_verify(module: &Module, opts: PipelineOptions, phase: &str) {
@@ -185,20 +319,13 @@ def main() := sum(build(20))
 
     #[test]
     fn optimized_is_no_larger_than_unoptimized() {
-        let count = |m: &Module| -> usize {
-            m.funcs
-                .iter()
-                .filter_map(|f| f.body.as_ref())
-                .map(|b| b.live_op_count())
-                .sum()
-        };
         let opt = compile_src(LIST_SUM, PipelineOptions::full());
         let raw = compile_src(LIST_SUM, PipelineOptions::no_opt());
         assert!(
-            count(&opt) <= count(&raw),
+            opt.live_op_count() <= raw.live_op_count(),
             "optimization must not grow code: {} vs {}",
-            count(&opt),
-            count(&raw)
+            opt.live_op_count(),
+            raw.live_op_count()
         );
     }
 
@@ -230,5 +357,43 @@ def main() := ap42(k(10))
 "#,
             PipelineOptions::full(),
         );
+    }
+
+    #[test]
+    fn report_names_every_enabled_phase() {
+        let p = parse_program(LIST_SUM).unwrap();
+        let rc = insert_rc(&p);
+        let (_, report) = compile_with_report(&rc, PipelineOptions::full());
+        let names: Vec<&str> = report.phases.iter().map(|p| p.pipeline.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["rgn-opt", "lower-cfg", "generic-opt", "tco", "cleanup"]
+        );
+        // Every phase recorded per-pass rows with sensible op counts.
+        for phase in &report.phases {
+            assert!(!phase.passes.is_empty(), "{}", phase.pipeline);
+            for s in &phase.passes {
+                assert!(s.runs >= 1, "{}/{}", phase.pipeline, s.pass);
+            }
+        }
+        let (_, minimal) = compile_with_report(&rc, PipelineOptions::no_opt());
+        let names: Vec<&str> = minimal.phases.iter().map(|p| p.pipeline.as_str()).collect();
+        assert_eq!(names, vec!["lower-cfg", "tco"]);
+    }
+
+    #[test]
+    fn compile_output_is_a_cleanup_fixpoint() {
+        let p = parse_program(LIST_SUM).unwrap();
+        let rc = insert_rc(&p);
+        let opts = PipelineOptions {
+            verify: true,
+            ..PipelineOptions::full()
+        };
+        let (mut module, report) = compile_with_report(&rc, opts);
+        let cleanup = report.phases.last().unwrap();
+        assert_eq!(cleanup.pipeline, "cleanup");
+        assert!(cleanup.converged, "cleanup must reach its fixpoint");
+        let again = reoptimize(&mut module, opts);
+        assert!(!again.changed, "{}", again.render_table());
     }
 }

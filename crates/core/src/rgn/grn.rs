@@ -29,7 +29,7 @@ impl Pass for GrnPass {
         "global-region-numbering"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
+    fn run_on(&self, module: &mut Module) -> bool {
         for_each_function(module, |_, body| run_on_body(body))
     }
 }

@@ -152,7 +152,7 @@ impl Pass for RgnToCfgPass {
         "rgn-to-cfg"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
+    fn run_on(&self, module: &mut Module) -> bool {
         for_each_function(module, |_, body| {
             lower_body(body);
             true
@@ -179,7 +179,7 @@ impl Pass for TcoPass {
         "tail-call-elimination"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
+    fn run_on(&self, module: &mut Module) -> bool {
         let mut changed = false;
         // Which symbols name user-defined (non-extern) functions. Captured
         // up front: bodies are detached while being rewritten, which must
@@ -258,7 +258,7 @@ fn try_tco_block(
     if !user_fns.contains(&callee) {
         return false;
     }
-    let args = body.ops[call.index()].operands.clone();
+    let args = body.ops[call.index()].operands.to_vec();
     // The rc ops must not release a value being passed to the callee.
     for &rc in &rc_ops {
         if args.contains(&body.ops[rc.index()].operands[0]) {
@@ -430,7 +430,7 @@ def loop(n, acc) :=
 def start(n) := loop(n, 0)
 "#,
         );
-        assert!(TcoPass { only_self: false }.run(&mut m));
+        assert!(TcoPass { only_self: false }.run(&mut m).changed);
         verify_module(&m).unwrap();
         let text = print_module(&m);
         assert!(text.contains("func.tail_call"), "{text}");
@@ -453,7 +453,7 @@ def loop(n, acc) :=
 def start(n) := loop(n, 0)
 "#,
         );
-        assert!(TcoPass { only_self: true }.run(&mut m));
+        assert!(TcoPass { only_self: true }.run(&mut m).changed);
         verify_module(&m).unwrap();
         let start = m.func_by_name("start").unwrap();
         let body = start.body.as_ref().unwrap();

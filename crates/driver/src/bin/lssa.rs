@@ -1,15 +1,21 @@
 //! The `lssa` command-line compiler driver.
 //!
 //! ```text
-//! lssa run <file> [--backend leanc|mlir|rgn-only|none]
+//! lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--print-ir-after-all]
 //! lssa dump <file> [--stage lp|rgn|opt|cfg]
 //! lssa diff <file>
 //! lssa bench <name> [--scale test|bench]
 //! ```
+//!
+//! `--pass-stats` prints the backend's per-pass statistics table (runs,
+//! changed flag, live-op counts before/after, wall time, per named
+//! pipeline) after the program's result. `--print-ir-after-all` dumps the
+//! module to stderr after every pass, MLIR-style.
 
-use lssa_driver::pipelines::{compile_and_run, frontend, CompilerConfig};
+use lssa_driver::pipelines::{
+    compile_and_run, compile_and_run_with_report, frontend, Backend, CompilerConfig,
+};
 use lssa_driver::workloads::{by_name, Scale};
-use lssa_ir::pass::Pass;
 use std::process::ExitCode;
 
 const MAX_STEPS: u64 = 2_000_000_000;
@@ -22,7 +28,9 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  lssa run <file> [--backend leanc|mlir|rgn-only|none]");
+            eprintln!(
+                "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--print-ir-after-all]"
+            );
             eprintln!("  lssa dump <file> [--stage lambda|lp|rgn|opt|cfg]");
             eprintln!("  lssa diff <file>");
             eprintln!("  lssa bench <name> [--scale test|bench]");
@@ -36,6 +44,10 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(|s| s.as_str())
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 fn config_of(name: &str) -> Result<CompilerConfig, String> {
@@ -54,13 +66,42 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => {
             let file = args.get(1).ok_or("missing file")?;
             let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-            let config = config_of(flag_value(args, "--backend").unwrap_or("mlir"))?;
-            let out = compile_and_run(&src, config, MAX_STEPS).map_err(|e| e.to_string())?;
+            let mut config = config_of(flag_value(args, "--backend").unwrap_or("mlir"))?;
+            let want_stats = has_flag(args, "--pass-stats");
+            if has_flag(args, "--print-ir-after-all") {
+                match config.backend {
+                    Backend::Mlir(mut opts) => {
+                        opts.print_ir_after_all = true;
+                        config.backend = Backend::Mlir(opts);
+                    }
+                    Backend::Baseline => {
+                        return Err(
+                            "--print-ir-after-all requires an MLIR-style backend (not leanc)"
+                                .to_string(),
+                        )
+                    }
+                }
+            }
+            let (out, report) =
+                compile_and_run_with_report(&src, config, MAX_STEPS).map_err(|e| e.to_string())?;
             println!("{}", out.rendered);
             eprintln!(
                 "-- {} instructions, {} calls, peak {} live objects",
                 out.stats.instructions, out.stats.calls, out.stats.heap.peak_live
             );
+            if want_stats {
+                match report {
+                    Some(report) => {
+                        print!("{}", report.render_table());
+                        println!(
+                            "total: {:.3}ms across {} pipelines",
+                            report.total_duration().as_secs_f64() * 1e3,
+                            report.phases.len()
+                        );
+                    }
+                    None => eprintln!("-- no pass statistics: the leanc backend has no pipeline"),
+                }
+            }
             Ok(())
         }
         "dump" => {
@@ -86,12 +127,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 "opt" => {
                     let mut m = lssa_core::lp::from_lambda::lower_program(&rc);
                     lssa_core::rgn::from_lp::lower_module(&mut m);
-                    lssa_ir::passes::CanonicalizePass::with_extra(
-                        lssa_core::rgn::opt::all_patterns,
-                    )
-                    .run(&mut m);
-                    lssa_core::rgn::GrnPass.run(&mut m);
-                    lssa_ir::passes::DcePass.run(&mut m);
+                    // The exact pipeline `compile` runs, so the dump shows
+                    // the IR the CFG lowering actually receives.
+                    lssa_core::pipeline::rgn_opt_pipeline(lssa_core::PipelineOptions::full())
+                        .run(&mut m);
                     print!("{}", lssa_ir::printer::print_module(&m));
                 }
                 "cfg" => {

@@ -8,10 +8,11 @@
 //!                                 └──▶ bytecode ──▶ VM
 //! ```
 
-use lssa_core::pipeline::PipelineOptions;
+use lssa_core::pipeline::{PipelineOptions, PipelineReport};
 use lssa_lambda::ast::Program;
 use lssa_lambda::simplify::SimplifyOptions;
 use lssa_vm::{CompiledProgram, RunOutcome};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Which backend lowers λrc to the flat CFG.
@@ -69,22 +70,36 @@ impl CompilerConfig {
         }
     }
 
-    /// Short label for reports.
-    pub fn label(&self) -> String {
+    /// Short label for reports. The four fixed configurations used all over
+    /// the harness resolve to static strings without allocating; only
+    /// unusual combinations format a fresh one.
+    pub fn label(&self) -> Cow<'static, str> {
         let front = match self.simplify {
             Some(s) if s == SimplifyOptions::all() => "simplified",
             Some(_) => "partial-simplify",
             None => "raw",
         };
         let back = match self.backend {
-            Backend::Baseline => "leanc".to_string(),
-            Backend::Mlir(o) => format!(
-                "mlir{}{}",
-                if o.region_opts { "+rgn" } else { "" },
-                if o.generic_opts { "+generic" } else { "" }
-            ),
+            Backend::Baseline => "leanc",
+            Backend::Mlir(o) if o == PipelineOptions::full() => "mlir+rgn+generic",
+            Backend::Mlir(o) if o == PipelineOptions::no_opt() => "mlir",
+            Backend::Mlir(o) => {
+                return Cow::Owned(format!(
+                    "{front}/mlir{}{}",
+                    if o.region_opts { "+rgn" } else { "" },
+                    if o.generic_opts { "+generic" } else { "" }
+                ))
+            }
         };
-        format!("{front}/{back}")
+        match (front, back) {
+            ("simplified", "leanc") => Cow::Borrowed("simplified/leanc"),
+            ("simplified", "mlir+rgn+generic") => Cow::Borrowed("simplified/mlir+rgn+generic"),
+            ("simplified", "mlir") => Cow::Borrowed("simplified/mlir"),
+            ("raw", "leanc") => Cow::Borrowed("raw/leanc"),
+            ("raw", "mlir+rgn+generic") => Cow::Borrowed("raw/mlir+rgn+generic"),
+            ("raw", "mlir") => Cow::Borrowed("raw/mlir"),
+            _ => Cow::Owned(format!("{front}/{back}")),
+        }
     }
 }
 
@@ -136,9 +151,27 @@ pub fn frontend(src: &str, config: CompilerConfig) -> Result<Program, PipelineEr
 ///
 /// Returns backend failures.
 pub fn backend(rc: &Program, config: CompilerConfig) -> Result<CompiledProgram, PipelineError> {
-    let module = match config.backend {
-        Backend::Baseline => crate::baseline::lower_program(rc),
-        Backend::Mlir(opts) => lssa_core::pipeline::compile(rc, opts),
+    backend_with_report(rc, config).map(|(p, _)| p)
+}
+
+/// [`backend`], also returning the backend's per-pass statistics.
+///
+/// The report is `None` for the baseline backend, which lowers directly
+/// without a pass pipeline.
+///
+/// # Errors
+///
+/// Returns backend failures.
+pub fn backend_with_report(
+    rc: &Program,
+    config: CompilerConfig,
+) -> Result<(CompiledProgram, Option<PipelineReport>), PipelineError> {
+    let (module, report) = match config.backend {
+        Backend::Baseline => (crate::baseline::lower_program(rc), None),
+        Backend::Mlir(opts) => {
+            let (m, r) = lssa_core::pipeline::compile_with_report(rc, opts);
+            (m, Some(r))
+        }
     };
     if let Err(errs) = lssa_ir::verifier::verify_module(&module) {
         return Err(PipelineError {
@@ -150,10 +183,11 @@ pub fn backend(rc: &Program, config: CompilerConfig) -> Result<CompiledProgram, 
                 .join("; "),
         });
     }
-    lssa_vm::compile_module(&module).map_err(|e| PipelineError {
+    let program = lssa_vm::compile_module(&module).map_err(|e| PipelineError {
         stage: "bytecode",
         message: e.to_string(),
-    })
+    })?;
+    Ok((program, report))
 }
 
 /// Compiles source end-to-end.
@@ -162,8 +196,21 @@ pub fn backend(rc: &Program, config: CompilerConfig) -> Result<CompiledProgram, 
 ///
 /// Returns the first failure along the pipeline.
 pub fn compile(src: &str, config: CompilerConfig) -> Result<CompiledProgram, PipelineError> {
+    compile_with_report(src, config).map(|(p, _)| p)
+}
+
+/// [`compile`], also returning the backend's per-pass statistics (see
+/// [`backend_with_report`]).
+///
+/// # Errors
+///
+/// Returns the first failure along the pipeline.
+pub fn compile_with_report(
+    src: &str,
+    config: CompilerConfig,
+) -> Result<(CompiledProgram, Option<PipelineReport>), PipelineError> {
     let rc = frontend(src, config)?;
-    backend(&rc, config)
+    backend_with_report(&rc, config)
 }
 
 /// Compiles and runs `main`.
@@ -176,11 +223,25 @@ pub fn compile_and_run(
     config: CompilerConfig,
     max_steps: u64,
 ) -> Result<RunOutcome, PipelineError> {
-    let program = compile(src, config)?;
-    lssa_vm::run_program(&program, "main", max_steps).map_err(|e| PipelineError {
+    compile_and_run_with_report(src, config, max_steps).map(|(o, _)| o)
+}
+
+/// [`compile_and_run`], also returning the backend's per-pass statistics.
+///
+/// # Errors
+///
+/// Returns compilation or execution failures.
+pub fn compile_and_run_with_report(
+    src: &str,
+    config: CompilerConfig,
+    max_steps: u64,
+) -> Result<(RunOutcome, Option<PipelineReport>), PipelineError> {
+    let (program, report) = compile_with_report(src, config)?;
+    let outcome = lssa_vm::run_program(&program, "main", max_steps).map_err(|e| PipelineError {
         stage: "execution",
         message: e.to_string(),
-    })
+    })?;
+    Ok((outcome, report))
 }
 
 #[cfg(test)]
@@ -232,11 +293,35 @@ def main() := sum(build(50))
 
     #[test]
     fn wellformedness_errors_reported() {
-        let e = compile("def f() := g(1)\ndef g(a, b) := a", CompilerConfig::mlir());
-        // Over/under application of known functions is handled (pap), so
-        // this actually compiles; use a genuinely ill-formed program:
-        let _ = e;
-        let e2 = compile("def f() := @nosuch(1)", CompilerConfig::mlir()).unwrap_err();
-        assert_eq!(e2.stage, "wellformedness");
+        // Over/under application of known functions is handled (pap), so a
+        // mis-arity call compiles; a reference to an unknown builtin is the
+        // genuinely ill-formed case.
+        let e = compile("def f() := @nosuch(1)", CompilerConfig::mlir()).unwrap_err();
+        assert_eq!(e.stage, "wellformedness");
+    }
+
+    #[test]
+    fn fixed_config_labels_do_not_allocate() {
+        for config in [
+            CompilerConfig::leanc(),
+            CompilerConfig::mlir(),
+            CompilerConfig::rgn_only(),
+            CompilerConfig::none(),
+        ] {
+            assert!(
+                matches!(config.label(), Cow::Borrowed(_)),
+                "{}: label should be static",
+                config.label()
+            );
+        }
+    }
+
+    #[test]
+    fn reports_flow_through_the_mlir_backend_only() {
+        let (_, report) = compile_with_report(SRC, CompilerConfig::mlir()).unwrap();
+        let report = report.expect("mlir backend must report statistics");
+        assert!(report.phases.iter().any(|p| p.pipeline == "rgn-opt"));
+        let (_, report) = compile_with_report(SRC, CompilerConfig::leanc()).unwrap();
+        assert!(report.is_none(), "baseline has no pass pipeline");
     }
 }

@@ -85,6 +85,53 @@ fn diff_reports_pass() {
 }
 
 #[test]
+fn pass_stats_prints_pipeline_tables() {
+    let path = write_temp("stats", PROGRAM);
+    let out = lssa()
+        .args(["run"])
+        .arg(&path)
+        .args(["--pass-stats"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["pipeline `rgn-opt`", "pipeline `cleanup`", "ops-in", "dce"] {
+        assert!(text.contains(needle), "missing {needle}\n{text}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn print_ir_after_all_dumps_to_stderr() {
+    let path = write_temp("irdump", PROGRAM);
+    let out = lssa()
+        .args(["run"])
+        .arg(&path)
+        .args(["--print-ir-after-all"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("IR dump after"), "{err}");
+    assert!(err.contains("func.return"), "{err}");
+    // The result still lands on stdout.
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+    // And the leanc backend rejects the flag (no pipeline to dump).
+    let out = lssa()
+        .args(["run"])
+        .arg(&path)
+        .args(["--backend", "leanc", "--print-ir-after-all"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = lssa().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

@@ -90,6 +90,9 @@ impl FromStr for CmpPred {
 }
 
 /// An attribute value.
+///
+/// `Default` (`Int(0)`) exists only so attribute pairs can occupy unused
+/// [`crate::inline_vec::InlineVec`] buffer slots; it has no semantic meaning.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Attr {
     /// An integer constant.
@@ -102,6 +105,12 @@ pub enum Attr {
     IntList(Vec<i64>),
     /// A comparison predicate.
     Pred(CmpPred),
+}
+
+impl Default for Attr {
+    fn default() -> Attr {
+        Attr::Int(0)
+    }
 }
 
 impl Attr {
@@ -150,9 +159,13 @@ impl Attr {
 ///
 /// A closed key set (rather than arbitrary interned names) keeps attribute
 /// lookup allocation-free and the printer total.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// `Default` (`Value`) exists only for inline attribute buffers (see
+/// [`Attr`]'s `Default`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AttrKey {
     /// Constant value (`arith.constant`, `lp.int`).
+    #[default]
     Value,
     /// Constructor tag (`lp.construct`).
     Tag,

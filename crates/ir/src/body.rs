@@ -6,22 +6,44 @@
 //! the entry block, whose arguments are the function parameters.
 //!
 //! Erased operations leave tombstones (the arena never shrinks); the
-//! printer, verifier, and walkers skip them.
+//! printer, verifier, and walkers skip them, and the body maintains a
+//! lazily-compacted live-op index so use-scans ([`Body::replace_all_uses`],
+//! [`Body::use_counts`], [`Body::users_of`]) stop paying for tombstones
+//! shortly after erasure instead of rescanning the whole arena forever.
+//!
+//! Per-op lists (operands, results, successors, regions, attributes) use
+//! [`InlineVec`] storage: small lists — the overwhelmingly common case —
+//! live inside `OpData` itself, so building or cloning an op does not
+//! allocate.
 
 use crate::attr::{Attr, AttrKey};
 use crate::ids::{BlockId, OpId, RegionId, ValueId};
+use crate::inline_vec::InlineVec;
 use crate::opcode::Opcode;
 use crate::types::Type;
 use std::collections::HashMap;
 
+/// Operand list storage: binary arithmetic plus most `lp` ops fit inline.
+pub type OperandList = InlineVec<ValueId, 4>;
+/// Result list storage: every op in the dialect set has zero or one result.
+pub type ResultList = InlineVec<ValueId, 2>;
+/// Successor list storage: `cf.cond_br` fits inline; jump tables spill.
+pub type SuccessorList = InlineVec<Successor, 2>;
+/// Nested-region list storage: only `rgn.val` carries a region.
+pub type RegionList = InlineVec<RegionId, 1>;
+/// Attribute list storage: ops carry at most one attribute today.
+pub type AttrList = InlineVec<(AttrKey, Attr), 1>;
+/// Successor-argument storage (block-parameter arguments on a CFG edge).
+pub type SuccessorArgs = InlineVec<ValueId, 2>;
+
 /// A CFG edge target: destination block plus the arguments passed to its
 /// block parameters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Successor {
     /// Destination block.
     pub block: BlockId,
     /// Arguments for the destination's block parameters.
-    pub args: Vec<ValueId>,
+    pub args: SuccessorArgs,
 }
 
 impl Successor {
@@ -29,13 +51,16 @@ impl Successor {
     pub fn new(block: BlockId) -> Successor {
         Successor {
             block,
-            args: Vec::new(),
+            args: SuccessorArgs::new(),
         }
     }
 
     /// An edge passing `args`.
     pub fn with_args(block: BlockId, args: Vec<ValueId>) -> Successor {
-        Successor { block, args }
+        Successor {
+            block,
+            args: args.into(),
+        }
     }
 }
 
@@ -63,15 +88,15 @@ pub struct OpData {
     /// The operation code.
     pub opcode: Opcode,
     /// SSA operands.
-    pub operands: Vec<ValueId>,
+    pub operands: OperandList,
     /// SSA results.
-    pub results: Vec<ValueId>,
+    pub results: ResultList,
     /// Attached compile-time attributes.
-    pub attrs: Vec<(AttrKey, Attr)>,
+    pub attrs: AttrList,
     /// Nested regions.
-    pub regions: Vec<RegionId>,
+    pub regions: RegionList,
     /// CFG successors (terminators only).
-    pub successors: Vec<Successor>,
+    pub successors: SuccessorList,
     /// Owning block (`None` while detached or erased).
     pub parent: Option<BlockId>,
     /// Tombstone flag.
@@ -124,6 +149,13 @@ pub struct Body {
     pub regions: Vec<RegionData>,
     /// Value arena.
     pub values: Vec<ValueData>,
+    /// Live-op index: ids of non-tombstoned ops, ascending, compacted
+    /// lazily (at most 50% tombstones). Maintained by [`Body::create_op`]
+    /// / [`Body::erase_op`] so whole-body scans skip tombstones without
+    /// walking the arena (see [`Body::live_ops`]).
+    live: Vec<OpId>,
+    /// Tombstones currently sitting in `live` awaiting compaction.
+    live_tombstones: usize,
 }
 
 /// The root region of every function body.
@@ -200,24 +232,29 @@ impl Body {
 
     /// Creates a detached operation. Result values are allocated with the
     /// given types. Attach it with [`Body::push_op`] or [`Body::insert_op`].
+    ///
+    /// `operands` and `attrs` accept both `Vec`s and the inline list types.
     pub fn create_op(
         &mut self,
         opcode: Opcode,
-        operands: Vec<ValueId>,
+        operands: impl Into<OperandList>,
         result_tys: &[Type],
-        attrs: Vec<(AttrKey, Attr)>,
+        attrs: impl Into<AttrList>,
     ) -> OpId {
         let id = OpId(self.ops.len() as u32);
         self.ops.push(OpData {
             opcode,
-            operands,
-            results: Vec::new(),
-            attrs,
-            regions: Vec::new(),
-            successors: Vec::new(),
+            operands: operands.into(),
+            results: ResultList::new(),
+            attrs: attrs.into(),
+            regions: RegionList::new(),
+            successors: SuccessorList::new(),
             parent: None,
             dead: false,
         });
+        // Ids are allocated in ascending order, so a push keeps the live
+        // index sorted.
+        self.live.push(id);
         for (i, &ty) in result_tys.iter().enumerate() {
             let v = self.new_value(ty, ValueDef::OpResult(id, i as u32));
             self.ops[id.index()].results.push(v);
@@ -273,10 +310,27 @@ impl Body {
         for r in regions {
             self.erase_region_contents(r);
         }
+        self.tombstone(op);
+    }
+
+    /// Marks `op` dead and clears its edges. The live index is compacted
+    /// lazily — eagerly removing each id would make bulk erasure quadratic
+    /// — so it may carry up to 50% tombstones, which scans skip via the
+    /// `dead` flag.
+    fn tombstone(&mut self, op: OpId) {
         let data = &mut self.ops[op.index()];
+        if data.dead {
+            return;
+        }
         data.dead = true;
         data.operands.clear();
         data.successors.clear();
+        self.live_tombstones += 1;
+        if self.live_tombstones * 2 > self.live.len() {
+            let Body { live, ops, .. } = self;
+            live.retain(|id| !ops[id.index()].dead);
+            self.live_tombstones = 0;
+        }
     }
 
     fn erase_region_contents(&mut self, region: RegionId) {
@@ -289,10 +343,7 @@ impl Body {
                 for r in nested {
                     self.erase_region_contents(r);
                 }
-                let data = &mut self.ops[op.index()];
-                data.dead = true;
-                data.operands.clear();
-                data.successors.clear();
+                self.tombstone(op);
             }
             self.blocks[b.index()].parent = None;
         }
@@ -319,7 +370,8 @@ impl Body {
     /// Replaces every use of `old` with `new` (operands and successor
     /// arguments, across the whole body).
     pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
-        for op in &mut self.ops {
+        for i in 0..self.live.len() {
+            let op = &mut self.ops[self.live[i].index()];
             if op.dead {
                 continue;
             }
@@ -341,7 +393,8 @@ impl Body {
     /// Counts uses of every value (operand and successor-arg positions).
     pub fn use_counts(&self) -> HashMap<ValueId, usize> {
         let mut counts: HashMap<ValueId, usize> = HashMap::new();
-        for op in &self.ops {
+        for &id in &self.live {
+            let op = &self.ops[id.index()];
             if op.dead || op.parent.is_none() {
                 continue;
             }
@@ -360,14 +413,15 @@ impl Body {
     /// All attached (live) ops that use `v`, in arena order.
     pub fn users_of(&self, v: ValueId) -> Vec<OpId> {
         let mut out = Vec::new();
-        for (i, op) in self.ops.iter().enumerate() {
+        for &id in &self.live {
+            let op = &self.ops[id.index()];
             if op.dead || op.parent.is_none() {
                 continue;
             }
             let uses =
                 op.operands.contains(&v) || op.successors.iter().any(|s| s.args.contains(&v));
             if uses {
-                out.push(OpId(i as u32));
+                out.push(id);
             }
         }
         out
@@ -515,8 +569,24 @@ impl Body {
     }
 
     /// Number of live, attached ops (for tests and statistics).
+    ///
+    /// A counting walk — no id list is materialized, so the pass engine's
+    /// per-pass before/after instrumentation costs no allocation.
     pub fn live_op_count(&self) -> usize {
-        self.walk_ops().len()
+        self.count_region_ops(ROOT_REGION)
+    }
+
+    fn count_region_ops(&self, region: RegionId) -> usize {
+        let mut count = 0;
+        for &b in &self.regions[region.index()].blocks {
+            count += self.blocks[b.index()].ops.len();
+            for &op in &self.blocks[b.index()].ops {
+                for &r in &self.ops[op.index()].regions {
+                    count += self.count_region_ops(r);
+                }
+            }
+        }
+        count
     }
 }
 

@@ -5,7 +5,10 @@ use std::fmt;
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        // `Default` (index 0) exists so id lists can live in
+        // [`crate::inline_vec::InlineVec`] buffers, whose unused inline
+        // slots hold placeholder values; it carries no semantic meaning.
+        #[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
         pub struct $name(pub u32);
 
         impl $name {

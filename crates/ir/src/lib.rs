@@ -35,6 +35,7 @@ pub mod body;
 pub mod builder;
 pub mod dom;
 pub mod ids;
+pub mod inline_vec;
 pub mod module;
 pub mod opcode;
 pub mod parser;
@@ -51,7 +52,9 @@ pub mod prelude {
     pub use crate::body::{Body, OpData, Successor, ValueDef, ROOT_REGION};
     pub use crate::builder::Builder;
     pub use crate::ids::{BlockId, Interner, OpId, RegionId, Symbol, ValueId};
+    pub use crate::inline_vec::InlineVec;
     pub use crate::module::{Function, Global, Module};
     pub use crate::opcode::{Opcode, Purity};
+    pub use crate::pass::{Pass, PassManager, PassStatistics, PipelineRunReport};
     pub use crate::types::{Signature, Type};
 }

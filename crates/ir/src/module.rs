@@ -136,6 +136,16 @@ impl Module {
     pub fn func_position(&self, sym: Symbol) -> Option<usize> {
         self.func_index.get(&sym).copied()
     }
+
+    /// Total live (attached) op count across every function body — the
+    /// module-size metric recorded in pass statistics.
+    pub fn live_op_count(&self) -> usize {
+        self.funcs
+            .iter()
+            .filter_map(|f| f.body.as_ref())
+            .map(|b| b.live_op_count())
+            .sum()
+    }
 }
 
 #[cfg(test)]

@@ -780,7 +780,7 @@ impl Binder<'_> {
                     (1, None) => return Err("op with result needs a `: type` suffix".into()),
                     _ => return Err("ops have at most one result".into()),
                 };
-                let attrs = pop
+                let attrs: Vec<_> = pop
                     .attrs
                     .iter()
                     .map(|(k, a)| (*k, self.bind_attr(a)))
@@ -811,7 +811,7 @@ impl Binder<'_> {
                             .ok_or_else(|| format!("use of undefined value %{n}"))
                     })
                     .collect();
-                body.ops[op.index()].operands = operands?;
+                body.ops[op.index()].operands = operands?.into();
                 for (lbl, args) in &pop.succs {
                     let block = *self
                         .blocks

@@ -66,7 +66,7 @@ impl Pass for CanonicalizePass {
         "canonicalize"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
+    fn run_on(&self, module: &mut Module) -> bool {
         let mut patterns = canonicalization_patterns();
         patterns.extend((self.extra)());
         for_each_function(module, |m, body| {
@@ -323,7 +323,7 @@ impl RewritePattern for FoldSwitchVal {
             ops.extend(new_vals);
             ops.push(default);
             let data = &mut body.ops[op.index()];
-            data.operands = ops;
+            data.operands = ops.into();
             for (k, a) in &mut data.attrs {
                 if *k == AttrKey::Cases {
                     *a = Attr::IntList(new_cases.clone());

@@ -6,7 +6,6 @@
 //! builds on (allocating ops are skipped — merging them would change
 //! reference counts).
 
-use crate::attr::Attr;
 use crate::body::Body;
 use crate::dom::DomTree;
 use crate::ids::{BlockId, RegionId, ValueId};
@@ -25,17 +24,18 @@ impl Pass for CsePass {
         "cse"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
+    fn run_on(&self, module: &mut Module) -> bool {
         for_each_function(module, |_, body| run_on_body(body))
     }
 }
 
-/// A structural key identifying a pure computation.
+/// A structural key identifying a pure computation. Reuses the op's inline
+/// list types so building a key allocates nothing for unspilled lists.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CseKey {
     opcode: Opcode,
-    operands: Vec<ValueId>,
-    attrs: Vec<(crate::attr::AttrKey, Attr)>,
+    operands: crate::body::OperandList,
+    attrs: crate::body::AttrList,
     ty: Option<Type>,
 }
 

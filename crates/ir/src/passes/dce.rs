@@ -19,7 +19,7 @@ impl Pass for DcePass {
         "dce"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
+    fn run_on(&self, module: &mut Module) -> bool {
         for_each_function(module, |_, body| run_on_body(body))
     }
 }
@@ -119,7 +119,7 @@ mod tests {
         b.lp_dec(params[0]);
         b.lp_ret(params[0]);
         m.add_function("f", Signature::obj(1), body);
-        assert!(!DcePass.run(&mut m));
+        assert!(!DcePass.run(&mut m).changed);
         let body = m.func_by_name("f").unwrap().body.as_ref().unwrap();
         assert_eq!(body.live_op_count(), 3);
     }

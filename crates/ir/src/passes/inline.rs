@@ -31,7 +31,7 @@ impl Pass for InlinePass {
         "inline"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
+    fn run_on(&self, module: &mut Module) -> bool {
         let mut changed = false;
         // Snapshot which callees are inlinable, then rewrite call sites.
         let inlinable: Vec<Option<InlinableCallee>> = module
@@ -158,7 +158,7 @@ fn inline_at(body: &mut Body, call: OpId, snippet: &InlinableCallee) {
 
 /// Convenience entry point used by callees of this crate.
 pub fn inline_module(module: &mut Module, max_callee_ops: usize) -> bool {
-    InlinePass { max_callee_ops }.run(module)
+    InlinePass { max_callee_ops }.run_on(module)
 }
 
 #[cfg(test)]
@@ -190,7 +190,7 @@ mod tests {
         b.ret(s);
         m.add_function("f", Signature::new(vec![Type::I64], Type::I64), body);
 
-        assert!(InlinePass::default().run(&mut m));
+        assert!(InlinePass::default().run(&mut m).changed);
         crate::verifier::verify_module(&m).unwrap();
         let body = m.func_by_name("f").unwrap().body.as_ref().unwrap();
         let has_call = body
@@ -216,7 +216,7 @@ mod tests {
         let r = b.call(name, vec![params[0]], Type::I64);
         b.ret(r);
         m.add_function("selfrec", Signature::new(vec![Type::I64], Type::I64), body);
-        assert!(!InlinePass::default().run(&mut m));
+        assert!(!InlinePass::default().run(&mut m).changed);
     }
 
     #[test]
@@ -239,7 +239,7 @@ mod tests {
         b.ret(r);
         m.add_function("f", Signature::new(vec![Type::I64], Type::I64), body);
 
-        assert!(!InlinePass::default().run(&mut m));
+        assert!(!InlinePass::default().run(&mut m).changed);
     }
 
     #[test]
@@ -252,7 +252,7 @@ mod tests {
         let r = b.call(ext, vec![params[0]], Type::I64);
         b.ret(r);
         m.add_function("f", Signature::new(vec![Type::I64], Type::I64), body);
-        assert!(!InlinePass::default().run(&mut m));
+        assert!(!InlinePass::default().run(&mut m).changed);
     }
 
     #[test]

@@ -19,7 +19,7 @@ impl Pass for SimplifyCfgPass {
         "simplify-cfg"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
+    fn run_on(&self, module: &mut Module) -> bool {
         for_each_function(module, |_, body| run_on_body(body))
     }
 }

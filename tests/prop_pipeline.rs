@@ -2,8 +2,10 @@
 //! pipelines agree with the reference interpreter, the simplifier preserves
 //! semantics, and reference counting balances.
 
+use lambda_ssa::core::pipeline::{compile_with_report, reoptimize, PipelineOptions};
 use lambda_ssa::driver::conformance::generated;
 use lambda_ssa::driver::diff::run_differential;
+use lambda_ssa::driver::pipelines::{frontend, CompilerConfig};
 use lambda_ssa::lambda::{
     check_program, insert_rc, parse_program, run_program, simplify_program, SimplifyOptions,
 };
@@ -51,6 +53,27 @@ proptest! {
         // And it computes the same thing as λpure.
         let pure = run_program(&p, "main", false, MAX_STEPS).unwrap();
         prop_assert_eq!(out.rendered, pure.rendered);
+    }
+
+    /// Pipeline idempotence: `compile` ends with the `cleanup` pipeline
+    /// driven to a fixpoint, so re-running that pass pipeline on the
+    /// compiler's own output must report `changed == false` — on arbitrary
+    /// generated programs, not just the workloads.
+    #[test]
+    fn pipeline_is_idempotent_on_its_own_output(seed in any::<u32>()) {
+        let case = generated(1, seed as u64 ^ 0x5a5a_5a5a).remove(0);
+        let rc = frontend(&case.src, CompilerConfig::mlir()).unwrap();
+        let opts = PipelineOptions { verify: true, ..PipelineOptions::full() };
+        let (mut module, report) = compile_with_report(&rc, opts);
+        let cleanup = report.phases.last().unwrap();
+        prop_assert!(cleanup.converged, "cleanup missed its fixpoint on\n{}", case.src);
+        let again = reoptimize(&mut module, opts);
+        prop_assert!(
+            !again.changed,
+            "re-running the pass pipeline changed the IR of\n{}\n{}",
+            case.src,
+            again.render_table()
+        );
     }
 
     /// Simplifier + RC + both backends agree even when the simplifier is

@@ -7,17 +7,52 @@
 //! that breaks a lowering, an optimization, or the runtime shows up here as
 //! a checksum mismatch on a named workload long before the full 648-program
 //! conformance suite finishes.
+//!
+//! Workloads are independent — each case owns its interpreter environment,
+//! its compiled program, and its VM `Heap` — so the oracle shards across
+//! threads with `std::thread::scope` (the first step of the ROADMAP's
+//! parallel batch driver). A panic in any worker propagates through the
+//! scope join and fails the test with the workload's own message.
 
 use lambda_ssa::driver::diff::configs;
 use lambda_ssa::driver::pipelines::compile_and_run;
-use lambda_ssa::driver::workloads::{all, Scale};
+use lambda_ssa::driver::workloads::{all, Scale, Workload};
 use lambda_ssa::lambda::{insert_rc, parse_program, run_program};
 
 const MAX_STEPS: u64 = 500_000_000;
 
+/// Runs `check` once per workload, one thread per workload.
+fn for_each_workload_parallel(scale: Scale, check: impl Fn(&Workload) + Sync) {
+    let workloads = all(scale);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in &workloads {
+            let check = &check;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("smoke-{}", w.name))
+                    .spawn_scoped(s, move || check(w))
+                    .expect("spawn workload thread"),
+            );
+        }
+        // Join *every* handle before re-raising: unwinding out of the scope
+        // with other panicked threads still unjoined would double-panic in
+        // the scope's own cleanup and abort the test binary.
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(panic) = h.join() {
+                first_panic.get_or_insert(panic);
+            }
+        }
+        if let Some(panic) = first_panic {
+            std::panic::resume_unwind(panic);
+        }
+    });
+}
+
 #[test]
 fn interpreter_matches_checksums() {
-    for w in all(Scale::Test) {
+    for_each_workload_parallel(Scale::Test, |w| {
         let p = parse_program(&w.src).unwrap_or_else(|e| panic!("{}: parse: {e}", w.name));
         let pure = run_program(&p, "main", false, MAX_STEPS)
             .unwrap_or_else(|e| panic!("{}: λpure: {e}", w.name));
@@ -28,12 +63,12 @@ fn interpreter_matches_checksums() {
             .unwrap_or_else(|e| panic!("{}: λrc: {e}", w.name));
         assert_eq!(rc_out.rendered, w.expected_test, "{}: λrc checksum", w.name);
         assert_eq!(rc_out.stats.live, 0, "{}: λrc leaked objects", w.name);
-    }
+    });
 }
 
 #[test]
 fn all_pipelines_match_checksums() {
-    for w in all(Scale::Test) {
+    for_each_workload_parallel(Scale::Test, |w| {
         for config in configs() {
             let label = config.label();
             let out = compile_and_run(&w.src, config, MAX_STEPS)
@@ -49,7 +84,7 @@ fn all_pipelines_match_checksums() {
                 w.name
             );
         }
-    }
+    });
 }
 
 /// At `Scale::Bench` the runs take seconds each, so this cross-check of the
@@ -58,7 +93,7 @@ fn all_pipelines_match_checksums() {
 #[test]
 fn bench_scale_pipelines_agree() {
     use lambda_ssa::driver::pipelines::CompilerConfig;
-    for w in all(Scale::Bench) {
+    for_each_workload_parallel(Scale::Bench, |w| {
         let base = compile_and_run(&w.src, CompilerConfig::leanc(), MAX_STEPS)
             .unwrap_or_else(|e| panic!("{}/leanc: {e}", w.name));
         let mlir = compile_and_run(&w.src, CompilerConfig::mlir(), MAX_STEPS)
@@ -68,5 +103,5 @@ fn bench_scale_pipelines_agree() {
             "{}: bench-scale disagreement",
             w.name
         );
-    }
+    });
 }
