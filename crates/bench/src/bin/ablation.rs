@@ -9,7 +9,9 @@
 //! reproducible anywhere — followed by a per-pass statistics table per knob
 //! (runs, changed, live ops before/after, wall time; aggregated across the
 //! workloads) so a regression shows up attributed to the pass that caused
-//! it.
+//! it, and by the run-side mirror: the VM's per-opcode-class statistics per
+//! knob (executed counts, heap allocations, frame-pool behaviour), so each
+//! knob's compile-side cost can be weighed against its run-side effect.
 //!
 //! ```text
 //! cargo run --release -p lssa-bench --bin ablation [-- --scale test]
@@ -64,6 +66,10 @@ fn main() {
     println!();
     let mut knob_reports: Vec<PipelineReport> =
         knobs.iter().map(|_| PipelineReport::default()).collect();
+    let mut knob_vm_stats: Vec<lssa_vm::VmStatistics> = knobs
+        .iter()
+        .map(|_| lssa_vm::VmStatistics::default())
+        .collect();
     for w in all(scale) {
         print!("{:<20}", w.name);
         for (i, (_, opts)) in knobs.iter().enumerate() {
@@ -74,6 +80,7 @@ fn main() {
             let (program, report) = compile_with_report(&w.src, config).expect("compile");
             knob_reports[i].merge(&report.expect("mlir backend reports statistics"));
             let out = lssa_vm::run_program(&program, "main", lssa_bench::MAX_STEPS).expect("run");
+            knob_vm_stats[i].merge(&out.vm_stats);
             print!(" {:>10}/{:<5}", out.stats.instructions, program.code_size());
         }
         println!();
@@ -88,5 +95,12 @@ fn main() {
         println!();
         println!("=== {label} ===");
         print!("{}", report.render_table());
+    }
+    println!();
+    println!("Per-opcode-class VM statistics per knob (run-side costs, aggregated)");
+    for ((label, _), stats) in knobs.iter().zip(&knob_vm_stats) {
+        println!();
+        println!("=== {label} ===");
+        print!("{}", stats.render_table());
     }
 }

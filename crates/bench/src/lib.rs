@@ -35,17 +35,21 @@ pub struct Measurement {
 
 /// Compiles once, runs `runs` times, returns the median time.
 ///
+/// The program is pre-decoded once ([`lssa_vm::decode_program`]) so the
+/// timed region measures pure execution, not per-run decode cost.
+///
 /// # Panics
 ///
 /// Panics if compilation or execution fails — benchmarks must be green
 /// before being timed.
 pub fn measure(program: &CompiledProgram, runs: usize) -> Measurement {
     assert!(runs >= 1);
+    let decoded = lssa_vm::decode_program(program);
     let mut times = Vec::with_capacity(runs);
     let mut instructions = 0;
     for _ in 0..runs {
         let start = Instant::now();
-        let out = lssa_vm::run_program(program, "main", MAX_STEPS).expect("benchmark run");
+        let out = lssa_vm::run_decoded(&decoded, "main", MAX_STEPS).expect("benchmark run");
         times.push(start.elapsed());
         instructions = out.stats.instructions;
         assert_eq!(out.stats.heap.live, 0, "benchmark leaked");

@@ -1,16 +1,19 @@
 //! The `lssa` command-line compiler driver.
 //!
 //! ```text
-//! lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--print-ir-after-all]
+//! lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--print-ir-after-all]
 //! lssa dump <file> [--stage lp|rgn|opt|cfg]
 //! lssa diff <file>
-//! lssa bench <name> [--scale test|bench]
+//! lssa bench <name> [--scale test|bench|stress]
 //! ```
 //!
 //! `--pass-stats` prints the backend's per-pass statistics table (runs,
 //! changed flag, live-op counts before/after, wall time, per named
-//! pipeline) after the program's result. `--print-ir-after-all` dumps the
-//! module to stderr after every pass, MLIR-style.
+//! pipeline) after the program's result; `--vm-stats` prints the run-side
+//! mirror — the VM's per-opcode-class table (executed counts, heap
+//! allocations, frame-pool behaviour, max frame depth, wall time).
+//! `--print-ir-after-all` dumps the module to stderr after every pass,
+//! MLIR-style.
 
 use lssa_driver::pipelines::{
     compile_and_run, compile_and_run_with_report, frontend, Backend, CompilerConfig,
@@ -29,11 +32,11 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!(
-                "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--print-ir-after-all]"
+                "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--print-ir-after-all]"
             );
             eprintln!("  lssa dump <file> [--stage lambda|lp|rgn|opt|cfg]");
             eprintln!("  lssa diff <file>");
-            eprintln!("  lssa bench <name> [--scale test|bench]");
+            eprintln!("  lssa bench <name> [--scale test|bench|stress]");
             ExitCode::FAILURE
         }
     }
@@ -68,6 +71,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
             let mut config = config_of(flag_value(args, "--backend").unwrap_or("mlir"))?;
             let want_stats = has_flag(args, "--pass-stats");
+            let want_vm_stats = has_flag(args, "--vm-stats");
             if has_flag(args, "--print-ir-after-all") {
                 match config.backend {
                     Backend::Mlir(mut opts) => {
@@ -101,6 +105,9 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                     None => eprintln!("-- no pass statistics: the leanc backend has no pipeline"),
                 }
+            }
+            if want_vm_stats {
+                print!("{}", out.vm_stats.render_table());
             }
             Ok(())
         }
@@ -158,6 +165,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let scale = match flag_value(args, "--scale").unwrap_or("test") {
                 "test" => Scale::Test,
                 "bench" => Scale::Bench,
+                "stress" => Scale::Stress,
                 other => return Err(format!("unknown scale `{other}`")),
             };
             let w = by_name(name, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?;

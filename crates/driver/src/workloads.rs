@@ -16,6 +16,9 @@ pub enum Scale {
     Test,
     /// Inputs sized for timing runs (hundreds of milliseconds in the VM).
     Bench,
+    /// Inputs several times `Bench` — nightly stress runs (exercised by the
+    /// `slow-tests` feature in CI and `lssa bench --scale stress`).
+    Stress,
 }
 
 /// A named benchmark.
@@ -55,6 +58,7 @@ pub fn binarytrees(scale: Scale) -> Workload {
     let (iters, depth) = match scale {
         Scale::Test => (2, 4),
         Scale::Bench => (12, 11),
+        Scale::Stress => (16, 13),
     };
     Workload {
         name: "binarytrees",
@@ -81,6 +85,7 @@ pub fn binarytrees_int(scale: Scale) -> Workload {
     let (iters, depth) = match scale {
         Scale::Test => (2, 4),
         Scale::Bench => (10, 11),
+        Scale::Stress => (12, 13),
     };
     Workload {
         name: "binarytrees-int",
@@ -110,6 +115,7 @@ pub fn const_fold(scale: Scale) -> Workload {
     let (iters, n) = match scale {
         Scale::Test => (1, 6),
         Scale::Bench => (160, 60),
+        Scale::Stress => (600, 80),
     };
     Workload {
         name: "const_fold",
@@ -166,6 +172,7 @@ pub fn deriv(scale: Scale) -> Workload {
     let (iters, n) = match scale {
         Scale::Test => (1, 3),
         Scale::Bench => (60, 9),
+        Scale::Stress => (200, 11),
     };
     Workload {
         name: "deriv",
@@ -202,6 +209,7 @@ pub fn filter(scale: Scale) -> Workload {
     let (iters, n) = match scale {
         Scale::Test => (2, 10),
         Scale::Bench => (250, 600),
+        Scale::Stress => (600, 2000),
     };
     Workload {
         name: "filter",
@@ -234,6 +242,7 @@ pub fn qsort(scale: Scale) -> Workload {
     let (iters, n) = match scale {
         Scale::Test => (1, 16),
         Scale::Bench => (40, 500),
+        Scale::Stress => (120, 1500),
     };
     Workload {
         name: "qsort",
@@ -284,6 +293,7 @@ pub fn rbmap_checkpoint(scale: Scale) -> Workload {
     let (n, probes) = match scale {
         Scale::Test => (30, 10),
         Scale::Bench => (4000, 2000),
+        Scale::Stress => (20000, 10000),
     };
     Workload {
         name: "rbmap_checkpoint",
@@ -406,6 +416,7 @@ pub fn unionfind(scale: Scale) -> Workload {
     let (n, ops) = match scale {
         Scale::Test => (16, 10),
         Scale::Bench => (3000, 3000),
+        Scale::Stress => (15000, 15000),
     };
     Workload {
         name: "unionfind",

@@ -106,6 +106,27 @@ fn pass_stats_prints_pipeline_tables() {
 }
 
 #[test]
+fn vm_stats_prints_opcode_class_table() {
+    let path = write_temp("vmstats", PROGRAM);
+    let out = lssa()
+        .args(["run"])
+        .arg(&path)
+        .args(["--vm-stats"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["opcode class", "executed", "frames:", "heap:", "max depth"] {
+        assert!(text.contains(needle), "missing {needle}\n{text}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn print_ir_after_all_dumps_to_stderr() {
     let path = write_temp("irdump", PROGRAM);
     let out = lssa()

@@ -97,8 +97,10 @@ impl FromStr for CmpPred {
 pub enum Attr {
     /// An integer constant.
     Int(i64),
-    /// A string constant (e.g. a big-integer literal).
-    Str(String),
+    /// A string constant (e.g. a big-integer literal). Stored as `Box<str>`
+    /// — attributes are immutable once attached, so carrying a `String`'s
+    /// spare capacity (and third word) in every `OpData` would be waste.
+    Str(Box<str>),
     /// A symbol reference (`@foo`).
     Sym(Symbol),
     /// A list of integers (e.g. `lp.switch` case values).

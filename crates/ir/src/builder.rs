@@ -262,7 +262,7 @@ impl<'a> Builder<'a> {
             Opcode::LpBigInt,
             vec![],
             Type::Obj,
-            vec![(AttrKey::Value, Attr::Str(digits.to_string()))],
+            vec![(AttrKey::Value, Attr::Str(digits.into()))],
         )
     }
 
@@ -272,7 +272,7 @@ impl<'a> Builder<'a> {
             Opcode::LpStr,
             vec![],
             Type::Obj,
-            vec![(AttrKey::Value, Attr::Str(s.to_string()))],
+            vec![(AttrKey::Value, Attr::Str(s.into()))],
         )
     }
 

@@ -843,7 +843,7 @@ impl Binder<'_> {
     fn bind_attr(&mut self, a: &PAttr) -> Attr {
         match a {
             PAttr::Int(v) => Attr::Int(*v),
-            PAttr::Str(s) => Attr::Str(s.clone()),
+            PAttr::Str(s) => Attr::Str(s.as_str().into()),
             PAttr::Sym(s) => Attr::Sym(self.module.intern(s)),
             PAttr::IntList(vs) => Attr::IntList(vs.clone()),
             PAttr::Pred(p) => Attr::Pred(*p),

@@ -233,6 +233,9 @@ pub fn for_each_function(
 /// Hook invoked with `(pass path, module)` after each pass execution.
 pub type DumpHook = Box<dyn Fn(&str, &Module)>;
 
+/// Borrowed [`DumpHook`], threaded through nested sweep recursion.
+type DumpHookRef<'a> = &'a dyn Fn(&str, &Module);
+
 enum Entry {
     Pass(Box<dyn Pass>),
     Pipeline(PassManager),
@@ -408,7 +411,7 @@ impl PassManager {
         &self,
         module: &mut Module,
         prefix: &str,
-        hook: Option<&dyn Fn(&str, &Module)>,
+        hook: Option<DumpHookRef<'_>>,
         stats: &mut Vec<PassStatistics>,
         op_count: &mut usize,
     ) -> bool {

@@ -13,6 +13,16 @@ use crate::object::{ObjData, ObjRef, Object, MAX_SMALL_INT, MAX_SMALL_NAT, MIN_S
 pub struct HeapStats {
     /// Number of objects allocated over the heap's lifetime.
     pub allocs: u64,
+    /// Constructor cells allocated.
+    pub ctor_allocs: u64,
+    /// Closures allocated.
+    pub closure_allocs: u64,
+    /// Arrays allocated.
+    pub array_allocs: u64,
+    /// Strings allocated.
+    pub str_allocs: u64,
+    /// Boxed big integers allocated.
+    pub bigint_allocs: u64,
     /// Number of objects freed.
     pub frees: u64,
     /// Number of `inc` operations executed.
@@ -23,6 +33,24 @@ pub struct HeapStats {
     pub live: u64,
     /// High-water mark of live objects.
     pub peak_live: u64,
+}
+
+impl HeapStats {
+    /// Folds the statistics of an independent heap into this record:
+    /// counts sum, the high-water mark takes the maximum.
+    pub fn absorb(&mut self, other: &HeapStats) {
+        self.allocs += other.allocs;
+        self.ctor_allocs += other.ctor_allocs;
+        self.closure_allocs += other.closure_allocs;
+        self.array_allocs += other.array_allocs;
+        self.str_allocs += other.str_allocs;
+        self.bigint_allocs += other.bigint_allocs;
+        self.frees += other.frees;
+        self.incs += other.incs;
+        self.decs += other.decs;
+        self.live += other.live;
+        self.peak_live = self.peak_live.max(other.peak_live);
+    }
 }
 
 /// A reference-counted slot heap.
@@ -67,8 +95,22 @@ impl Heap {
         };
     }
 
+    /// Objects allocated so far (cheap accessor: the VM samples this around
+    /// allocating instructions to attribute allocations per opcode class).
+    pub fn alloc_count(&self) -> u64 {
+        self.stats.allocs
+    }
+
     fn alloc(&mut self, data: ObjData) -> ObjRef {
         self.stats.allocs += 1;
+        match data {
+            ObjData::Ctor { .. } => self.stats.ctor_allocs += 1,
+            ObjData::Closure { .. } => self.stats.closure_allocs += 1,
+            ObjData::Array(_) => self.stats.array_allocs += 1,
+            ObjData::Str(_) => self.stats.str_allocs += 1,
+            ObjData::BigInt(_) => self.stats.bigint_allocs += 1,
+            ObjData::Free(_) => unreachable!("allocating a free slot marker"),
+        }
         self.stats.live += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.stats.live);
         let obj = Object { rc: 1, data };

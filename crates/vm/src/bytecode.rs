@@ -10,7 +10,7 @@ use lssa_rt::{Builtin, Nat};
 use std::fmt;
 
 /// A virtual register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Reg(pub u16);
 
 impl fmt::Display for Reg {

@@ -1,0 +1,726 @@
+//! The pre-decoded compact instruction stream the VM actually executes.
+//!
+//! [`crate::bytecode::Instr`] is the backend's *interchange* form: explicit,
+//! printable, easy to construct — and expensive to interpret, because the
+//! wide enum drags `Vec`s through every `Construct`/`Call`/`TailCall` and
+//! forces the dispatch loop to clone instructions to appease the borrow
+//! checker. This module lowers a [`CompiledProgram`] once, ahead of
+//! execution, into [`DecodedProgram`]:
+//!
+//! - every instruction becomes a fixed-size, `Copy` [`DecodedInstr`] with
+//!   **no per-instruction heap data** (asserted at compile time to stay
+//!   within 16 bytes);
+//! - variable-length register lists live in one shared side pool per
+//!   function ([`DecodedFn::args`]), referenced by `(u32 offset, u16 len)`
+//!   [`ArgSlice`]s; switch tables live in a second pool
+//!   ([`DecodedFn::cases`]);
+//! - jump targets shrink to `u32`.
+//!
+//! Decoding is lossless: [`DecodedFn::encode`] reconstructs the original
+//! enum instruction exactly (the round-trip the unit tests pin down), so
+//! the decoded form executes identically by construction.
+
+use crate::bytecode::{BinOp, CmpPred, CompiledFn, CompiledProgram, Instr, Reg};
+use lssa_rt::{Builtin, Nat};
+
+/// A `(offset, len)` window into a function's shared register pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArgSlice {
+    /// Offset into [`DecodedFn::args`] (or [`DecodedFn::cases`]).
+    pub off: u32,
+    /// Number of entries.
+    pub len: u16,
+}
+
+impl ArgSlice {
+    /// The corresponding `Range` for indexing the pool.
+    pub fn range(self) -> std::ops::Range<usize> {
+        let off = self.off as usize;
+        off..off + self.len as usize
+    }
+}
+
+/// Coarse instruction classes for per-opcode-class execution statistics
+/// (the VM-side analogue of `lssa-ir`'s per-pass `PassStatistics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpClass {
+    /// Constant materialization (`ConstInt`, `LpInt`).
+    Const = 0,
+    /// Heap-allocating data constructors (`LpBig`, `LpStr`, `Construct`).
+    Alloc,
+    /// Reads of constructor cells (`GetLabel`, `Project`).
+    Project,
+    /// Closure creation/extension (`Pap`, `PapExtend`).
+    Closure,
+    /// Reference counting (`Inc`, `Dec`).
+    Rc,
+    /// Direct calls of user functions.
+    Call,
+    /// Calls of runtime builtins.
+    CallBuiltin,
+    /// Guaranteed tail calls (frame-reusing).
+    TailCall,
+    /// Returns.
+    Ret,
+    /// Control flow (`Jump`, `Branch`, `Switch`).
+    Branch,
+    /// Raw-word arithmetic (`Bin`, `Cmp`, `Select`, `Mask`).
+    Arith,
+    /// Register copies.
+    Move,
+    /// Module-global loads/stores.
+    Global,
+    /// `Trap`.
+    Trap,
+}
+
+impl OpClass {
+    /// Number of classes (sizes the statistics arrays).
+    pub const COUNT: usize = 14;
+
+    /// All classes in display order.
+    pub const ALL: [OpClass; OpClass::COUNT] = [
+        OpClass::Const,
+        OpClass::Alloc,
+        OpClass::Project,
+        OpClass::Closure,
+        OpClass::Rc,
+        OpClass::Call,
+        OpClass::CallBuiltin,
+        OpClass::TailCall,
+        OpClass::Ret,
+        OpClass::Branch,
+        OpClass::Arith,
+        OpClass::Move,
+        OpClass::Global,
+        OpClass::Trap,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Const => "const",
+            OpClass::Alloc => "alloc",
+            OpClass::Project => "project",
+            OpClass::Closure => "closure",
+            OpClass::Rc => "rc",
+            OpClass::Call => "call",
+            OpClass::CallBuiltin => "call-builtin",
+            OpClass::TailCall => "tail-call",
+            OpClass::Ret => "ret",
+            OpClass::Branch => "branch",
+            OpClass::Arith => "arith",
+            OpClass::Move => "move",
+            OpClass::Global => "global",
+            OpClass::Trap => "trap",
+        }
+    }
+}
+
+/// One pre-decoded instruction: fixed operands only, `Copy`, no heap data.
+///
+/// Mirrors [`Instr`] variant-for-variant; variable-length payloads are
+/// [`ArgSlice`]s into the owning [`DecodedFn`]'s pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodedInstr {
+    /// `dst ← raw constant`.
+    ConstInt {
+        /// Destination.
+        dst: Reg,
+        /// The value.
+        v: i64,
+    },
+    /// `dst ← scalar object`.
+    LpInt {
+        /// Destination.
+        dst: Reg,
+        /// The (small) integer.
+        v: i64,
+    },
+    /// `dst ← boxed bignum` from the constant pool.
+    LpBig {
+        /// Destination.
+        dst: Reg,
+        /// Pool index.
+        idx: u32,
+    },
+    /// `dst ← string object` from the pool.
+    LpStr {
+        /// Destination.
+        dst: Reg,
+        /// Pool index.
+        idx: u32,
+    },
+    /// `dst ← ctor{tag}(args…)`.
+    Construct {
+        /// Destination.
+        dst: Reg,
+        /// Variant tag.
+        tag: u32,
+        /// Field registers (pool slice).
+        args: ArgSlice,
+    },
+    /// `dst ← tag(src)` as a raw word.
+    GetLabel {
+        /// Destination (raw).
+        dst: Reg,
+        /// Source object.
+        src: Reg,
+    },
+    /// `dst ← field idx of src`.
+    Project {
+        /// Destination.
+        dst: Reg,
+        /// Source object.
+        src: Reg,
+        /// Field index.
+        idx: u32,
+    },
+    /// Build a closure. The argument slice is flattened into `args_off`/
+    /// `args_len` (an [`ArgSlice`]'s padding would push this variant past
+    /// the 16-byte cell).
+    Pap {
+        /// Destination.
+        dst: Reg,
+        /// Target function (VM index).
+        func: u32,
+        /// Its arity.
+        arity: u16,
+        /// Captured arguments: offset into the pool.
+        args_off: u32,
+        /// Captured arguments: count.
+        args_len: u16,
+    },
+    /// Extend a closure, possibly invoking it.
+    PapExtend {
+        /// Destination.
+        dst: Reg,
+        /// The closure.
+        closure: Reg,
+        /// Arguments to add (pool slice).
+        args: ArgSlice,
+    },
+    /// Retain.
+    Inc {
+        /// The object.
+        src: Reg,
+    },
+    /// Release.
+    Dec {
+        /// The object.
+        src: Reg,
+    },
+    /// Direct call of a user function.
+    Call {
+        /// Destination for the result.
+        dst: Reg,
+        /// VM function index.
+        func: u32,
+        /// Arguments (pool slice).
+        args: ArgSlice,
+    },
+    /// Call of a runtime builtin.
+    CallBuiltin {
+        /// Destination.
+        dst: Reg,
+        /// The builtin.
+        builtin: Builtin,
+        /// Arguments (pool slice).
+        args: ArgSlice,
+    },
+    /// Guaranteed tail call: reuses the current frame in place.
+    TailCall {
+        /// VM function index.
+        func: u32,
+        /// Arguments (pool slice).
+        args: ArgSlice,
+    },
+    /// Return `src` to the caller.
+    Ret {
+        /// The result.
+        src: Reg,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Absolute target.
+        target: u32,
+    },
+    /// Two-way branch on a raw word.
+    Branch {
+        /// Condition (0 = false).
+        cond: Reg,
+        /// Target when non-zero.
+        then_t: u32,
+        /// Target when zero.
+        else_t: u32,
+    },
+    /// Jump table on a raw word; `(value, target)` pairs live in
+    /// [`DecodedFn::cases`].
+    Switch {
+        /// Scrutinee.
+        idx: Reg,
+        /// Cases (slice of the case pool).
+        cases: ArgSlice,
+        /// Fallback target.
+        default: u32,
+    },
+    /// `dst ← op(a, b)` on raw words.
+    Bin {
+        /// The operation.
+        op: BinOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst ← pred(a, b)` as 0/1.
+    Cmp {
+        /// The predicate.
+        pred: CmpPred,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst ← c ? a : b`.
+    Select {
+        /// Destination.
+        dst: Reg,
+        /// Condition (raw).
+        c: Reg,
+        /// Taken when non-zero.
+        a: Reg,
+        /// Taken when zero.
+        b: Reg,
+    },
+    /// `dst ← src & mask`.
+    Mask {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+        /// Bit mask.
+        mask: u64,
+    },
+    /// Register copy.
+    Move {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// Read a module global.
+    GlobalLoad {
+        /// Destination.
+        dst: Reg,
+        /// Global slot index.
+        idx: u32,
+    },
+    /// Write a module global.
+    GlobalStore {
+        /// Global slot index.
+        idx: u32,
+        /// Source.
+        src: Reg,
+    },
+    /// Executing this is a bug.
+    Trap,
+}
+
+// The whole point of the decoded form: every instruction is one compact,
+// pointer-free cell. A grown variant breaks this at compile time.
+const _: () = assert!(std::mem::size_of::<DecodedInstr>() <= 16);
+
+impl DecodedInstr {
+    /// The statistics class of this instruction.
+    pub fn class(self) -> OpClass {
+        match self {
+            DecodedInstr::ConstInt { .. } | DecodedInstr::LpInt { .. } => OpClass::Const,
+            DecodedInstr::LpBig { .. }
+            | DecodedInstr::LpStr { .. }
+            | DecodedInstr::Construct { .. } => OpClass::Alloc,
+            DecodedInstr::GetLabel { .. } | DecodedInstr::Project { .. } => OpClass::Project,
+            DecodedInstr::Pap { .. } | DecodedInstr::PapExtend { .. } => OpClass::Closure,
+            DecodedInstr::Inc { .. } | DecodedInstr::Dec { .. } => OpClass::Rc,
+            DecodedInstr::Call { .. } => OpClass::Call,
+            DecodedInstr::CallBuiltin { .. } => OpClass::CallBuiltin,
+            DecodedInstr::TailCall { .. } => OpClass::TailCall,
+            DecodedInstr::Ret { .. } => OpClass::Ret,
+            DecodedInstr::Jump { .. }
+            | DecodedInstr::Branch { .. }
+            | DecodedInstr::Switch { .. } => OpClass::Branch,
+            DecodedInstr::Bin { .. }
+            | DecodedInstr::Cmp { .. }
+            | DecodedInstr::Select { .. }
+            | DecodedInstr::Mask { .. } => OpClass::Arith,
+            DecodedInstr::Move { .. } => OpClass::Move,
+            DecodedInstr::GlobalLoad { .. } | DecodedInstr::GlobalStore { .. } => OpClass::Global,
+            DecodedInstr::Trap => OpClass::Trap,
+        }
+    }
+}
+
+/// A function in decoded form: flat code plus its two side pools.
+#[derive(Debug, Clone)]
+pub struct DecodedFn {
+    /// Source-level name.
+    pub name: String,
+    /// Number of parameters (passed in registers `0..arity`).
+    pub arity: u16,
+    /// Total registers used.
+    pub n_regs: u16,
+    /// The code.
+    pub code: Vec<DecodedInstr>,
+    /// Shared register-list pool (`Construct`/`Pap`/`Call`/… operands).
+    pub args: Vec<Reg>,
+    /// Shared switch-table pool: `(value, target)` pairs.
+    pub cases: Vec<(i64, u32)>,
+}
+
+impl DecodedFn {
+    /// The registers of an [`ArgSlice`].
+    pub fn arg_regs(&self, s: ArgSlice) -> &[Reg] {
+        &self.args[s.range()]
+    }
+
+    /// Lowers one [`CompiledFn`].
+    fn decode(f: &CompiledFn) -> DecodedFn {
+        let mut d = DecodedFn {
+            name: f.name.clone(),
+            arity: f.arity,
+            n_regs: f.n_regs,
+            code: Vec::with_capacity(f.code.len()),
+            args: Vec::new(),
+            cases: Vec::new(),
+        };
+        assert!(
+            u32::try_from(f.code.len()).is_ok(),
+            "@{}: function body too large to decode",
+            f.name
+        );
+        // The frame-pool calling convention writes `arity` argument words
+        // then resizes to `n_regs`; a malformed function would silently
+        // truncate its arguments there, so reject it while decoding.
+        assert!(
+            f.arity <= f.n_regs,
+            "@{}: arity {} exceeds register file size {}",
+            f.name,
+            f.arity,
+            f.n_regs
+        );
+        for instr in &f.code {
+            let decoded = d.decode_instr(instr);
+            d.code.push(decoded);
+        }
+        d
+    }
+
+    fn intern_args(&mut self, regs: &[Reg]) -> ArgSlice {
+        let off = u32::try_from(self.args.len()).expect("argument pool exhausted");
+        let len = u16::try_from(regs.len()).expect("argument list too long");
+        self.args.extend_from_slice(regs);
+        ArgSlice { off, len }
+    }
+
+    fn decode_instr(&mut self, instr: &Instr) -> DecodedInstr {
+        let t32 = |t: usize| u32::try_from(t).expect("jump target out of range");
+        match *instr {
+            Instr::ConstInt { dst, v } => DecodedInstr::ConstInt { dst, v },
+            Instr::LpInt { dst, v } => DecodedInstr::LpInt { dst, v },
+            Instr::LpBig { dst, idx } => DecodedInstr::LpBig { dst, idx },
+            Instr::LpStr { dst, idx } => DecodedInstr::LpStr { dst, idx },
+            Instr::Construct { dst, tag, ref args } => DecodedInstr::Construct {
+                dst,
+                tag,
+                args: self.intern_args(args),
+            },
+            Instr::GetLabel { dst, src } => DecodedInstr::GetLabel { dst, src },
+            Instr::Project { dst, src, idx } => DecodedInstr::Project { dst, src, idx },
+            Instr::Pap {
+                dst,
+                func,
+                arity,
+                ref args,
+            } => {
+                let s = self.intern_args(args);
+                DecodedInstr::Pap {
+                    dst,
+                    func,
+                    arity,
+                    args_off: s.off,
+                    args_len: s.len,
+                }
+            }
+            Instr::PapExtend {
+                dst,
+                closure,
+                ref args,
+            } => DecodedInstr::PapExtend {
+                dst,
+                closure,
+                args: self.intern_args(args),
+            },
+            Instr::Inc { src } => DecodedInstr::Inc { src },
+            Instr::Dec { src } => DecodedInstr::Dec { src },
+            Instr::Call {
+                dst,
+                func,
+                ref args,
+            } => DecodedInstr::Call {
+                dst,
+                func,
+                args: self.intern_args(args),
+            },
+            Instr::CallBuiltin {
+                dst,
+                builtin,
+                ref args,
+            } => DecodedInstr::CallBuiltin {
+                dst,
+                builtin,
+                args: self.intern_args(args),
+            },
+            Instr::TailCall { func, ref args } => DecodedInstr::TailCall {
+                func,
+                args: self.intern_args(args),
+            },
+            Instr::Ret { src } => DecodedInstr::Ret { src },
+            Instr::Jump { target } => DecodedInstr::Jump {
+                target: t32(target),
+            },
+            Instr::Branch {
+                cond,
+                then_t,
+                else_t,
+            } => DecodedInstr::Branch {
+                cond,
+                then_t: t32(then_t),
+                else_t: t32(else_t),
+            },
+            Instr::Switch {
+                idx,
+                ref cases,
+                default,
+            } => {
+                let off = u32::try_from(self.cases.len()).expect("case pool exhausted");
+                let len = u16::try_from(cases.len()).expect("switch too wide");
+                self.cases.extend(cases.iter().map(|&(v, t)| (v, t32(t))));
+                DecodedInstr::Switch {
+                    idx,
+                    cases: ArgSlice { off, len },
+                    default: t32(default),
+                }
+            }
+            Instr::Bin { op, dst, a, b } => DecodedInstr::Bin { op, dst, a, b },
+            Instr::Cmp { pred, dst, a, b } => DecodedInstr::Cmp { pred, dst, a, b },
+            Instr::Select { dst, c, a, b } => DecodedInstr::Select { dst, c, a, b },
+            Instr::Mask { dst, src, mask } => DecodedInstr::Mask { dst, src, mask },
+            Instr::Move { dst, src } => DecodedInstr::Move { dst, src },
+            Instr::GlobalLoad { dst, idx } => DecodedInstr::GlobalLoad { dst, idx },
+            Instr::GlobalStore { idx, src } => DecodedInstr::GlobalStore { idx, src },
+            Instr::Trap => DecodedInstr::Trap,
+        }
+    }
+
+    /// Reconstructs the enum form of instruction `i` — the inverse of
+    /// decoding, used by the round-trip tests and for disassembly.
+    pub fn encode(&self, i: usize) -> Instr {
+        let regs = |s: ArgSlice| self.arg_regs(s).to_vec();
+        match self.code[i] {
+            DecodedInstr::ConstInt { dst, v } => Instr::ConstInt { dst, v },
+            DecodedInstr::LpInt { dst, v } => Instr::LpInt { dst, v },
+            DecodedInstr::LpBig { dst, idx } => Instr::LpBig { dst, idx },
+            DecodedInstr::LpStr { dst, idx } => Instr::LpStr { dst, idx },
+            DecodedInstr::Construct { dst, tag, args } => Instr::Construct {
+                dst,
+                tag,
+                args: regs(args),
+            },
+            DecodedInstr::GetLabel { dst, src } => Instr::GetLabel { dst, src },
+            DecodedInstr::Project { dst, src, idx } => Instr::Project { dst, src, idx },
+            DecodedInstr::Pap {
+                dst,
+                func,
+                arity,
+                args_off,
+                args_len,
+            } => Instr::Pap {
+                dst,
+                func,
+                arity,
+                args: regs(ArgSlice {
+                    off: args_off,
+                    len: args_len,
+                }),
+            },
+            DecodedInstr::PapExtend { dst, closure, args } => Instr::PapExtend {
+                dst,
+                closure,
+                args: regs(args),
+            },
+            DecodedInstr::Inc { src } => Instr::Inc { src },
+            DecodedInstr::Dec { src } => Instr::Dec { src },
+            DecodedInstr::Call { dst, func, args } => Instr::Call {
+                dst,
+                func,
+                args: regs(args),
+            },
+            DecodedInstr::CallBuiltin { dst, builtin, args } => Instr::CallBuiltin {
+                dst,
+                builtin,
+                args: regs(args),
+            },
+            DecodedInstr::TailCall { func, args } => Instr::TailCall {
+                func,
+                args: regs(args),
+            },
+            DecodedInstr::Ret { src } => Instr::Ret { src },
+            DecodedInstr::Jump { target } => Instr::Jump {
+                target: target as usize,
+            },
+            DecodedInstr::Branch {
+                cond,
+                then_t,
+                else_t,
+            } => Instr::Branch {
+                cond,
+                then_t: then_t as usize,
+                else_t: else_t as usize,
+            },
+            DecodedInstr::Switch {
+                idx,
+                cases,
+                default,
+            } => Instr::Switch {
+                idx,
+                cases: self.cases[cases.range()]
+                    .iter()
+                    .map(|&(v, t)| (v, t as usize))
+                    .collect(),
+                default: default as usize,
+            },
+            DecodedInstr::Bin { op, dst, a, b } => Instr::Bin { op, dst, a, b },
+            DecodedInstr::Cmp { pred, dst, a, b } => Instr::Cmp { pred, dst, a, b },
+            DecodedInstr::Select { dst, c, a, b } => Instr::Select { dst, c, a, b },
+            DecodedInstr::Mask { dst, src, mask } => Instr::Mask { dst, src, mask },
+            DecodedInstr::Move { dst, src } => Instr::Move { dst, src },
+            DecodedInstr::GlobalLoad { dst, idx } => Instr::GlobalLoad { dst, idx },
+            DecodedInstr::GlobalStore { idx, src } => Instr::GlobalStore { idx, src },
+            DecodedInstr::Trap => Instr::Trap,
+        }
+    }
+}
+
+/// A whole program in decoded form. Owns copies of the constant pools so
+/// it is self-contained (a [`CompiledProgram`] can be dropped after
+/// decoding).
+#[derive(Debug, Clone, Default)]
+pub struct DecodedProgram {
+    /// Functions; closure [`lssa_rt::FuncId`]s index into this.
+    pub fns: Vec<DecodedFn>,
+    /// Big-integer constant pool.
+    pub big_pool: Vec<Nat>,
+    /// String constant pool.
+    pub str_pool: Vec<String>,
+    /// Global slot names.
+    pub globals: Vec<String>,
+}
+
+impl DecodedProgram {
+    /// Looks up a function index by name.
+    pub fn fn_index(&self, name: &str) -> Option<usize> {
+        self.fns.iter().position(|f| f.name == name)
+    }
+}
+
+/// Lowers a compiled program to the decoded execution form. Linear in code
+/// size; done once per program, not once per executed instruction.
+pub fn decode_program(program: &CompiledProgram) -> DecodedProgram {
+    DecodedProgram {
+        fns: program.fns.iter().map(DecodedFn::decode).collect(),
+        big_pool: program.big_pool.clone(),
+        str_pool: program.str_pool.clone(),
+        globals: program.globals.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoded_instr_is_compact() {
+        assert!(std::mem::size_of::<DecodedInstr>() <= 16);
+        // The enum interchange form is strictly wider (it carries `Vec`s).
+        assert!(std::mem::size_of::<DecodedInstr>() < std::mem::size_of::<Instr>());
+    }
+
+    #[test]
+    fn arg_slices_share_one_pool() {
+        let f = CompiledFn {
+            name: "f".into(),
+            arity: 3,
+            n_regs: 4,
+            code: vec![
+                Instr::Construct {
+                    dst: Reg(3),
+                    tag: 1,
+                    args: vec![Reg(0), Reg(1)],
+                },
+                Instr::Call {
+                    dst: Reg(3),
+                    func: 0,
+                    args: vec![Reg(2), Reg(3), Reg(0)],
+                },
+                Instr::Ret { src: Reg(3) },
+            ],
+        };
+        let d = DecodedFn::decode(&f);
+        assert_eq!(d.args.len(), 5, "both lists live in the one pool");
+        let DecodedInstr::Construct { args, .. } = d.code[0] else {
+            panic!("expected construct");
+        };
+        assert_eq!(d.arg_regs(args), &[Reg(0), Reg(1)]);
+        let DecodedInstr::Call { args, .. } = d.code[1] else {
+            panic!("expected call");
+        };
+        assert_eq!(d.arg_regs(args), &[Reg(2), Reg(3), Reg(0)]);
+    }
+
+    #[test]
+    fn switch_tables_round_trip_through_case_pool() {
+        let f = CompiledFn {
+            name: "f".into(),
+            arity: 1,
+            n_regs: 1,
+            code: vec![
+                Instr::Switch {
+                    idx: Reg(0),
+                    cases: vec![(0, 2), (5, 3)],
+                    default: 4,
+                },
+                Instr::Trap,
+                Instr::Ret { src: Reg(0) },
+                Instr::Ret { src: Reg(0) },
+                Instr::Ret { src: Reg(0) },
+            ],
+        };
+        let d = DecodedFn::decode(&f);
+        for (i, original) in f.code.iter().enumerate() {
+            assert_eq!(&d.encode(i), original, "instruction {i}");
+        }
+    }
+
+    #[test]
+    fn op_classes_cover_every_instruction() {
+        // `ALL` must agree with the discriminants used to index stats.
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+}

@@ -1,17 +1,27 @@
 //! The execution engine.
 //!
-//! An iterative interpreter over an explicit frame stack:
+//! An iterative interpreter over a pooled frame stack, executing the
+//! pre-decoded instruction stream of [`crate::decode`]:
 //!
-//! - `TailCall` *replaces* the current frame — tail calls consume no stack,
-//!   delivering the `musttail` guarantee of §III-E;
+//! - frames live in a **pool with a free list** — the stack holds indices
+//!   into the pool, a `Ret` returns its frame (register file included) to
+//!   the free list, and the next call reuses it without reallocating;
+//! - `TailCall` *reuses the current frame's register file in place* — tail
+//!   calls consume no stack and, once warm, **no heap allocation per
+//!   iteration**, delivering the `musttail` guarantee of §III-E at zero
+//!   amortized cost;
 //! - `PapExtend` uses the shared saturation semantics from `lssa-rt`, so
 //!   closure behaviour matches the reference interpreter exactly;
-//! - every instruction executed is counted, giving a deterministic
-//!   performance metric alongside wall-clock time.
+//! - every instruction executed is counted **per opcode class**
+//!   ([`VmStatistics`], the run-side analogue of `lssa-ir`'s per-pass
+//!   `PassStatistics`), giving a deterministic performance metric alongside
+//!   wall-clock time.
 
-use crate::bytecode::{CompiledProgram, Instr, Reg};
+use crate::bytecode::{CompiledProgram, Reg};
+use crate::decode::{decode_program, DecodedInstr, DecodedProgram, OpClass};
 use lssa_rt::{pap_extend, pap_new, ApplyOutcome, FuncId, Heap, HeapStats, Int, ObjRef};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// A runtime failure (trap, stack/step limits, type confusion).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,7 +44,8 @@ fn err(message: impl Into<String>) -> VmError {
     }
 }
 
-/// Execution statistics.
+/// Execution statistics (the compact summary; see [`VmStatistics`] for the
+/// per-opcode-class breakdown).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Instructions executed.
@@ -47,42 +58,178 @@ pub struct ExecStats {
     pub heap: HeapStats,
 }
 
+/// Per-opcode-class execution statistics — the VM-side mirror of the
+/// compile-side `PassStatistics`: what ran, how often, what it allocated,
+/// and how long the whole run took.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStatistics {
+    /// Instructions executed, per [`OpClass`] (indexed by discriminant).
+    pub executed: [u64; OpClass::COUNT],
+    /// Heap objects allocated while executing each class.
+    pub class_allocs: [u64; OpClass::COUNT],
+    /// Total instructions executed.
+    pub instructions: u64,
+    /// Function calls made (including tail calls).
+    pub calls: u64,
+    /// Maximum frame-stack depth (the frame pool's high-water mark).
+    pub max_depth: u64,
+    /// Frames freshly allocated in the pool (not reused).
+    pub frame_allocs: u64,
+    /// Frames recycled through the free list.
+    pub frame_reuses: u64,
+    /// Tail calls that reused the current register file in place.
+    pub tail_frame_reuses: u64,
+    /// Wall time spent executing.
+    pub duration: Duration,
+    /// Heap statistics at the end of the run.
+    pub heap: HeapStats,
+}
+
+impl VmStatistics {
+    /// Executed count for one class.
+    pub fn executed_of(&self, class: OpClass) -> u64 {
+        self.executed[class as usize]
+    }
+
+    /// Heap allocations attributed to one class.
+    pub fn allocs_of(&self, class: OpClass) -> u64 {
+        self.class_allocs[class as usize]
+    }
+
+    /// Folds statistics from an independent run into this record (counts
+    /// sum, depths take the maximum) — used to aggregate run-side costs
+    /// across a whole workload suite, like `PassStatistics::absorb_parallel`
+    /// on the compile side.
+    pub fn merge(&mut self, other: &VmStatistics) {
+        for i in 0..OpClass::COUNT {
+            self.executed[i] += other.executed[i];
+            self.class_allocs[i] += other.class_allocs[i];
+        }
+        self.instructions += other.instructions;
+        self.calls += other.calls;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.frame_allocs += other.frame_allocs;
+        self.frame_reuses += other.frame_reuses;
+        self.tail_frame_reuses += other.tail_frame_reuses;
+        self.duration += other.duration;
+        self.heap.absorb(&other.heap);
+    }
+
+    /// Renders the per-opcode-class table (the payload behind
+    /// `lssa run --vm-stats`), in the same fixed-width style as the
+    /// compile-side pass tables.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "vm: {} instructions, {} calls, max depth {}, {:.3}ms",
+            self.instructions,
+            self.calls,
+            self.max_depth,
+            self.duration.as_secs_f64() * 1e3,
+        );
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>14} {:>12} {:>7}",
+            "opcode class", "executed", "heap-allocs", "share"
+        );
+        for class in OpClass::ALL {
+            let executed = self.executed_of(class);
+            if executed == 0 {
+                continue;
+            }
+            let share = if self.instructions == 0 {
+                0.0
+            } else {
+                executed as f64 * 100.0 / self.instructions as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>14} {:>12} {:>6.1}%",
+                class.name(),
+                executed,
+                self.allocs_of(class),
+                share,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  frames: {} allocated, {} reused via free list, {} tail-call in-place reuses",
+            self.frame_allocs, self.frame_reuses, self.tail_frame_reuses,
+        );
+        let _ = writeln!(
+            out,
+            "  heap: {} allocs ({} ctor, {} closure, {} array, {} str, {} bigint), {} frees, peak {} live",
+            self.heap.allocs,
+            self.heap.ctor_allocs,
+            self.heap.closure_allocs,
+            self.heap.array_allocs,
+            self.heap.str_allocs,
+            self.heap.bigint_allocs,
+            self.heap.frees,
+            self.heap.peak_live,
+        );
+        out
+    }
+}
+
 /// Result of running a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOutcome {
     /// Stable rendering of the produced value.
     pub rendered: String,
-    /// Statistics.
+    /// Compact statistics.
     pub stats: ExecStats,
+    /// Per-opcode-class statistics.
+    pub vm_stats: VmStatistics,
 }
 
-/// The virtual machine.
+/// One pooled frame. The register file and the over-application buffer are
+/// retained across reuses, so a recycled frame costs no allocation.
+#[derive(Debug, Default)]
+struct Frame {
+    func: u32,
+    pc: u32,
+    /// Register in the *caller's* frame receiving the return value.
+    ret_dst: Reg,
+    regs: Vec<u64>,
+    /// Arguments still to be applied to the returned closure
+    /// (over-saturated `papextend`).
+    after_ret: Vec<ObjRef>,
+}
+
+/// The virtual machine: executes a [`DecodedProgram`] over a pooled frame
+/// stack.
 #[derive(Debug)]
 pub struct Vm<'p> {
-    program: &'p CompiledProgram,
+    program: &'p DecodedProgram,
     /// The runtime heap (public for tests).
     pub heap: Heap,
     globals: Vec<ObjRef>,
     max_steps: u64,
     steps: u64,
     calls: u64,
-    max_stack: u64,
-}
-
-struct Frame {
-    func: usize,
-    pc: usize,
-    regs: Vec<u64>,
-    /// Register in the *caller's* frame receiving the return value.
-    ret_dst: Reg,
-    /// Arguments still to be applied to the returned closure
-    /// (over-saturated `papextend`).
-    after_ret: Vec<ObjRef>,
+    max_depth: u64,
+    executed: [u64; OpClass::COUNT],
+    class_allocs: [u64; OpClass::COUNT],
+    frame_allocs: u64,
+    frame_reuses: u64,
+    tail_frame_reuses: u64,
+    exec_time: Duration,
+    /// Frame pool; `stack` holds indices into it, `free` the recyclable ones.
+    pool: Vec<Frame>,
+    free: Vec<u32>,
+    stack: Vec<u32>,
+    /// Argument staging buffer, reused across every call and tail call.
+    scratch: Vec<u64>,
+    /// Object-argument staging buffer for builtin calls, reused likewise.
+    scratch_objs: Vec<ObjRef>,
 }
 
 impl<'p> Vm<'p> {
-    /// Creates a VM for `program` with a step budget.
-    pub fn new(program: &'p CompiledProgram, max_steps: u64) -> Vm<'p> {
+    /// Creates a VM for a decoded `program` with a step budget.
+    pub fn new(program: &'p DecodedProgram, max_steps: u64) -> Vm<'p> {
         Vm {
             program,
             heap: Heap::new(),
@@ -90,7 +237,18 @@ impl<'p> Vm<'p> {
             max_steps,
             steps: 0,
             calls: 0,
-            max_stack: 0,
+            max_depth: 0,
+            executed: [0; OpClass::COUNT],
+            class_allocs: [0; OpClass::COUNT],
+            frame_allocs: 0,
+            frame_reuses: 0,
+            tail_frame_reuses: 0,
+            exec_time: Duration::ZERO,
+            pool: Vec::new(),
+            free: Vec::new(),
+            stack: Vec::new(),
+            scratch: Vec::new(),
+            scratch_objs: Vec::new(),
         }
     }
 
@@ -113,151 +271,197 @@ impl<'p> Vm<'p> {
     ///
     /// See [`Vm::run`].
     pub fn call(&mut self, idx: usize, args: Vec<ObjRef>) -> Result<ObjRef, VmError> {
-        let mut stack: Vec<Frame> = vec![self.new_frame(idx, args, Reg(0))?];
+        let start = Instant::now();
+        let result = self.run_loop(idx, args);
+        self.exec_time += start.elapsed();
+        result
+    }
+
+    fn run_loop(&mut self, idx: usize, args: Vec<ObjRef>) -> Result<ObjRef, VmError> {
+        // Return any residue of a previous errored run to the free list.
+        while let Some(fi) = self.stack.pop() {
+            self.pool[fi as usize].after_ret.clear();
+            self.free.push(fi);
+        }
+        self.stage_objs(&args);
+        let fi = self.alloc_frame(idx, Reg(0))?;
+        self.stack.push(fi);
+        let prog = self.program;
         loop {
-            self.max_stack = self.max_stack.max(stack.len() as u64);
-            let frame = stack.last_mut().expect("empty stack");
+            self.max_depth = self.max_depth.max(self.stack.len() as u64);
             if self.steps >= self.max_steps {
                 return Err(err("step budget exhausted (likely non-termination)"));
             }
             self.steps += 1;
-            let f = &self.program.fns[frame.func];
-            let instr = f
+            let fi = *self.stack.last().expect("empty stack") as usize;
+            let frame = &mut self.pool[fi];
+            let f = &prog.fns[frame.func as usize];
+            let pc = frame.pc as usize;
+            let instr = *f
                 .code
-                .get(frame.pc)
-                .ok_or_else(|| err(format!("pc out of range in @{}", f.name)))?
-                .clone();
-            frame.pc += 1;
+                .get(pc)
+                .ok_or_else(|| err(format!("pc out of range in @{}", f.name)))?;
+            frame.pc = pc as u32 + 1;
+            self.executed[instr.class() as usize] += 1;
             match instr {
-                Instr::ConstInt { dst, v } => frame.regs[dst.0 as usize] = v as u64,
-                Instr::LpInt { dst, v } => {
+                DecodedInstr::ConstInt { dst, v } => frame.regs[dst.0 as usize] = v as u64,
+                DecodedInstr::LpInt { dst, v } => {
                     frame.regs[dst.0 as usize] = ObjRef::scalar(v).to_bits();
                 }
-                Instr::LpBig { dst, idx } => {
-                    let n = self.program.big_pool[idx as usize].clone();
+                DecodedInstr::LpBig { dst, idx } => {
+                    let a0 = self.heap.alloc_count();
+                    let n = prog.big_pool[idx as usize].clone();
                     frame.regs[dst.0 as usize] = self.heap.mk_nat(n).to_bits();
+                    self.class_allocs[OpClass::Alloc as usize] += self.heap.alloc_count() - a0;
                 }
-                Instr::LpStr { dst, idx } => {
-                    let s = self.program.str_pool[idx as usize].clone();
+                DecodedInstr::LpStr { dst, idx } => {
+                    let s = prog.str_pool[idx as usize].clone();
                     frame.regs[dst.0 as usize] = self.heap.alloc_str(s).to_bits();
+                    self.class_allocs[OpClass::Alloc as usize] += 1;
                 }
-                Instr::Construct { dst, tag, ref args } => {
-                    let fields: Vec<ObjRef> = args
+                DecodedInstr::Construct { dst, tag, args } => {
+                    let fields: Vec<ObjRef> = f
+                        .arg_regs(args)
                         .iter()
                         .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
                         .collect();
                     frame.regs[dst.0 as usize] = self.heap.alloc_ctor(tag, fields).to_bits();
+                    self.class_allocs[OpClass::Alloc as usize] += 1;
                 }
-                Instr::GetLabel { dst, src } => {
+                DecodedInstr::GetLabel { dst, src } => {
                     let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
                     frame.regs[dst.0 as usize] = self.heap.ctor_tag(o) as u64;
                 }
-                Instr::Project { dst, src, idx } => {
+                DecodedInstr::Project { dst, src, idx } => {
                     let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
                     frame.regs[dst.0 as usize] = self.heap.ctor_field(o, idx as usize).to_bits();
                 }
-                Instr::Pap {
+                DecodedInstr::Pap {
                     dst,
                     func,
                     arity,
-                    ref args,
+                    args_off,
+                    args_len,
                 } => {
-                    let vals: Vec<ObjRef> = args
+                    let vals: Vec<ObjRef> = f
+                        .arg_regs(crate::decode::ArgSlice {
+                            off: args_off,
+                            len: args_len,
+                        })
                         .iter()
                         .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
                         .collect();
+                    let a0 = self.heap.alloc_count();
                     let outcome = pap_new(&mut self.heap, FuncId(func), arity, vals);
-                    self.apply(&mut stack, dst, outcome)?;
+                    self.class_allocs[OpClass::Closure as usize] += self.heap.alloc_count() - a0;
+                    self.apply(dst, outcome)?;
                 }
-                Instr::PapExtend {
-                    dst,
-                    closure,
-                    ref args,
-                } => {
+                DecodedInstr::PapExtend { dst, closure, args } => {
                     let c = ObjRef::from_bits(frame.regs[closure.0 as usize]);
                     if !matches!(self.heap.data(c), lssa_rt::ObjData::Closure { .. }) {
                         return Err(err("papextend of a non-closure value"));
                     }
-                    let vals: Vec<ObjRef> = args
+                    let vals: Vec<ObjRef> = f
+                        .arg_regs(args)
                         .iter()
                         .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
                         .collect();
+                    let a0 = self.heap.alloc_count();
                     let outcome = pap_extend(&mut self.heap, c, vals);
-                    self.apply(&mut stack, dst, outcome)?;
+                    self.class_allocs[OpClass::Closure as usize] += self.heap.alloc_count() - a0;
+                    self.apply(dst, outcome)?;
                 }
-                Instr::Inc { src } => {
+                DecodedInstr::Inc { src } => {
                     let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
                     self.heap.inc(o);
                 }
-                Instr::Dec { src } => {
+                DecodedInstr::Dec { src } => {
                     let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
                     self.heap.dec(o);
                 }
-                Instr::Call {
-                    dst,
-                    func,
-                    ref args,
-                } => {
-                    let vals: Vec<ObjRef> = args
-                        .iter()
-                        .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
-                        .collect();
-                    let new = self.new_frame(func as usize, vals, dst)?;
-                    stack.push(new);
+                DecodedInstr::Call { dst, func, args } => {
+                    let scratch = &mut self.scratch;
+                    scratch.clear();
+                    scratch.extend(f.arg_regs(args).iter().map(|&r| frame.regs[r.0 as usize]));
+                    let nfi = self.alloc_frame(func as usize, dst)?;
+                    self.stack.push(nfi);
                 }
-                Instr::CallBuiltin {
-                    dst,
-                    builtin,
-                    ref args,
-                } => {
-                    let vals: Vec<ObjRef> = args
-                        .iter()
-                        .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
-                        .collect();
+                DecodedInstr::CallBuiltin { dst, builtin, args } => {
+                    // Builtins take a slice, so the arguments stage through
+                    // a reused buffer — no allocation per call.
+                    let vals = &mut self.scratch_objs;
+                    vals.clear();
+                    vals.extend(
+                        f.arg_regs(args)
+                            .iter()
+                            .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize])),
+                    );
                     self.calls += 1;
-                    let out = builtin.call(&mut self.heap, &vals);
-                    frame.regs[dst.0 as usize] = out.to_bits();
+                    let a0 = self.heap.alloc_count();
+                    let out = builtin.call(&mut self.heap, &self.scratch_objs);
+                    self.class_allocs[OpClass::CallBuiltin as usize] +=
+                        self.heap.alloc_count() - a0;
+                    self.pool[fi].regs[dst.0 as usize] = out.to_bits();
                 }
-                Instr::TailCall { func, ref args } => {
-                    let vals: Vec<ObjRef> = args
-                        .iter()
-                        .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
-                        .collect();
-                    // Reuse the current frame: constant stack space.
+                DecodedInstr::TailCall { func, args } => {
+                    let target = prog
+                        .fns
+                        .get(func as usize)
+                        .ok_or_else(|| err(format!("bad function index {func}")))?;
+                    if args.len as usize != target.arity as usize {
+                        return Err(err(format!(
+                            "@{} called with {} args (arity {})",
+                            target.name, args.len, target.arity
+                        )));
+                    }
+                    self.calls += 1;
+                    self.tail_frame_reuses += 1;
+                    // Copy the outgoing arguments aside, then reuse the
+                    // register file in place: constant stack space and,
+                    // once the buffers are warm, zero heap allocation.
+                    let scratch = &mut self.scratch;
+                    scratch.clear();
+                    scratch.extend(f.arg_regs(args).iter().map(|&r| frame.regs[r.0 as usize]));
+                    frame.regs.clear();
+                    frame.regs.extend_from_slice(scratch);
+                    frame.regs.resize(target.n_regs as usize, 0);
+                    frame.func = func;
+                    frame.pc = 0;
+                    // `ret_dst` and `after_ret` carry over unchanged.
+                }
+                DecodedInstr::Ret { src } => {
+                    let value = ObjRef::from_bits(frame.regs[src.0 as usize]);
                     let ret_dst = frame.ret_dst;
                     let after_ret = std::mem::take(&mut frame.after_ret);
-                    let mut new = self.new_frame(func as usize, vals, ret_dst)?;
-                    new.after_ret = after_ret;
-                    *stack.last_mut().unwrap() = new;
-                }
-                Instr::Ret { src } => {
-                    let value = ObjRef::from_bits(frame.regs[src.0 as usize]);
-                    let done = stack.pop().expect("ret on empty stack");
-                    if !done.after_ret.is_empty() {
+                    self.stack.pop();
+                    self.free.push(fi as u32);
+                    if !after_ret.is_empty() {
                         // Continue an over-saturated application.
                         if !matches!(self.heap.data(value), lssa_rt::ObjData::Closure { .. }) {
                             return Err(err("over-application of a non-closure result"));
                         }
-                        let outcome = pap_extend(&mut self.heap, value, done.after_ret);
-                        match stack.last_mut() {
-                            Some(_) => self.apply(&mut stack, done.ret_dst, outcome)?,
-                            None => {
-                                // Whole-program result must not be pending.
-                                return match outcome {
-                                    ApplyOutcome::Partial(c) => Ok(c),
-                                    _ => Err(err("dangling over-application at exit")),
-                                };
-                            }
+                        let a0 = self.heap.alloc_count();
+                        let outcome = pap_extend(&mut self.heap, value, after_ret);
+                        self.class_allocs[OpClass::Ret as usize] += self.heap.alloc_count() - a0;
+                        if self.stack.is_empty() {
+                            // Whole-program result must not be pending.
+                            return match outcome {
+                                ApplyOutcome::Partial(c) => Ok(c),
+                                _ => Err(err("dangling over-application at exit")),
+                            };
                         }
+                        self.apply(ret_dst, outcome)?;
                         continue;
                     }
-                    match stack.last_mut() {
-                        Some(caller) => caller.regs[done.ret_dst.0 as usize] = value.to_bits(),
+                    match self.stack.last() {
+                        Some(&ci) => {
+                            self.pool[ci as usize].regs[ret_dst.0 as usize] = value.to_bits();
+                        }
                         None => return Ok(value),
                     }
                 }
-                Instr::Jump { target } => frame.pc = target,
-                Instr::Branch {
+                DecodedInstr::Jump { target } => frame.pc = target,
+                DecodedInstr::Branch {
                     cond,
                     then_t,
                     else_t,
@@ -268,19 +472,19 @@ impl<'p> Vm<'p> {
                         else_t
                     };
                 }
-                Instr::Switch {
+                DecodedInstr::Switch {
                     idx,
-                    ref cases,
+                    cases,
                     default,
                 } => {
                     let v = frame.regs[idx.0 as usize] as i64;
-                    frame.pc = cases
+                    frame.pc = f.cases[cases.range()]
                         .iter()
                         .find(|&&(c, _)| c == v)
                         .map(|&(_, t)| t)
                         .unwrap_or(default);
                 }
-                Instr::Bin { op, dst, a, b } => {
+                DecodedInstr::Bin { op, dst, a, b } => {
                     let x = frame.regs[a.0 as usize] as i64;
                     let y = frame.regs[b.0 as usize] as i64;
                     let v = op
@@ -288,12 +492,12 @@ impl<'p> Vm<'p> {
                         .ok_or_else(|| err("integer division by zero"))?;
                     frame.regs[dst.0 as usize] = v as u64;
                 }
-                Instr::Cmp { pred, dst, a, b } => {
+                DecodedInstr::Cmp { pred, dst, a, b } => {
                     let x = frame.regs[a.0 as usize] as i64;
                     let y = frame.regs[b.0 as usize] as i64;
                     frame.regs[dst.0 as usize] = pred.eval(x, y) as u64;
                 }
-                Instr::Select { dst, c, a, b } => {
+                DecodedInstr::Select { dst, c, a, b } => {
                     let v = if frame.regs[c.0 as usize] != 0 {
                         frame.regs[a.0 as usize]
                     } else {
@@ -301,94 +505,118 @@ impl<'p> Vm<'p> {
                     };
                     frame.regs[dst.0 as usize] = v;
                 }
-                Instr::Mask { dst, src, mask } => {
+                DecodedInstr::Mask { dst, src, mask } => {
                     frame.regs[dst.0 as usize] = frame.regs[src.0 as usize] & mask;
                 }
-                Instr::Move { dst, src } => {
+                DecodedInstr::Move { dst, src } => {
                     frame.regs[dst.0 as usize] = frame.regs[src.0 as usize];
                 }
-                Instr::GlobalLoad { dst, idx } => {
+                DecodedInstr::GlobalLoad { dst, idx } => {
                     frame.regs[dst.0 as usize] = self.globals[idx as usize].to_bits();
                 }
-                Instr::GlobalStore { idx, src } => {
+                DecodedInstr::GlobalStore { idx, src } => {
                     self.globals[idx as usize] = ObjRef::from_bits(frame.regs[src.0 as usize]);
                 }
-                Instr::Trap => {
-                    return Err(err(format!(
-                        "reached unreachable code in @{}",
-                        self.program.fns[stack.last().unwrap().func].name
-                    )))
+                DecodedInstr::Trap => {
+                    return Err(err(format!("reached unreachable code in @{}", f.name)))
                 }
             }
         }
     }
 
-    fn new_frame(
-        &mut self,
-        func: usize,
-        args: Vec<ObjRef>,
-        ret_dst: Reg,
-    ) -> Result<Frame, VmError> {
+    /// Stages owned object arguments into the scratch buffer (the calling
+    /// convention of [`Vm::alloc_frame`]).
+    fn stage_objs(&mut self, args: &[ObjRef]) {
+        self.scratch.clear();
+        self.scratch.extend(args.iter().map(|a| a.to_bits()));
+    }
+
+    /// Takes a frame from the free list (or grows the pool), wires it to
+    /// `func` with the staged arguments, and returns its pool index. The
+    /// caller pushes the index onto the stack.
+    fn alloc_frame(&mut self, func: usize, ret_dst: Reg) -> Result<u32, VmError> {
         let f = self
             .program
             .fns
             .get(func)
             .ok_or_else(|| err(format!("bad function index {func}")))?;
-        if args.len() != f.arity as usize {
+        if self.scratch.len() != f.arity as usize {
             return Err(err(format!(
                 "@{} called with {} args (arity {})",
                 f.name,
-                args.len(),
+                self.scratch.len(),
                 f.arity
             )));
         }
         self.calls += 1;
-        let mut regs = vec![0u64; f.n_regs as usize];
-        for (i, a) in args.into_iter().enumerate() {
-            regs[i] = a.to_bits();
-        }
-        Ok(Frame {
-            func,
-            pc: 0,
-            regs,
-            ret_dst,
-            after_ret: Vec::new(),
-        })
+        let fi = match self.free.pop() {
+            Some(fi) => {
+                self.frame_reuses += 1;
+                fi
+            }
+            None => {
+                self.frame_allocs += 1;
+                self.pool.push(Frame::default());
+                u32::try_from(self.pool.len() - 1).expect("frame pool exhausted")
+            }
+        };
+        let frame = &mut self.pool[fi as usize];
+        frame.func = func as u32;
+        frame.pc = 0;
+        frame.ret_dst = ret_dst;
+        debug_assert!(frame.after_ret.is_empty(), "recycled frame carries state");
+        frame.regs.clear();
+        frame.regs.extend_from_slice(&self.scratch);
+        frame.regs.resize(f.n_regs as usize, 0);
+        Ok(fi)
     }
 
-    /// Handles a pap/papextend outcome: either a value, or frames to push.
-    fn apply(
-        &mut self,
-        stack: &mut Vec<Frame>,
-        dst: Reg,
-        outcome: ApplyOutcome,
-    ) -> Result<(), VmError> {
+    /// Handles a pap/papextend outcome: either a value, or a frame to push.
+    fn apply(&mut self, dst: Reg, outcome: ApplyOutcome) -> Result<(), VmError> {
         match outcome {
             ApplyOutcome::Partial(c) => {
-                let frame = stack.last_mut().expect("apply without frame");
-                frame.regs[dst.0 as usize] = c.to_bits();
+                let &fi = self.stack.last().expect("apply without frame");
+                self.pool[fi as usize].regs[dst.0 as usize] = c.to_bits();
                 Ok(())
             }
             ApplyOutcome::Call { func, args } => {
-                let new = self.new_frame(func.0 as usize, args, dst)?;
-                stack.push(new);
+                self.stage_objs(&args);
+                let fi = self.alloc_frame(func.0 as usize, dst)?;
+                self.stack.push(fi);
                 Ok(())
             }
             ApplyOutcome::CallThen { func, args, rest } => {
-                let mut new = self.new_frame(func.0 as usize, args, dst)?;
-                new.after_ret = rest;
-                stack.push(new);
+                self.stage_objs(&args);
+                let fi = self.alloc_frame(func.0 as usize, dst)?;
+                self.pool[fi as usize].after_ret = rest;
+                self.stack.push(fi);
                 Ok(())
             }
         }
     }
 
-    /// Statistics so far.
+    /// Compact statistics so far.
     pub fn stats(&self) -> ExecStats {
         ExecStats {
             instructions: self.steps,
             calls: self.calls,
-            max_stack: self.max_stack,
+            max_stack: self.max_depth,
+            heap: self.heap.stats(),
+        }
+    }
+
+    /// Full per-opcode-class statistics so far.
+    pub fn statistics(&self) -> VmStatistics {
+        VmStatistics {
+            executed: self.executed,
+            class_allocs: self.class_allocs,
+            instructions: self.steps,
+            calls: self.calls,
+            max_depth: self.max_depth,
+            frame_allocs: self.frame_allocs,
+            frame_reuses: self.frame_reuses,
+            tail_frame_reuses: self.tail_frame_reuses,
+            duration: self.exec_time,
             heap: self.heap.stats(),
         }
     }
@@ -399,13 +627,13 @@ impl<'p> Vm<'p> {
     }
 }
 
-/// Runs `entry` of `program` and renders the result.
+/// Runs `entry` of a pre-decoded program and renders the result.
 ///
 /// # Errors
 ///
 /// See [`Vm::run`].
-pub fn run_program(
-    program: &CompiledProgram,
+pub fn run_decoded(
+    program: &DecodedProgram,
     entry: &str,
     max_steps: u64,
 ) -> Result<RunOutcome, VmError> {
@@ -416,13 +644,29 @@ pub fn run_program(
     Ok(RunOutcome {
         rendered,
         stats: vm.stats(),
+        vm_stats: vm.statistics(),
     })
+}
+
+/// Decodes `program`, then runs `entry` and renders the result. Callers
+/// executing the same program repeatedly should [`decode_program`] once and
+/// use [`run_decoded`].
+///
+/// # Errors
+///
+/// See [`Vm::run`].
+pub fn run_program(
+    program: &CompiledProgram,
+    entry: &str,
+    max_steps: u64,
+) -> Result<RunOutcome, VmError> {
+    run_decoded(&decode_program(program), entry, max_steps)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bytecode::{BinOp, CmpPred, CompiledFn, CompiledProgram};
+    use crate::bytecode::{BinOp, CmpPred, CompiledFn, CompiledProgram, Instr};
 
     fn single(code: Vec<Instr>, n_regs: u16) -> CompiledProgram {
         CompiledProgram {
@@ -436,62 +680,17 @@ mod tests {
         }
     }
 
-    #[test]
-    fn returns_scalar() {
-        let p = single(
-            vec![
-                Instr::LpInt { dst: Reg(0), v: 42 },
-                Instr::Ret { src: Reg(0) },
-            ],
-            1,
-        );
-        let out = run_program(&p, "main", 1000).unwrap();
-        assert_eq!(out.rendered, "42");
-        assert_eq!(out.stats.instructions, 2);
-    }
-
-    #[test]
-    fn arithmetic_and_branching() {
-        // if (2 < 3) then 10 else 20
-        let p = single(
-            vec![
-                Instr::ConstInt { dst: Reg(0), v: 2 },
-                Instr::ConstInt { dst: Reg(1), v: 3 },
-                Instr::Cmp {
-                    pred: CmpPred::Slt,
-                    dst: Reg(2),
-                    a: Reg(0),
-                    b: Reg(1),
-                },
-                Instr::Branch {
-                    cond: Reg(2),
-                    then_t: 4,
-                    else_t: 6,
-                },
-                Instr::LpInt { dst: Reg(3), v: 10 },
-                Instr::Ret { src: Reg(3) },
-                Instr::LpInt { dst: Reg(3), v: 20 },
-                Instr::Ret { src: Reg(3) },
-            ],
-            4,
-        );
-        assert_eq!(run_program(&p, "main", 1000).unwrap().rendered, "10");
-    }
-
-    #[test]
-    fn tail_call_uses_constant_stack() {
-        // loop(n): if n == 0 ret 7 else tail loop(n-1)
-        let p = CompiledProgram {
+    /// `loop(n): if n == 0 ret 7 else tail loop(n-1)` — every iteration is
+    /// pure arith + one builtin, so the steady state allocates nothing.
+    fn tail_loop(n: i64) -> CompiledProgram {
+        CompiledProgram {
             fns: vec![
                 CompiledFn {
                     name: "main".into(),
                     arity: 0,
                     n_regs: 2,
                     code: vec![
-                        Instr::LpInt {
-                            dst: Reg(0),
-                            v: 1_000_000,
-                        },
+                        Instr::LpInt { dst: Reg(0), v: n },
                         Instr::Call {
                             dst: Reg(1),
                             func: 1,
@@ -505,8 +704,6 @@ mod tests {
                     arity: 1,
                     n_regs: 4,
                     code: vec![
-                        // r1 = raw n (scalar decode: just compare object bits
-                        // against scalar 0 encoding via getlabel)
                         Instr::GetLabel {
                             dst: Reg(1),
                             src: Reg(0),
@@ -539,11 +736,86 @@ mod tests {
                 },
             ],
             ..CompiledProgram::default()
-        };
-        let mut vm = Vm::new(&p, 100_000_000);
+        }
+    }
+
+    #[test]
+    fn returns_scalar() {
+        let p = single(
+            vec![
+                Instr::LpInt { dst: Reg(0), v: 42 },
+                Instr::Ret { src: Reg(0) },
+            ],
+            1,
+        );
+        let out = run_program(&p, "main", 1000).unwrap();
+        assert_eq!(out.rendered, "42");
+        assert_eq!(out.stats.instructions, 2);
+        assert_eq!(out.vm_stats.executed_of(OpClass::Const), 1);
+        assert_eq!(out.vm_stats.executed_of(OpClass::Ret), 1);
+    }
+
+    #[test]
+    fn arithmetic_and_branching() {
+        // if (2 < 3) then 10 else 20
+        let p = single(
+            vec![
+                Instr::ConstInt { dst: Reg(0), v: 2 },
+                Instr::ConstInt { dst: Reg(1), v: 3 },
+                Instr::Cmp {
+                    pred: CmpPred::Slt,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Instr::Branch {
+                    cond: Reg(2),
+                    then_t: 4,
+                    else_t: 6,
+                },
+                Instr::LpInt { dst: Reg(3), v: 10 },
+                Instr::Ret { src: Reg(3) },
+                Instr::LpInt { dst: Reg(3), v: 20 },
+                Instr::Ret { src: Reg(3) },
+            ],
+            4,
+        );
+        assert_eq!(run_program(&p, "main", 1000).unwrap().rendered, "10");
+    }
+
+    #[test]
+    fn tail_call_uses_constant_stack() {
+        let p = tail_loop(1_000_000);
+        let d = decode_program(&p);
+        let mut vm = Vm::new(&d, 100_000_000);
         let r = vm.run("main").unwrap();
         assert_eq!(vm.heap.render(r), "7");
         assert!(vm.stats().max_stack <= 2, "tail calls must not grow stack");
+    }
+
+    #[test]
+    fn deep_tail_recursion_keeps_frame_pool_constant() {
+        // The frame-pool high-water mark and the number of fresh frame
+        // allocations must not depend on recursion depth: only `main` and
+        // one `loop` frame ever exist, however deep the tail recursion.
+        let shallow = run_program(&tail_loop(1_000), "main", 100_000_000).unwrap();
+        let deep = run_program(&tail_loop(1_000_000), "main", 100_000_000).unwrap();
+        for out in [&shallow, &deep] {
+            assert_eq!(out.vm_stats.max_depth, 2);
+            assert_eq!(out.vm_stats.frame_allocs, 2);
+        }
+        assert_eq!(
+            deep.vm_stats.tail_frame_reuses, 1_000_000,
+            "every iteration reuses the frame in place"
+        );
+        // The tail-call fast path performs zero heap allocations per
+        // iteration: a run 1000x deeper allocates not one object more.
+        assert_eq!(deep.vm_stats.heap.allocs, shallow.vm_stats.heap.allocs);
+        assert_eq!(
+            deep.vm_stats.allocs_of(OpClass::TailCall),
+            0,
+            "tail calls never touch the heap"
+        );
     }
 
     #[test]
@@ -590,6 +862,7 @@ mod tests {
         };
         let out = run_program(&p, "main", 1000).unwrap();
         assert_eq!(out.rendered, "42");
+        assert!(out.vm_stats.allocs_of(OpClass::Closure) >= 1);
     }
 
     #[test]
@@ -646,5 +919,45 @@ mod tests {
         );
         p.globals.push("slot".into());
         assert_eq!(run_program(&p, "main", 100).unwrap().rendered, "5");
+    }
+
+    #[test]
+    fn vm_is_reusable_after_an_error() {
+        // An errored run leaves no residue: the same VM can run again and
+        // its frame pool is intact.
+        let p = CompiledProgram {
+            fns: vec![
+                CompiledFn {
+                    name: "main".into(),
+                    arity: 0,
+                    n_regs: 1,
+                    code: vec![
+                        Instr::LpInt { dst: Reg(0), v: 3 },
+                        Instr::Ret { src: Reg(0) },
+                    ],
+                },
+                CompiledFn {
+                    name: "boom".into(),
+                    arity: 0,
+                    n_regs: 1,
+                    code: vec![Instr::Trap],
+                },
+            ],
+            ..CompiledProgram::default()
+        };
+        let d = decode_program(&p);
+        let mut vm = Vm::new(&d, 1000);
+        assert!(vm.run("boom").is_err());
+        let r = vm.run("main").unwrap();
+        assert_eq!(vm.heap.render(r), "3");
+    }
+
+    #[test]
+    fn statistics_table_renders() {
+        let out = run_program(&tail_loop(10), "main", 100_000).unwrap();
+        let table = out.vm_stats.render_table();
+        for needle in ["opcode class", "tail-call", "frames:", "heap:"] {
+            assert!(table.contains(needle), "missing {needle}\n{table}");
+        }
     }
 }

@@ -1,0 +1,89 @@
+//! End-to-end guards for the decoded-bytecode VM:
+//!
+//! - decoding is lossless on real pipeline output (decode → encode
+//!   round-trips every instruction of every compiled workload function);
+//! - running the decoded form produces the workloads' recorded checksums
+//!   (the enum form and the decoded form execute identically);
+//! - deep tail recursion compiled by the full pipeline keeps the frame
+//!   pool at a constant high-water mark with zero steady-state heap
+//!   allocation — the `musttail` guarantee, now provable from
+//!   `VmStatistics` instead of by stack-overflow absence.
+
+use lambda_ssa::driver::pipelines::{compile, CompilerConfig};
+use lambda_ssa::driver::workloads::{all, Scale};
+use lambda_ssa::vm::{decode_program, run_decoded, OpClass};
+
+const MAX_STEPS: u64 = 500_000_000;
+
+#[test]
+fn decode_round_trips_compiled_workloads() {
+    for w in all(Scale::Test) {
+        let program =
+            compile(&w.src, CompilerConfig::mlir()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let decoded = decode_program(&program);
+        assert_eq!(decoded.fns.len(), program.fns.len());
+        for (df, f) in decoded.fns.iter().zip(&program.fns) {
+            assert_eq!(df.name, f.name, "{}", w.name);
+            assert_eq!(df.arity, f.arity);
+            assert_eq!(df.n_regs, f.n_regs);
+            assert_eq!(df.code.len(), f.code.len());
+            for (i, original) in f.code.iter().enumerate() {
+                assert_eq!(
+                    &df.encode(i),
+                    original,
+                    "{}: @{} instruction {i} does not round-trip",
+                    w.name,
+                    f.name
+                );
+            }
+        }
+        // And the decoded form executes to the recorded checksum.
+        let out =
+            run_decoded(&decoded, "main", MAX_STEPS).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(out.rendered, w.expected_test, "{}", w.name);
+        assert_eq!(out.stats.heap.live, 0, "{}: leak", w.name);
+    }
+}
+
+#[test]
+fn compiled_tail_recursion_runs_in_constant_frames() {
+    // A tail-recursive countdown over raw machine arithmetic: after TCO the
+    // loop body is pure arith + tail call, so the steady state must not
+    // allocate at all.
+    let src_for = |n: u64| {
+        format!(
+            "def loop(n, acc) := if n == 0 then acc else loop(n - 1, acc + n)\n\
+             def main() := loop({n}, 0)"
+        )
+    };
+    let run = |n: u64| {
+        let program = compile(&src_for(n), CompilerConfig::mlir()).expect("compile");
+        let decoded = decode_program(&program);
+        run_decoded(&decoded, "main", MAX_STEPS).expect("run")
+    };
+    let shallow = run(1_000);
+    let deep = run(100_000);
+    assert_eq!(deep.rendered, "5000050000");
+    for out in [&shallow, &deep] {
+        assert!(
+            out.vm_stats.executed_of(OpClass::TailCall) > 0,
+            "the pipeline must compile the recursion to tail calls"
+        );
+        assert!(
+            out.vm_stats.max_depth <= 3,
+            "frame-pool high-water mark must not grow with depth (got {})",
+            out.vm_stats.max_depth
+        );
+        assert_eq!(
+            out.vm_stats.frame_allocs, out.vm_stats.max_depth,
+            "only the high-water mark's worth of frames is ever allocated"
+        );
+    }
+    // Zero heap allocations per iteration: 100x the iterations, identical
+    // allocation count.
+    assert_eq!(
+        deep.vm_stats.heap.allocs, shallow.vm_stats.heap.allocs,
+        "tail-call fast path must not allocate per iteration"
+    );
+    assert_eq!(deep.vm_stats.allocs_of(OpClass::TailCall), 0);
+}

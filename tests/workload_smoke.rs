@@ -105,3 +105,26 @@ fn bench_scale_pipelines_agree() {
         );
     });
 }
+
+/// `Scale::Stress` runs several times `Bench` — the nightly-only guard that
+/// the VM (frame pool, decoded stream, runtime) holds up well past the
+/// timing sizes.
+#[cfg(feature = "slow-tests")]
+#[test]
+fn stress_scale_pipelines_agree() {
+    use lambda_ssa::driver::pipelines::CompilerConfig;
+    const STRESS_MAX_STEPS: u64 = 20_000_000_000;
+    for_each_workload_parallel(Scale::Stress, |w| {
+        let base = compile_and_run(&w.src, CompilerConfig::leanc(), STRESS_MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{}/leanc: {e}", w.name));
+        let mlir = compile_and_run(&w.src, CompilerConfig::mlir(), STRESS_MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{}/mlir: {e}", w.name));
+        assert_eq!(
+            base.rendered, mlir.rendered,
+            "{}: stress-scale disagreement",
+            w.name
+        );
+        assert_eq!(base.stats.heap.live, 0, "{}: leak at stress scale", w.name);
+        assert_eq!(mlir.stats.heap.live, 0, "{}: leak at stress scale", w.name);
+    });
+}
