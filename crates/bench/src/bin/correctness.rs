@@ -3,44 +3,126 @@
 //! prints the pass rate.
 //!
 //! ```text
-//! cargo run --release -p lssa-bench --bin correctness [-- --count 648]
+//! cargo run --release -p lssa-bench --bin correctness [-- --count 648] [--jobs N]
 //! ```
+//!
+//! Cases are sharded across `--jobs` worker threads (default: one per core)
+//! by the shared batch executor (`lssa_driver::par`). Results — the pass /
+//! fail set and the printed failure order — are identical for any `--jobs`
+//! value; per-shard progress goes to stderr as chunks complete.
+//!
+//! Exit codes: `0` all tests passed (or none selected), `1` at least one
+//! failure, `2` bad command-line arguments.
 
 use lssa_driver::conformance::full_corpus;
 use lssa_driver::diff::run_differential;
+use lssa_driver::par::{available_jobs, BatchRunner};
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let count = args
-        .iter()
-        .position(|a| a == "--count")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(648);
-    let corpus = full_corpus(count, 0x5e5a_2022);
-    let total = corpus.len();
-    let mut passed = 0usize;
-    let mut failures = Vec::new();
-    for case in &corpus {
-        let r = run_differential(&case.name, &case.src, 500_000_000);
-        if r.passed() {
-            passed += 1;
-        } else {
-            failures.push((case.name.clone(), r.failure.unwrap()));
+const MAX_STEPS: u64 = 500_000_000;
+const DEFAULT_COUNT: usize = 648;
+const CORPUS_SEED: u64 = 0x5e5a_2022;
+
+struct Options {
+    /// Exactly how many corpus cases to run.
+    count: usize,
+    /// Worker threads.
+    jobs: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        count: DEFAULT_COUNT,
+        jobs: available_jobs(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--count" | "--jobs" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("`{flag}` needs a value"))?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("`{flag}` needs a non-negative integer, got `{value}`"))?;
+                match flag {
+                    "--count" => opts.count = parsed,
+                    _ => {
+                        if parsed == 0 {
+                            return Err("`--jobs` must be at least 1".to_string());
+                        }
+                        opts.jobs = parsed;
+                    }
+                }
+                i += 2;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: correctness [--count N] [--jobs N]");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.count == 0 {
+        println!("0 tests selected, nothing to run (use --count N)");
+        return ExitCode::SUCCESS;
+    }
+    let mut corpus = full_corpus(opts.count, CORPUS_SEED);
+    corpus.truncate(opts.count);
+    let total = corpus.len();
+    // Progress callbacks race across workers; printing under a max-seen
+    // lock keeps the displayed count monotone.
+    let printed = std::sync::Mutex::new(0usize);
+    let report = BatchRunner::new().with_jobs(opts.jobs).run_with_progress(
+        &corpus,
+        |case| {
+            let r = run_differential(&case.name, &case.src, MAX_STEPS);
+            match r.failure {
+                None => Ok(()),
+                Some(why) => Err((case.name.clone(), why)),
+            }
+        },
+        |done, total| {
+            let mut seen = printed.lock().unwrap();
+            if done > *seen {
+                *seen = done;
+                eprintln!("[correctness] {done}/{total} cases");
+            }
+        },
+    );
+    let failed = report.failed();
+    // Integer division floors, so "100%" is printed only when every test
+    // actually passed (647/648 must not round up to a contradictory 100%).
     println!(
-        "{:.0}% tests passed, {} tests failed out of {}",
-        100.0 * passed as f64 / total as f64,
-        total - passed,
+        "{}% tests passed, {} tests failed out of {}",
+        100 * report.passed() / total,
+        failed,
         total
     );
-    for (name, why) in &failures {
+    eprintln!(
+        "-- {total} cases in {:.2}s wall ({:.2}s of job time across {} threads)",
+        report.wall_time.as_secs_f64(),
+        report.total_job_time().as_secs_f64(),
+        report.jobs
+    );
+    // Failures print in deterministic input order regardless of --jobs.
+    for (_, (name, why)) in report.failures() {
         println!("FAIL {name}: {why}");
     }
-    if failures.is_empty() {
+    if failed == 0 {
         println!("(paper: \"100% tests passed, 0 tests failed out of 648\")");
+        ExitCode::SUCCESS
     } else {
-        std::process::exit(1);
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,76 @@
+//! Regression tests for the `correctness` binary's argument handling and
+//! for the parallel batch driver behind it: `--count 0` must not print
+//! `NaN% tests passed`, bad arguments must exit nonzero, and the printed
+//! results must be byte-identical across `--jobs` values.
+
+use std::process::Command;
+
+fn correctness() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_correctness"))
+}
+
+#[test]
+fn count_zero_reports_gracefully() {
+    let out = correctness().args(["--count", "0"]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "--count 0 must not be an error: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 tests"), "{stdout}");
+    assert!(!stdout.contains("NaN"), "{stdout}");
+}
+
+#[test]
+fn unparseable_count_is_rejected() {
+    let out = correctness().args(["--count", "banana"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--count"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn missing_count_value_is_rejected() {
+    let out = correctness().args(["--count"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+}
+
+#[test]
+fn zero_jobs_is_rejected() {
+    let out = correctness().args(["--jobs", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = correctness().args(["--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}
+
+#[test]
+fn results_are_identical_across_job_counts() {
+    // A small exact slice of the corpus; stdout (pass rate + failure list
+    // + order) must be byte-identical however the batch is sharded.
+    let run = |jobs: &str| {
+        let out = correctness()
+            .args(["--count", "16", "--jobs", jobs])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "jobs={jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("4"));
+    assert_eq!(serial, run("13"));
+    let text = String::from_utf8_lossy(&serial);
+    assert!(text.contains("out of 16"), "{text}");
+}

@@ -509,19 +509,23 @@ mod tests {
 
     #[test]
     fn handwritten_cases_all_pass_differential() {
-        for case in handwritten() {
+        // The smoke oracle path: sharded through the shared batch executor
+        // rather than looped serially.
+        let cases = handwritten();
+        crate::par::par_map(&cases, |case| {
             let r = crate::diff::run_differential(&case.name, &case.src, 200_000_000);
             assert!(r.passed(), "{}: {:?}", case.name, r.failure);
-        }
+        });
     }
 
     #[test]
     fn sample_of_generated_cases_pass_differential() {
         // The full 648-case run lives in the integration suite; keep a
         // representative sample in unit tests.
-        for case in generated(25, 20260612) {
+        let cases = generated(25, 20260612);
+        crate::par::par_map(&cases, |case| {
             let r = crate::diff::run_differential(&case.name, &case.src, 200_000_000);
             assert!(r.passed(), "{}:\n{}\n{:?}", case.name, case.src, r.failure);
-        }
+        });
     }
 }

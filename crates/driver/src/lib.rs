@@ -8,7 +8,10 @@
 //!   × region optimizations) matching Figures 9 and 10,
 //! - [`diff`] — differential testing against the reference interpreter,
 //! - [`conformance`] — the ≥648-program corpus (§V-A's test-suite analogue),
-//! - [`workloads`] — the eight benchmarks of §V-B.
+//! - [`workloads`] — the eight benchmarks of §V-B,
+//! - [`par`] — the parallel batch executor every sharded run shares (the
+//!   `correctness` binary, [`pipelines::compile_batch`], and the
+//!   integration-test harnesses).
 //!
 //! ```
 //! use lssa_driver::pipelines::{compile_and_run, CompilerConfig};
@@ -22,7 +25,8 @@
 pub mod baseline;
 pub mod conformance;
 pub mod diff;
+pub mod par;
 pub mod pipelines;
 pub mod workloads;
 
-pub use pipelines::{compile, compile_and_run, Backend, CompilerConfig};
+pub use pipelines::{compile, compile_and_run, compile_batch, Backend, CompilerConfig};

@@ -1,0 +1,447 @@
+//! The parallel batch executor — one subsystem for every sharded run.
+//!
+//! PR 2 and PR 3 each hand-rolled their own `std::thread::scope` sharding
+//! (the workload smoke oracle, the conformance suite). This module replaces
+//! those one-offs with a single chunked work-queue executor that all batch
+//! consumers share: the `correctness` binary, [`crate::pipelines::compile_batch`],
+//! and the integration-test harnesses.
+//!
+//! Design:
+//!
+//! - **Chunked work queue.** Workers claim contiguous chunks of the input
+//!   off a shared atomic cursor, so threads that land cheap jobs keep
+//!   pulling work instead of idling behind a static partition.
+//! - **Deterministic output.** Each job's result is tagged with its input
+//!   index and the merged output is in input order — byte-identical
+//!   regardless of `jobs`, chunk size, or scheduling.
+//! - **Panic transparency.** A panicking job does not wedge the batch: every
+//!   worker is joined first, then the first panic is re-raised on the
+//!   caller's thread (exactly what the old hand-rolled sites did).
+//! - **Aggregation.** [`BatchRunner::run`] wraps each job with wall-clock
+//!   timing and returns a [`BatchReport`] carrying per-job durations, the
+//!   batch wall time, and (for `Result` jobs) failure accounting.
+//!
+//! ```
+//! use lssa_driver::par::BatchRunner;
+//! let squares = BatchRunner::new().with_jobs(4).map(&[1, 2, 3, 4], |n| n * n);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// The number of worker threads the executor uses by default: the
+/// machine's available parallelism, or 1 when that cannot be determined.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A configured batch executor.
+///
+/// Cheap to build; carries only the thread count and chunk size. See the
+/// [module docs](self) for the execution model.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    jobs: usize,
+    chunk: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> BatchRunner {
+        BatchRunner::new()
+    }
+}
+
+impl BatchRunner {
+    /// An executor using [`available_jobs`] threads and automatic chunking.
+    pub fn new() -> BatchRunner {
+        BatchRunner {
+            jobs: available_jobs(),
+            chunk: 0,
+        }
+    }
+
+    /// Sets the worker-thread count. `0` restores the default
+    /// ([`available_jobs`]).
+    pub fn with_jobs(mut self, jobs: usize) -> BatchRunner {
+        self.jobs = if jobs == 0 { available_jobs() } else { jobs };
+        self
+    }
+
+    /// Sets the chunk size workers claim per queue pop. `0` (the default)
+    /// picks one automatically: small enough that every worker gets several
+    /// turns, large enough to keep queue traffic negligible.
+    pub fn with_chunk(mut self, chunk: usize) -> BatchRunner {
+        self.chunk = chunk;
+        self
+    }
+
+    /// The worker-thread count a batch of `len` jobs would actually use
+    /// (never more threads than jobs).
+    pub fn effective_jobs(&self, len: usize) -> usize {
+        self.jobs.max(1).min(len.max(1))
+    }
+
+    fn effective_chunk(&self, len: usize, jobs: usize) -> usize {
+        if self.chunk > 0 {
+            return self.chunk;
+        }
+        // Aim for ~4 turns per worker so stragglers rebalance, capped so
+        // progress callbacks stay responsive on huge batches.
+        (len / (jobs * 4)).clamp(1, 64)
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in input
+    /// order regardless of thread count.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first job panic after all workers have joined.
+    pub fn map<T, R>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.map_with_progress(items, f, |_, _| {})
+    }
+
+    /// [`BatchRunner::map`], invoking `progress(done, total)` after each
+    /// completed chunk. `progress` is called from worker threads; completion
+    /// counts are monotone per call site but calls may interleave.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first job panic after all workers have joined.
+    pub fn map_with_progress<T, R>(
+        &self,
+        items: &[T],
+        f: impl Fn(&T) -> R + Sync,
+        progress: impl Fn(usize, usize) + Sync,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let total = items.len();
+        let jobs = self.effective_jobs(total);
+        let chunk = self.effective_chunk(total, jobs);
+        if jobs <= 1 || total <= 1 {
+            // Serial fast path — same chunk-grained progress reporting.
+            let mut out = Vec::with_capacity(total);
+            for (i, item) in items.iter().enumerate() {
+                out.push(f(item));
+                if (i + 1) % chunk == 0 || i + 1 == total {
+                    progress(i + 1, total);
+                }
+            }
+            return out;
+        }
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let (f, progress, next, done) = (&f, &progress, &next, &done);
+        let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    std::thread::Builder::new()
+                        .name(format!("batch-{w}"))
+                        .spawn_scoped(s, move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= total {
+                                    break;
+                                }
+                                let end = (start + chunk).min(total);
+                                for (i, item) in items[start..end].iter().enumerate() {
+                                    local.push((start + i, f(item)));
+                                }
+                                let finished =
+                                    done.fetch_add(end - start, Ordering::Relaxed) + (end - start);
+                                progress(finished, total);
+                            }
+                            local
+                        })
+                        .expect("spawn batch worker")
+                })
+                .collect();
+            // Join *every* worker before re-raising: unwinding out of the
+            // scope with other panicked threads unjoined would double-panic
+            // in the scope's cleanup and abort the process.
+            let mut first_panic = None;
+            let mut buckets = Vec::with_capacity(jobs);
+            for h in handles {
+                match h.join() {
+                    Ok(local) => buckets.push(local),
+                    Err(panic) => {
+                        first_panic.get_or_insert(panic);
+                    }
+                }
+            }
+            if let Some(panic) = first_panic {
+                std::panic::resume_unwind(panic);
+            }
+            buckets
+        });
+        // Merge worker-local results back into input order.
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(total).collect();
+        for bucket in &mut buckets {
+            for (i, r) in bucket.drain(..) {
+                slots[i] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("executor produced a result for every job"))
+            .collect()
+    }
+
+    /// Runs the batch with per-job timing, aggregating into a
+    /// [`BatchReport`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first job panic after all workers have joined.
+    pub fn run<T, R>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> BatchReport<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.run_with_progress(items, f, |_, _| {})
+    }
+
+    /// [`BatchRunner::run`] with a chunk-grained progress callback (see
+    /// [`BatchRunner::map_with_progress`]).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first job panic after all workers have joined.
+    pub fn run_with_progress<T, R>(
+        &self,
+        items: &[T],
+        f: impl Fn(&T) -> R + Sync,
+        progress: impl Fn(usize, usize) + Sync,
+    ) -> BatchReport<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let start = Instant::now();
+        let timed = self.map_with_progress(
+            items,
+            |item| {
+                let t = Instant::now();
+                let result = f(item);
+                (t.elapsed(), result)
+            },
+            progress,
+        );
+        BatchReport {
+            results: timed
+                .into_iter()
+                .map(|(duration, result)| JobResult { duration, result })
+                .collect(),
+            wall_time: start.elapsed(),
+            jobs: self.effective_jobs(items.len()),
+        }
+    }
+}
+
+/// Convenience wrapper: [`BatchRunner::map`] with the default executor.
+pub fn par_map<T, R>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    BatchRunner::new().map(items, f)
+}
+
+/// One job's outcome inside a [`BatchReport`]. Its position in
+/// [`BatchReport::results`] is the job's position in the input slice.
+#[derive(Debug, Clone)]
+pub struct JobResult<R> {
+    /// Wall time this job took on its worker.
+    pub duration: Duration,
+    /// What the job returned.
+    pub result: R,
+}
+
+/// Aggregate outcome of one [`BatchRunner::run`] batch: per-job results in
+/// input order plus batch-level accounting.
+#[derive(Debug, Clone)]
+pub struct BatchReport<R> {
+    /// Per-job outcomes, in input order.
+    pub results: Vec<JobResult<R>>,
+    /// Wall time of the whole batch (queue open to last join).
+    pub wall_time: Duration,
+    /// Worker threads the batch used.
+    pub jobs: usize,
+}
+
+impl<R> BatchReport<R> {
+    /// Number of jobs in the batch.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Sum of per-job wall times — the serial cost the batch amortized
+    /// across its workers.
+    pub fn total_job_time(&self) -> Duration {
+        self.results.iter().map(|j| j.duration).sum()
+    }
+
+    /// Drops the accounting, keeping the job results in input order.
+    pub fn into_results(self) -> Vec<R> {
+        self.results.into_iter().map(|j| j.result).collect()
+    }
+}
+
+impl<R, E> BatchReport<Result<R, E>> {
+    /// The failed jobs as `(input index, error)`, in input order.
+    pub fn failures(&self) -> impl Iterator<Item = (usize, &E)> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, j)| j.result.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// Number of failed jobs.
+    pub fn failed(&self) -> usize {
+        self.failures().count()
+    }
+
+    /// Number of successful jobs.
+    pub fn passed(&self) -> usize {
+        self.len() - self.failed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|n| n * 2).collect();
+        for jobs in [1, 2, 7, 32] {
+            for chunk in [0, 1, 3] {
+                let got = BatchRunner::new()
+                    .with_jobs(jobs)
+                    .with_chunk(chunk)
+                    .map(&items, |n| n * 2);
+                assert_eq!(got, expected, "jobs={jobs} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let got: Vec<usize> = BatchRunner::new().map(&[], |n: &usize| *n);
+        assert!(got.is_empty());
+        let report = BatchRunner::new().run(&[], |n: &usize| *n);
+        assert!(report.is_empty());
+        assert_eq!(report.len(), 0);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let got = BatchRunner::new().with_jobs(64).map(&[1, 2, 3], |n| n + 1);
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_jobs_means_auto() {
+        assert_eq!(
+            BatchRunner::new().with_jobs(0).effective_jobs(1024),
+            available_jobs()
+        );
+    }
+
+    #[test]
+    fn job_panic_propagates_after_join() {
+        let items: Vec<usize> = (0..64).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            BatchRunner::new().with_jobs(4).map(&items, |&n| {
+                assert!(n != 13, "unlucky job");
+                n
+            });
+        }))
+        .expect_err("the panic must reach the caller");
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("unlucky job"), "{msg}");
+    }
+
+    #[test]
+    fn progress_is_chunkwise_and_reaches_total() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1, 8] {
+            let seen = Mutex::new(Vec::new());
+            BatchRunner::new()
+                .with_jobs(jobs)
+                .with_chunk(16)
+                .map_with_progress(
+                    &items,
+                    |n| *n,
+                    |done, total| seen.lock().unwrap().push((done, total)),
+                );
+            let seen = seen.into_inner().unwrap();
+            assert!(!seen.is_empty());
+            assert!(seen.iter().all(|&(_, t)| t == 100));
+            assert_eq!(
+                seen.iter().map(|&(d, _)| d).max(),
+                Some(100),
+                "jobs={jobs}: progress must reach the total"
+            );
+        }
+    }
+
+    #[test]
+    fn run_reports_timing_and_failures() {
+        let items: Vec<usize> = (0..20).collect();
+        let report = BatchRunner::new().with_jobs(4).run(&items, |&n| {
+            if n % 5 == 0 {
+                Err(format!("bad {n}"))
+            } else {
+                Ok(n)
+            }
+        });
+        assert_eq!(report.len(), 20);
+        assert_eq!(report.failed(), 4);
+        assert_eq!(report.passed(), 16);
+        let failed: Vec<usize> = report.failures().map(|(i, _)| i).collect();
+        assert_eq!(failed, vec![0, 5, 10, 15], "failures stay in input order");
+        assert!(report.total_job_time() >= Duration::ZERO);
+        // Results sit at their input positions.
+        let ok: Vec<Option<usize>> = report
+            .results
+            .iter()
+            .map(|j| j.result.as_ref().ok().copied())
+            .collect();
+        for (i, v) in ok.iter().enumerate() {
+            assert_eq!(*v, (i % 5 != 0).then_some(i), "position {i}");
+        }
+        assert_eq!(report.into_results().len(), 20);
+    }
+
+    #[test]
+    fn par_map_convenience_matches_serial() {
+        let items: Vec<i64> = (0..50).collect();
+        assert_eq!(
+            par_map(&items, |n| n * n),
+            items.iter().map(|n| n * n).collect::<Vec<_>>()
+        );
+    }
+}

@@ -213,6 +213,36 @@ pub fn compile_with_report(
     backend_with_report(&rc, config)
 }
 
+/// Compiles many sources with one call, sharded across `jobs` worker
+/// threads by the [`crate::par`] executor (`jobs == 0` means one per core).
+///
+/// Per-source outcomes come back in input order regardless of thread count;
+/// the backends' per-pass statistics are merged (phase by phase, see
+/// [`PipelineReport::merge`]) into one aggregate report covering every
+/// compilation that reached the backend.
+pub fn compile_batch(
+    sources: &[impl AsRef<str> + Sync],
+    config: CompilerConfig,
+    jobs: usize,
+) -> (Vec<Result<CompiledProgram, PipelineError>>, PipelineReport) {
+    let outcomes = crate::par::BatchRunner::new()
+        .with_jobs(jobs)
+        .map(sources, |src| compile_with_report(src.as_ref(), config));
+    let mut merged = PipelineReport::default();
+    let results = outcomes
+        .into_iter()
+        .map(|outcome| {
+            outcome.map(|(program, report)| {
+                if let Some(report) = report {
+                    merged.merge(&report);
+                }
+                program
+            })
+        })
+        .collect();
+    (results, merged)
+}
+
 /// Compiles and runs `main`.
 ///
 /// # Errors
@@ -314,6 +344,31 @@ def main() := sum(build(50))
                 config.label()
             );
         }
+    }
+
+    #[test]
+    fn compile_batch_preserves_order_and_merges_reports() {
+        let sources = [SRC, "def !", "def main() := 6 * 7", SRC];
+        for jobs in [1, 4] {
+            let (results, report) = compile_batch(&sources, CompilerConfig::mlir(), jobs);
+            assert_eq!(results.len(), 4, "jobs={jobs}");
+            assert!(results[0].is_ok() && results[2].is_ok() && results[3].is_ok());
+            assert_eq!(results[1].as_ref().unwrap_err().stage, "parse");
+            // The merged report folds every successful compilation's phases.
+            let rgn_opt = report
+                .phases
+                .iter()
+                .find(|p| p.pipeline == "rgn-opt")
+                .expect("merged report keeps backend phases");
+            assert!(rgn_opt.passes.iter().all(|s| s.runs >= 1));
+        }
+    }
+
+    #[test]
+    fn compile_batch_of_nothing_is_empty() {
+        let (results, report) = compile_batch(&[] as &[&str], CompilerConfig::mlir(), 2);
+        assert!(results.is_empty());
+        assert!(report.phases.is_empty());
     }
 
     #[test]

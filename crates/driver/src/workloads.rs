@@ -491,7 +491,10 @@ mod tests {
 
     #[test]
     fn workloads_run_on_reference_interpreter() {
-        for w in all(Scale::Test) {
+        // One executor job per workload — the same batching layer the
+        // integration-test oracles and the `correctness` binary use.
+        let workloads = all(Scale::Test);
+        crate::par::par_map(&workloads, |w| {
             let p =
                 lssa_lambda::parse_program(&w.src).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             lssa_lambda::check_program(&p).unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
@@ -500,12 +503,13 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert_eq!(out.rendered, w.expected_test, "{}", w.name);
             assert_eq!(out.stats.live, 0, "{}: leak", w.name);
-        }
+        });
     }
 
     #[test]
     fn workloads_agree_across_pipelines() {
-        for w in all(Scale::Test) {
+        let workloads = all(Scale::Test);
+        crate::par::par_map(&workloads, |w| {
             for config in [
                 CompilerConfig::leanc(),
                 CompilerConfig::mlir(),
@@ -529,6 +533,6 @@ mod tests {
                     config.label()
                 );
             }
-        }
+        });
     }
 }

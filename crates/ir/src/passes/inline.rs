@@ -11,7 +11,8 @@ use crate::ids::{OpId, ValueId};
 use crate::module::Module;
 use crate::opcode::Opcode;
 use crate::pass::Pass;
-use std::collections::HashMap;
+use crate::types::Type;
+use std::collections::{HashMap, HashSet};
 
 /// The inlining pass.
 #[derive(Debug, Clone, Copy)]
@@ -65,7 +66,9 @@ impl Pass for InlinePass {
                     let Some(snippet) = &inlinable[pos] else {
                         continue;
                     };
-                    inline_at(&mut body, op, snippet);
+                    if !inline_at(&mut body, op, snippet) {
+                        continue; // malformed call site (arity/result shape)
+                    }
                     did = true;
                     changed = true;
                     break; // op list changed; re-walk
@@ -81,15 +84,19 @@ impl Pass for InlinePass {
 }
 
 /// A callee captured in an inlinable form.
+///
+/// The snapshot is self-contained: op data plus the result *types* of every
+/// op, captured at extraction time, so splicing never needs the callee's
+/// `Body` (which used to be cloned wholesale just for `value_type` lookups).
 #[derive(Debug, Clone)]
 struct InlinableCallee {
     params: Vec<ValueId>,
     /// Ops in order, excluding the terminator.
     ops: Vec<crate::body::OpData>,
-    /// Map from the callee's value ids to result indices of `ops`.
+    /// Result types of each op, parallel to `ops`.
+    result_tys: Vec<Vec<Type>>,
+    /// The callee value returned by the terminator.
     returned: ValueId,
-    /// The callee body the snippets refer into (for types).
-    body: Body,
 }
 
 impl InlinableCallee {
@@ -108,41 +115,63 @@ impl InlinableCallee {
         if body.ops[term.index()].opcode != Opcode::Return {
             return None;
         }
+        // A void return has no value to substitute for the call's result —
+        // bail rather than index into an empty operand list.
+        let returned = *body.ops[term.index()].operands.first()?;
+        // Every value the snippet mentions must be a parameter or a result
+        // of an earlier snippet op; anything else (a use of a detached or
+        // malformed value) would be unmappable at the call site.
+        let mut known: HashSet<ValueId> = body.params().iter().copied().collect();
         let mut cloned = Vec::new();
+        let mut result_tys = Vec::new();
         for &op in &ops[..ops.len() - 1] {
             let data = &body.ops[op.index()];
             if !data.regions.is_empty() || !data.successors.is_empty() {
                 return None;
             }
+            if !data.operands.iter().all(|v| known.contains(v)) {
+                return None;
+            }
+            known.extend(data.results.iter().copied());
+            result_tys.push(data.results.iter().map(|&r| body.value_type(r)).collect());
             cloned.push(data.clone());
+        }
+        if !known.contains(&returned) {
+            return None;
         }
         Some(InlinableCallee {
             params: body.params().to_vec(),
             ops: cloned,
-            returned: body.ops[term.index()].operands[0],
-            body: body.clone(),
+            result_tys,
+            returned,
         })
     }
 }
 
-fn inline_at(body: &mut Body, call: OpId, snippet: &InlinableCallee) {
+/// Splices `snippet` in place of `call`. Returns `false` — leaving the body
+/// untouched — when the call site does not match the snapshot's shape: an
+/// argument count different from the callee's parameter count (zipping
+/// would silently mis-map values) or a call without exactly one result
+/// (there would be nothing to substitute the returned value for).
+fn inline_at(body: &mut Body, call: OpId, snippet: &InlinableCallee) -> bool {
     let args = body.ops[call.index()].operands.clone();
+    if args.len() != snippet.params.len() {
+        return false;
+    }
+    let Some(call_result) = body.ops[call.index()].result() else {
+        return false;
+    };
     let mut map: HashMap<ValueId, ValueId> = HashMap::new();
     for (&p, &a) in snippet.params.iter().zip(&args) {
         map.insert(p, a);
     }
-    for data in &snippet.ops {
+    for (data, result_tys) in snippet.ops.iter().zip(&snippet.result_tys) {
         let operands: Vec<ValueId> = data
             .operands
             .iter()
-            .map(|v| *map.get(v).expect("callee op uses unmapped value"))
+            .map(|v| *map.get(v).expect("extract() checked every operand"))
             .collect();
-        let result_tys: Vec<_> = data
-            .results
-            .iter()
-            .map(|&r| snippet.body.value_type(r))
-            .collect();
-        let new_op = body.create_op(data.opcode, operands, &result_tys, data.attrs.clone());
+        let new_op = body.create_op(data.opcode, operands, result_tys, data.attrs.clone());
         body.insert_op_before(call, new_op);
         for (i, &old_r) in data.results.iter().enumerate() {
             map.insert(old_r, body.ops[new_op.index()].results[i]);
@@ -150,10 +179,10 @@ fn inline_at(body: &mut Body, call: OpId, snippet: &InlinableCallee) {
     }
     let returned = *map
         .get(&snippet.returned)
-        .expect("callee returns unmapped value");
-    let call_result = body.ops[call.index()].result().unwrap();
+        .expect("extract() checked the returned value");
     body.replace_all_uses(call_result, returned);
     body.erase_op(call);
+    true
 }
 
 /// Convenience entry point used by callees of this crate.
@@ -253,6 +282,86 @@ mod tests {
         b.ret(r);
         m.add_function("f", Signature::new(vec![Type::I64], Type::I64), body);
         assert!(!InlinePass::default().run(&mut m).changed);
+    }
+
+    #[test]
+    fn zero_result_call_bails_instead_of_panicking() {
+        use crate::attr::{Attr, AttrKey};
+        let mut m = Module::new();
+        let square = make_square(&mut m);
+        // A call op with no results — nothing the returned value could
+        // replace. The pass must skip it, not panic in result().unwrap().
+        let (mut body, params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let call = body.create_op(
+            Opcode::Call,
+            vec![params[0]],
+            &[],
+            vec![(AttrKey::Callee, Attr::Sym(square))],
+        );
+        body.push_op(entry, call);
+        let mut b = Builder::at_end(&mut body, entry);
+        b.ret(params[0]);
+        m.add_function("f", Signature::new(vec![Type::I64], Type::I64), body);
+
+        assert!(!InlinePass::default().run(&mut m).changed);
+        let body = m.func_by_name("f").unwrap().body.as_ref().unwrap();
+        let has_call = body
+            .walk_ops()
+            .iter()
+            .any(|&op| body.ops[op.index()].opcode == Opcode::Call);
+        assert!(has_call, "the malformed call site must be left alone");
+    }
+
+    #[test]
+    fn void_return_callee_bails_instead_of_panicking() {
+        let mut m = Module::new();
+        // A callee whose terminator returns no value — there is nothing to
+        // substitute for the call result, so extract() must reject it.
+        let (mut body, _params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let ret = body.create_op(Opcode::Return, vec![], &[], vec![]);
+        body.push_op(entry, ret);
+        let void = m.add_function("void", Signature::new(vec![Type::I64], Type::I64), body);
+
+        let (mut body, params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let mut b = Builder::at_end(&mut body, entry);
+        let r = b.call(void, vec![params[0]], Type::I64);
+        b.ret(r);
+        m.add_function("f", Signature::new(vec![Type::I64], Type::I64), body);
+
+        assert!(!InlinePass::default().run(&mut m).changed);
+    }
+
+    #[test]
+    fn arity_mismatch_call_bails_instead_of_mismapping() {
+        use crate::attr::{Attr, AttrKey};
+        let mut m = Module::new();
+        let square = make_square(&mut m);
+        // square takes one parameter; call it with two arguments. Zipping
+        // params against args used to silently drop the extra argument.
+        let (mut body, params) = Body::new(&[Type::I64]);
+        let entry = body.entry_block();
+        let call = body.create_op(
+            Opcode::Call,
+            vec![params[0], params[0]],
+            &[Type::I64],
+            vec![(AttrKey::Callee, Attr::Sym(square))],
+        );
+        body.push_op(entry, call);
+        let result = body.ops[call.index()].result().unwrap();
+        let mut b = Builder::at_end(&mut body, entry);
+        b.ret(result);
+        m.add_function("f", Signature::new(vec![Type::I64], Type::I64), body);
+
+        assert!(!InlinePass::default().run(&mut m).changed);
+        let body = m.func_by_name("f").unwrap().body.as_ref().unwrap();
+        let has_call = body
+            .walk_ops()
+            .iter()
+            .any(|&op| body.ops[op.index()].opcode == Opcode::Call);
+        assert!(has_call, "the mis-arity call site must be left alone");
     }
 
     #[test]

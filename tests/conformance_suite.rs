@@ -5,13 +5,14 @@
 //! four compiled pipelines; all five must agree and release every object.
 //!
 //! Cases are independent (each differential run owns its interpreter
-//! environment and VM heap), so the corpus is sharded across threads with
-//! `std::thread::scope`, one contiguous chunk per core — the same pattern
-//! as the workload smoke oracle. Workers report failures as strings; a
-//! panic inside a worker propagates through the join.
+//! environment and VM heap), so the corpus runs through the shared batch
+//! executor (`lssa_driver::par`) — the same subsystem behind the
+//! `correctness` binary and the workload smoke oracle. Failures come back
+//! in corpus order regardless of the worker count.
 
 use lambda_ssa::driver::conformance::full_corpus;
 use lambda_ssa::driver::diff::run_differential;
+use lambda_ssa::driver::par::BatchRunner;
 
 const MAX_STEPS: u64 = 500_000_000;
 
@@ -19,41 +20,21 @@ const MAX_STEPS: u64 = 500_000_000;
 fn full_corpus_all_pipelines_agree() {
     let corpus = full_corpus(648, 0x5e5a_2022);
     assert!(corpus.len() >= 648, "corpus must match the paper's scale");
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let chunk = corpus.len().div_ceil(threads);
-    let failures: Vec<String> = std::thread::scope(|s| {
-        let handles: Vec<_> = corpus
-            .chunks(chunk)
-            .enumerate()
-            .map(|(i, cases)| {
-                std::thread::Builder::new()
-                    .name(format!("conformance-{i}"))
-                    .spawn_scoped(s, move || {
-                        cases
-                            .iter()
-                            .filter_map(|case| {
-                                let r = run_differential(&case.name, &case.src, MAX_STEPS);
-                                (!r.passed()).then(|| {
-                                    format!(
-                                        "{}: {}\n--- source ---\n{}",
-                                        case.name,
-                                        r.failure.unwrap(),
-                                        case.src
-                                    )
-                                })
-                            })
-                            .collect::<Vec<String>>()
-                    })
-                    .expect("spawn conformance shard")
+    let failures: Vec<String> = BatchRunner::new()
+        .map(&corpus, |case| {
+            let r = run_differential(&case.name, &case.src, MAX_STEPS);
+            (!r.passed()).then(|| {
+                format!(
+                    "{}: {}\n--- source ---\n{}",
+                    case.name,
+                    r.failure.unwrap(),
+                    case.src
+                )
             })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("conformance shard panicked"))
-            .collect()
-    });
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     assert!(
         failures.is_empty(),
         "{} of {} conformance cases failed:\n{}",

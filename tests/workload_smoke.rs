@@ -9,45 +9,27 @@
 //! conformance suite finishes.
 //!
 //! Workloads are independent — each case owns its interpreter environment,
-//! its compiled program, and its VM `Heap` — so the oracle shards across
-//! threads with `std::thread::scope` (the first step of the ROADMAP's
-//! parallel batch driver). A panic in any worker propagates through the
-//! scope join and fails the test with the workload's own message.
+//! its compiled program, and its VM `Heap` — so the oracle shards one job
+//! per workload through the shared batch executor (`lssa_driver::par`,
+//! the ROADMAP's parallel batch driver). A panic in any job propagates
+//! after all workers join and fails the test with the workload's own
+//! message.
 
 use lambda_ssa::driver::diff::configs;
+use lambda_ssa::driver::par::BatchRunner;
 use lambda_ssa::driver::pipelines::compile_and_run;
 use lambda_ssa::driver::workloads::{all, Scale, Workload};
 use lambda_ssa::lambda::{insert_rc, parse_program, run_program};
 
 const MAX_STEPS: u64 = 500_000_000;
 
-/// Runs `check` once per workload, one thread per workload.
+/// Runs `check` once per workload, one executor job per workload.
 fn for_each_workload_parallel(scale: Scale, check: impl Fn(&Workload) + Sync) {
     let workloads = all(scale);
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for w in &workloads {
-            let check = &check;
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("smoke-{}", w.name))
-                    .spawn_scoped(s, move || check(w))
-                    .expect("spawn workload thread"),
-            );
-        }
-        // Join *every* handle before re-raising: unwinding out of the scope
-        // with other panicked threads still unjoined would double-panic in
-        // the scope's own cleanup and abort the test binary.
-        let mut first_panic = None;
-        for h in handles {
-            if let Err(panic) = h.join() {
-                first_panic.get_or_insert(panic);
-            }
-        }
-        if let Some(panic) = first_panic {
-            std::panic::resume_unwind(panic);
-        }
-    });
+    BatchRunner::new()
+        .with_jobs(workloads.len())
+        .with_chunk(1)
+        .map(&workloads, |w| check(w));
 }
 
 #[test]
