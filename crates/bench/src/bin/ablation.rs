@@ -2,7 +2,10 @@
 //!
 //! - region optimizations (§IV-B) on/off,
 //! - generic CFG-level passes on/off,
-//! - guaranteed vs heuristic tail calls (§III-E).
+//! - guaranteed vs heuristic tail calls (§III-E),
+//! - decode-time superinstruction fusion on/off (the `-fusion` knob runs
+//!   the full compile pipeline but executes the unfused stream, so the
+//!   fused rows of the VM tables quantify exactly what fusion buys).
 //!
 //! Reports deterministic VM instruction counts and static code size per
 //! knob, per benchmark — wall-clock-free, so the ablation is exactly
@@ -21,6 +24,7 @@ use lssa_core::{PipelineOptions, PipelineReport};
 use lssa_driver::pipelines::{compile_with_report, Backend, CompilerConfig};
 use lssa_driver::workloads::{all, Scale};
 use lssa_lambda::SimplifyOptions;
+use lssa_vm::DecodeOptions;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -32,14 +36,16 @@ fn main() {
     } else {
         Scale::Test
     };
-    let knobs: Vec<(&str, PipelineOptions)> = vec![
-        ("full", PipelineOptions::full()),
+    let fused = DecodeOptions::fused();
+    let knobs: Vec<(&str, PipelineOptions, DecodeOptions)> = vec![
+        ("full", PipelineOptions::full(), fused),
         (
             "-region-opts",
             PipelineOptions {
                 region_opts: false,
                 ..PipelineOptions::full()
             },
+            fused,
         ),
         (
             "-generic-opts",
@@ -47,6 +53,7 @@ fn main() {
                 generic_opts: false,
                 ..PipelineOptions::full()
             },
+            fused,
         ),
         (
             "-guaranteed-tco",
@@ -54,13 +61,15 @@ fn main() {
                 guaranteed_tco: false,
                 ..PipelineOptions::full()
             },
+            fused,
         ),
-        ("none", PipelineOptions::no_opt()),
+        ("-fusion", PipelineOptions::full(), DecodeOptions::no_fuse()),
+        ("none", PipelineOptions::no_opt(), fused),
     ];
     println!("Ablation over the rgn pipeline's design knobs (instruction counts, deterministic)");
     println!();
     print!("{:<20}", "benchmark");
-    for (label, _) in &knobs {
+    for (label, _, _) in &knobs {
         print!(" {label:>16}");
     }
     println!();
@@ -72,14 +81,15 @@ fn main() {
         .collect();
     for w in all(scale) {
         print!("{:<20}", w.name);
-        for (i, (_, opts)) in knobs.iter().enumerate() {
+        for (i, (_, opts, decode)) in knobs.iter().enumerate() {
             let config = CompilerConfig {
                 simplify: Some(SimplifyOptions::all()),
                 backend: Backend::Mlir(*opts),
             };
             let (program, report) = compile_with_report(&w.src, config).expect("compile");
             knob_reports[i].merge(&report.expect("mlir backend reports statistics"));
-            let out = lssa_vm::run_program(&program, "main", lssa_bench::MAX_STEPS).expect("run");
+            let out = lssa_vm::run_program_with(&program, "main", lssa_bench::MAX_STEPS, *decode)
+                .expect("run");
             knob_vm_stats[i].merge(&out.vm_stats);
             print!(" {:>10}/{:<5}", out.stats.instructions, program.code_size());
         }
@@ -88,17 +98,19 @@ fn main() {
     println!();
     println!("cells are: dynamic instructions / static code size");
     println!("expected shape: -region-opts and none never beat full; -guaranteed-tco only");
-    println!("affects stack depth (instruction counts are within noise of full).");
+    println!("affects stack depth (instruction counts are within noise of full); -fusion");
+    println!("executes the same program as full but without superinstructions, so its");
+    println!("dynamic count is higher at identical static code size.");
     println!();
     println!("Per-pass statistics per knob (aggregated across the workloads above)");
-    for ((label, _), report) in knobs.iter().zip(&knob_reports) {
+    for ((label, _, _), report) in knobs.iter().zip(&knob_reports) {
         println!();
         println!("=== {label} ===");
         print!("{}", report.render_table());
     }
     println!();
     println!("Per-opcode-class VM statistics per knob (run-side costs, aggregated)");
-    for ((label, _), stats) in knobs.iter().zip(&knob_vm_stats) {
+    for ((label, _, _), stats) in knobs.iter().zip(&knob_vm_stats) {
         println!();
         println!("=== {label} ===");
         print!("{}", stats.render_table());

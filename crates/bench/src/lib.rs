@@ -35,8 +35,11 @@ pub struct Measurement {
 
 /// Compiles once, runs `runs` times, returns the median time.
 ///
-/// The program is pre-decoded once ([`lssa_vm::decode_program`]) so the
-/// timed region measures pure execution, not per-run decode cost.
+/// The program is pre-decoded once (memoized,
+/// [`CompiledProgram::decoded`]) so the timed region measures pure
+/// execution, not per-run decode cost. Superinstruction fusion is on —
+/// the default execution mode; fused-vs-`--no-fuse` comparisons live in
+/// `lssa_driver::benchjson` (`lssa bench --json`).
 ///
 /// # Panics
 ///
@@ -44,7 +47,7 @@ pub struct Measurement {
 /// before being timed.
 pub fn measure(program: &CompiledProgram, runs: usize) -> Measurement {
     assert!(runs >= 1);
-    let decoded = lssa_vm::decode_program(program);
+    let decoded = program.decoded(lssa_vm::DecodeOptions::default());
     let mut times = Vec::with_capacity(runs);
     let mut instructions = 0;
     for _ in 0..runs {

@@ -1,0 +1,192 @@
+//! Machine-readable benchmark results (`lssa bench --json`).
+//!
+//! Every workload is compiled once (full MLIR pipeline), then executed in
+//! both decode modes — fused superinstructions and `--no-fuse` — several
+//! times, recording the median wall time next to the deterministic
+//! counters (instructions executed, fused cells and share, heap
+//! allocations). The records serialize to `BENCH_<scale>.json`, giving
+//! the repository a perf trajectory that survives across PRs: commit the
+//! file, diff it later.
+//!
+//! The JSON is written by hand — the workspace is offline and a perf
+//! baseline does not justify a serde dependency.
+
+use crate::pipelines::{compile, CompilerConfig};
+use crate::workloads::Workload;
+use lssa_vm::DecodeOptions;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One decode mode's measurement for one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeResult {
+    /// Median wall time over the runs, in milliseconds.
+    pub wall_ms: f64,
+    /// Cells executed (deterministic, identical across runs).
+    pub instructions: u64,
+    /// Superinstruction cells in the decoded stream (static).
+    pub fused_cells: u64,
+    /// Share of executed cells that were superinstructions (0..=1).
+    pub fused_share: f64,
+    /// Heap objects allocated over the run.
+    pub heap_allocs: u64,
+}
+
+/// Fused and unfused measurements for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Workload name.
+    pub name: String,
+    /// Default decode (superinstruction fusion on).
+    pub fused: ModeResult,
+    /// `--no-fuse` decode.
+    pub unfused: ModeResult,
+}
+
+impl BenchRecord {
+    /// Wall-clock speedup of fused over unfused dispatch.
+    pub fn speedup(&self) -> f64 {
+        self.unfused.wall_ms / self.fused.wall_ms
+    }
+}
+
+fn measure_mode(
+    program: &lssa_vm::CompiledProgram,
+    opts: DecodeOptions,
+    runs: usize,
+    max_steps: u64,
+) -> ModeResult {
+    assert!(runs >= 1);
+    let decoded = program.decoded(opts);
+    let mut times = Vec::with_capacity(runs);
+    let mut stats = lssa_vm::VmStatistics::default();
+    for _ in 0..runs {
+        let start = Instant::now();
+        let out = lssa_vm::run_decoded(&decoded, "main", max_steps).expect("benchmark run");
+        times.push(start.elapsed());
+        assert_eq!(out.stats.heap.live, 0, "benchmark leaked");
+        stats = out.vm_stats;
+    }
+    times.sort();
+    ModeResult {
+        wall_ms: times[times.len() / 2].as_secs_f64() * 1e3,
+        instructions: stats.instructions,
+        fused_cells: stats.fused_cells,
+        fused_share: stats.fused_share(),
+        heap_allocs: stats.heap.allocs,
+    }
+}
+
+/// Measures one workload in both decode modes (compiling it once with the
+/// full MLIR pipeline).
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile or run — benchmarks must be
+/// green before being timed.
+pub fn measure_workload(w: &Workload, runs: usize, max_steps: u64) -> BenchRecord {
+    let program =
+        compile(&w.src, CompilerConfig::mlir()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    BenchRecord {
+        name: w.name.to_string(),
+        fused: measure_mode(&program, DecodeOptions::fused(), runs, max_steps),
+        unfused: measure_mode(&program, DecodeOptions::no_fuse(), runs, max_steps),
+    }
+}
+
+/// Measures every given workload ([`measure_workload`]).
+///
+/// # Panics
+///
+/// See [`measure_workload`].
+pub fn run_suite(workloads: &[Workload], runs: usize, max_steps: u64) -> Vec<BenchRecord> {
+    workloads
+        .iter()
+        .map(|w| measure_workload(w, runs, max_steps))
+        .collect()
+}
+
+/// The conventional output path for a scale: `BENCH_<scale>.json`.
+pub fn default_path(scale_label: &str) -> String {
+    format!("BENCH_{scale_label}.json")
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn mode_json(out: &mut String, label: &str, m: &ModeResult) {
+    let _ = write!(
+        out,
+        "      \"{label}\": {{ \"wall_ms\": {:.3}, \"instructions\": {}, \
+         \"fused_cells\": {}, \"fused_share\": {:.4}, \"heap_allocs\": {} }}",
+        m.wall_ms, m.instructions, m.fused_cells, m.fused_share, m.heap_allocs
+    );
+}
+
+/// Serializes the records. `scale_label` and `runs` document how the
+/// numbers were produced; wall times are milliseconds, `fused_share` is a
+/// 0..=1 fraction of executed cells.
+pub fn render_json(scale_label: &str, runs: usize, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"scale\": \"");
+    escape_into(&mut out, scale_label);
+    let _ = writeln!(out, "\",\n  \"runs\": {runs},\n  \"workloads\": [");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\n      \"name\": \"");
+        escape_into(&mut out, &r.name);
+        out.push_str("\",\n");
+        mode_json(&mut out, "fused", &r.fused);
+        out.push_str(",\n");
+        mode_json(&mut out, "unfused", &r.unfused);
+        let _ = write!(out, ",\n      \"speedup\": {:.3}\n    }}", r.speedup());
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{by_name, Scale};
+
+    #[test]
+    fn measures_and_serializes_a_workload() {
+        let w = by_name("filter", Scale::Test).unwrap();
+        let r = measure_workload(&w, 2, 500_000_000);
+        assert_eq!(r.fused.heap_allocs, r.unfused.heap_allocs, "same program");
+        assert!(r.fused.instructions < r.unfused.instructions, "fewer cells");
+        assert!(r.fused.fused_cells > 0);
+        assert_eq!(r.unfused.fused_cells, 0);
+        let json = render_json("test", 2, &[r]);
+        assert!(json.contains("\"name\": \"filter\""));
+        assert!(json.contains("\"fused\":"));
+        assert!(json.contains("\"unfused\":"));
+        assert!(json.contains("\"speedup\":"));
+        // Brackets balance (cheap well-formedness check without a parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn default_path_is_scale_keyed() {
+        assert_eq!(default_path("bench"), "BENCH_bench.json");
+    }
+}

@@ -1,24 +1,31 @@
 //! The `lssa` command-line compiler driver.
 //!
 //! ```text
-//! lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--print-ir-after-all]
+//! lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--print-ir-after-all]
 //! lssa dump <file> [--stage lp|rgn|opt|cfg]
 //! lssa diff <file>
-//! lssa bench <name> [--scale test|bench|stress]
+//! lssa bench <name>|all [--scale quick|test|bench|stress] [--no-fuse] [--json] [--out FILE]
 //! ```
 //!
 //! `--pass-stats` prints the backend's per-pass statistics table (runs,
 //! changed flag, live-op counts before/after, wall time, per named
 //! pipeline) after the program's result; `--vm-stats` prints the run-side
 //! mirror — the VM's per-opcode-class table (executed counts, heap
-//! allocations, frame-pool behaviour, max frame depth, wall time).
-//! `--print-ir-after-all` dumps the module to stderr after every pass,
-//! MLIR-style.
+//! allocations, frame-pool behaviour, max frame depth, wall time),
+//! including the fused-superinstruction rows. `--no-fuse` disables the
+//! decode-time superinstruction fusion pass (for fused-vs-unfused
+//! measurements). `--print-ir-after-all` dumps the module to stderr after
+//! every pass, MLIR-style.
+//!
+//! `bench --json` measures the selected workloads in *both* decode modes
+//! and writes machine-readable records to `BENCH_<scale>.json` (or
+//! `--out FILE`) — the committed perf-trajectory baseline.
 
 use lssa_driver::pipelines::{
-    compile_and_run, compile_and_run_with_report, frontend, Backend, CompilerConfig,
+    compile_and_run_opts, compile_and_run_with_report_opts, frontend, Backend, CompilerConfig,
 };
-use lssa_driver::workloads::{by_name, Scale};
+use lssa_driver::workloads::{all, by_name, Scale, Workload};
+use lssa_vm::DecodeOptions;
 use std::process::ExitCode;
 
 const MAX_STEPS: u64 = 2_000_000_000;
@@ -32,11 +39,13 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!(
-                "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--print-ir-after-all]"
+                "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--print-ir-after-all]"
             );
             eprintln!("  lssa dump <file> [--stage lambda|lp|rgn|opt|cfg]");
             eprintln!("  lssa diff <file>");
-            eprintln!("  lssa bench <name> [--scale test|bench|stress]");
+            eprintln!(
+                "  lssa bench <name>|all [--scale quick|test|bench|stress] [--no-fuse] [--json] [--out FILE]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -51,6 +60,14 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+fn decode_options(args: &[String]) -> DecodeOptions {
+    if has_flag(args, "--no-fuse") {
+        DecodeOptions::no_fuse()
+    } else {
+        DecodeOptions::fused()
+    }
 }
 
 fn config_of(name: &str) -> Result<CompilerConfig, String> {
@@ -72,6 +89,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut config = config_of(flag_value(args, "--backend").unwrap_or("mlir"))?;
             let want_stats = has_flag(args, "--pass-stats");
             let want_vm_stats = has_flag(args, "--vm-stats");
+            let decode = decode_options(args);
             if has_flag(args, "--print-ir-after-all") {
                 match config.backend {
                     Backend::Mlir(mut opts) => {
@@ -86,8 +104,8 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                 }
             }
-            let (out, report) =
-                compile_and_run_with_report(&src, config, MAX_STEPS).map_err(|e| e.to_string())?;
+            let (out, report) = compile_and_run_with_report_opts(&src, config, MAX_STEPS, decode)
+                .map_err(|e| e.to_string())?;
             println!("{}", out.rendered);
             eprintln!(
                 "-- {} instructions, {} calls, peak {} live objects",
@@ -162,24 +180,71 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "bench" => {
             let name = args.get(1).ok_or("missing benchmark name")?;
-            let scale = match flag_value(args, "--scale").unwrap_or("test") {
-                "test" => Scale::Test,
-                "bench" => Scale::Bench,
-                "stress" => Scale::Stress,
+            let (scale, scale_label) = match flag_value(args, "--scale").unwrap_or("test") {
+                // `quick` is the CI alias for the smallest inputs.
+                "test" | "quick" => (Scale::Test, "test"),
+                "bench" => (Scale::Bench, "bench"),
+                "stress" => (Scale::Stress, "stress"),
                 other => return Err(format!("unknown scale `{other}`")),
             };
-            let w = by_name(name, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-            for config in lssa_driver::diff::configs() {
-                let start = std::time::Instant::now();
-                let out = compile_and_run(&w.src, config, MAX_STEPS).map_err(|e| e.to_string())?;
-                let elapsed = start.elapsed();
-                println!(
-                    "{:28} {:>12?} {:>14} instrs  result={}",
-                    config.label(),
-                    elapsed,
-                    out.stats.instructions,
-                    out.rendered
-                );
+            let selected: Vec<Workload> = if name == "all" {
+                all(scale)
+            } else {
+                vec![by_name(name, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?]
+            };
+            if has_flag(args, "--json") {
+                if has_flag(args, "--no-fuse") {
+                    return Err(
+                        "--json always measures both decode modes; drop --no-fuse".to_string()
+                    );
+                }
+                // The default path is the committed full-suite baseline;
+                // never let a single-workload run clobber it silently (and
+                // fail before spending minutes measuring).
+                let path = match flag_value(args, "--out") {
+                    Some(out) => out.to_string(),
+                    None if name == "all" => lssa_driver::benchjson::default_path(scale_label),
+                    None => {
+                        return Err(format!(
+                            "bench {name} --json would overwrite the full-suite \
+                             {}; pass --out FILE (or bench all)",
+                            lssa_driver::benchjson::default_path(scale_label)
+                        ))
+                    }
+                };
+                const BENCH_RUNS: usize = 3;
+                let records = lssa_driver::benchjson::run_suite(&selected, BENCH_RUNS, MAX_STEPS);
+                for r in &records {
+                    println!(
+                        "{:20} fused {:>10.3}ms ({:>4.1}% fused cells)   no-fuse {:>10.3}ms   speedup {:.3}x",
+                        r.name,
+                        r.fused.wall_ms,
+                        r.fused.fused_share * 100.0,
+                        r.unfused.wall_ms,
+                        r.speedup(),
+                    );
+                }
+                let json = lssa_driver::benchjson::render_json(scale_label, BENCH_RUNS, &records);
+                std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("-- wrote {path}");
+                return Ok(());
+            }
+            let decode = decode_options(args);
+            for w in &selected {
+                for config in lssa_driver::diff::configs() {
+                    let start = std::time::Instant::now();
+                    let out = compile_and_run_opts(&w.src, config, MAX_STEPS, decode)
+                        .map_err(|e| e.to_string())?;
+                    let elapsed = start.elapsed();
+                    println!(
+                        "{:20} {:28} {:>12?} {:>14} instrs  result={}",
+                        w.name,
+                        config.label(),
+                        elapsed,
+                        out.stats.instructions,
+                        out.rendered
+                    );
+                }
             }
             Ok(())
         }

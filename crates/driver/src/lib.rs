@@ -9,6 +9,8 @@
 //! - [`diff`] — differential testing against the reference interpreter,
 //! - [`conformance`] — the ≥648-program corpus (§V-A's test-suite analogue),
 //! - [`workloads`] — the eight benchmarks of §V-B,
+//! - [`benchjson`] — machine-readable benchmark records
+//!   (`lssa bench --json` → `BENCH_<scale>.json`, fused vs `--no-fuse`),
 //! - [`par`] — the parallel batch executor every sharded run shares (the
 //!   `correctness` binary, [`pipelines::compile_batch`], and the
 //!   integration-test harnesses).
@@ -23,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod benchjson;
 pub mod conformance;
 pub mod diff;
 pub mod par;

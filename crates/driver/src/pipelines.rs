@@ -11,7 +11,7 @@
 use lssa_core::pipeline::{PipelineOptions, PipelineReport};
 use lssa_lambda::ast::Program;
 use lssa_lambda::simplify::SimplifyOptions;
-use lssa_vm::{CompiledProgram, RunOutcome};
+use lssa_vm::{CompiledProgram, DecodeOptions, RunOutcome};
 use std::borrow::Cow;
 use std::fmt;
 
@@ -256,6 +256,21 @@ pub fn compile_and_run(
     compile_and_run_with_report(src, config, max_steps).map(|(o, _)| o)
 }
 
+/// [`compile_and_run`] with explicit decode options (`--no-fuse` plumbs
+/// through here).
+///
+/// # Errors
+///
+/// Returns compilation or execution failures.
+pub fn compile_and_run_opts(
+    src: &str,
+    config: CompilerConfig,
+    max_steps: u64,
+    decode: DecodeOptions,
+) -> Result<RunOutcome, PipelineError> {
+    compile_and_run_with_report_opts(src, config, max_steps, decode).map(|(o, _)| o)
+}
+
 /// [`compile_and_run`], also returning the backend's per-pass statistics.
 ///
 /// # Errors
@@ -266,10 +281,26 @@ pub fn compile_and_run_with_report(
     config: CompilerConfig,
     max_steps: u64,
 ) -> Result<(RunOutcome, Option<PipelineReport>), PipelineError> {
+    compile_and_run_with_report_opts(src, config, max_steps, DecodeOptions::default())
+}
+
+/// [`compile_and_run_with_report`] with explicit decode options.
+///
+/// # Errors
+///
+/// Returns compilation or execution failures.
+pub fn compile_and_run_with_report_opts(
+    src: &str,
+    config: CompilerConfig,
+    max_steps: u64,
+    decode: DecodeOptions,
+) -> Result<(RunOutcome, Option<PipelineReport>), PipelineError> {
     let (program, report) = compile_with_report(src, config)?;
-    let outcome = lssa_vm::run_program(&program, "main", max_steps).map_err(|e| PipelineError {
-        stage: "execution",
-        message: e.to_string(),
+    let outcome = lssa_vm::run_program_with(&program, "main", max_steps, decode).map_err(|e| {
+        PipelineError {
+            stage: "execution",
+            message: e.to_string(),
+        }
     })?;
     Ok((outcome, report))
 }

@@ -127,6 +127,73 @@ fn vm_stats_prints_opcode_class_table() {
 }
 
 #[test]
+fn vm_stats_shows_fusion_and_no_fuse_disables_it() {
+    let path = write_temp("fuse", PROGRAM);
+    let out = lssa()
+        .args(["run"])
+        .arg(&path)
+        .args(["--vm-stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fused:"), "{text}");
+    assert!(!text.contains("fused: 0 superinstruction"), "{text}");
+    let out = lssa()
+        .args(["run"])
+        .arg(&path)
+        .args(["--vm-stats", "--no-fuse"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fused: 0 superinstruction"), "{text}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bench_json_writes_records() {
+    let json_path =
+        std::env::temp_dir().join(format!("lssa-cli-bench-{}.json", std::process::id()));
+    let out = lssa()
+        .args(["bench", "filter", "--scale", "quick", "--json", "--out"])
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    for needle in [
+        "\"scale\": \"test\"",
+        "\"name\": \"filter\"",
+        "\"fused\":",
+        "\"unfused\":",
+        "\"speedup\":",
+    ] {
+        assert!(json.contains(needle), "missing {needle}\n{json}");
+    }
+    std::fs::remove_file(json_path).ok();
+    // A single-workload run without --out must refuse rather than clobber
+    // the committed full-suite BENCH_<scale>.json baseline.
+    let out = lssa()
+        .args(["bench", "filter", "--scale", "quick", "--json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+    // And --json refuses --no-fuse (it always measures both modes).
+    let out = lssa()
+        .args(["bench", "all", "--scale", "quick", "--json", "--no-fuse"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--no-fuse"));
+}
+
+#[test]
 fn print_ir_after_all_dumps_to_stderr() {
     let path = write_temp("irdump", PROGRAM);
     let out = lssa()

@@ -103,8 +103,11 @@ pub enum Attr {
     Str(Box<str>),
     /// A symbol reference (`@foo`).
     Sym(Symbol),
-    /// A list of integers (e.g. `lp.switch` case values).
-    IntList(Vec<i64>),
+    /// A list of integers (e.g. `lp.switch` case values). Stored as
+    /// `Box<[i64]>` for the same reason as [`Attr::Str`]: the list is
+    /// immutable once attached, so a `Vec`'s capacity word would ride in
+    /// every `OpData` attribute slot for nothing.
+    IntList(Box<[i64]>),
     /// A comparison predicate.
     Pred(CmpPred),
 }
@@ -281,10 +284,19 @@ mod tests {
         assert_eq!(Attr::Str("x".into()).as_str(), Some("x"));
         assert_eq!(Attr::Sym(Symbol(2)).as_sym(), Some(Symbol(2)));
         assert_eq!(
-            Attr::IntList(vec![1, 2]).as_int_list(),
+            Attr::IntList(vec![1, 2].into()).as_int_list(),
             Some(&[1i64, 2][..])
         );
         assert_eq!(Attr::Pred(CmpPred::Eq).as_pred(), Some(CmpPred::Eq));
+    }
+
+    #[test]
+    fn attr_stays_compact() {
+        // Both variable-length payloads (`Str`, `IntList`) are boxed
+        // slices: two words of payload, three words total. A reintroduced
+        // `Vec`/`String` (third capacity word) would regress every
+        // `OpData`'s inline attribute buffer — catch it here.
+        assert_eq!(std::mem::size_of::<Attr>(), 24);
     }
 
     #[test]

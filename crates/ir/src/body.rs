@@ -605,6 +605,14 @@ mod tests {
     }
 
     #[test]
+    fn op_data_stays_compact() {
+        // The op-storage compaction budget (InlineVec'd lists, boxed
+        // attribute payloads). Growing this grows every op in every module;
+        // revisit the inline capacities before raising it.
+        assert!(std::mem::size_of::<OpData>() <= 208);
+    }
+
+    #[test]
     fn new_body_has_entry_with_params() {
         let (body, params) = Body::new(&[Type::Obj, Type::I64]);
         assert_eq!(params.len(), 2);

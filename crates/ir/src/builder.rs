@@ -148,7 +148,7 @@ impl<'a> Builder<'a> {
             Opcode::SwitchVal,
             operands,
             ty,
-            vec![(AttrKey::Cases, Attr::IntList(cases))],
+            vec![(AttrKey::Cases, Attr::IntList(cases.into()))],
         )
     }
 
@@ -201,7 +201,7 @@ impl<'a> Builder<'a> {
             Opcode::SwitchBr,
             vec![idx],
             &[],
-            vec![(AttrKey::Cases, Attr::IntList(cases))],
+            vec![(AttrKey::Cases, Attr::IntList(cases.into()))],
         );
         let succ = &mut self.body.ops[op.index()].successors;
         for (b, args) in targets {
@@ -330,7 +330,7 @@ impl<'a> Builder<'a> {
             Opcode::LpSwitch,
             vec![tag],
             &[],
-            vec![(AttrKey::Cases, Attr::IntList(cases))],
+            vec![(AttrKey::Cases, Attr::IntList(cases.into()))],
         );
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {

@@ -845,7 +845,7 @@ impl Binder<'_> {
             PAttr::Int(v) => Attr::Int(*v),
             PAttr::Str(s) => Attr::Str(s.as_str().into()),
             PAttr::Sym(s) => Attr::Sym(self.module.intern(s)),
-            PAttr::IntList(vs) => Attr::IntList(vs.clone()),
+            PAttr::IntList(vs) => Attr::IntList(vs.as_slice().into()),
             PAttr::Pred(p) => Attr::Pred(*p),
         }
     }

@@ -326,7 +326,7 @@ impl RewritePattern for FoldSwitchVal {
             data.operands = ops.into();
             for (k, a) in &mut data.attrs {
                 if *k == AttrKey::Cases {
-                    *a = Attr::IntList(new_cases.clone());
+                    *a = Attr::IntList(new_cases.clone().into());
                 }
             }
             return true;

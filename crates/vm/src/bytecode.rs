@@ -282,6 +282,34 @@ pub struct CompiledFn {
     pub code: Vec<Instr>,
 }
 
+/// Memoized decoded forms of a [`CompiledProgram`] (one slot per
+/// [`DecodeOptions`] mode), filled lazily by [`CompiledProgram::decoded`].
+///
+/// Cloning a program resets its cache (the clone may be mutated before it
+/// first runs); equality and hashing ignore it by construction, since
+/// `CompiledProgram` implements neither.
+#[derive(Default)]
+pub struct DecodeCache {
+    slots: [std::sync::OnceLock<std::sync::Arc<crate::decode::DecodedProgram>>; 2],
+}
+
+impl Clone for DecodeCache {
+    fn clone(&self) -> DecodeCache {
+        DecodeCache::default()
+    }
+}
+
+impl fmt::Debug for DecodeCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecodeCache")
+            .field("unfused", &self.slots[0].get().is_some())
+            .field("fused", &self.slots[1].get().is_some())
+            .finish()
+    }
+}
+
+use crate::decode::DecodeOptions;
+
 /// A compiled program.
 #[derive(Debug, Clone, Default)]
 pub struct CompiledProgram {
@@ -293,6 +321,11 @@ pub struct CompiledProgram {
     pub str_pool: Vec<String>,
     /// Global slot names (`@kslot`-style top-level closures).
     pub globals: Vec<String>,
+    /// Memoized decoded forms (implementation detail of
+    /// [`CompiledProgram::decoded`]; present here so repeat executions of
+    /// one program — conformance loops, differential reruns — skip
+    /// re-decoding).
+    pub decode_cache: DecodeCache,
 }
 
 impl CompiledProgram {
@@ -304,6 +337,16 @@ impl CompiledProgram {
     /// Total instruction count (static code size metric).
     pub fn code_size(&self) -> usize {
         self.fns.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// The decoded execution form under `opts`, memoized: the first call
+    /// per mode decodes ([`crate::decode::decode_program_with`]), repeat
+    /// calls return the shared result. The program must not be mutated
+    /// once decoded — treat construction as finished before the first run.
+    pub fn decoded(&self, opts: DecodeOptions) -> std::sync::Arc<crate::decode::DecodedProgram> {
+        self.decode_cache.slots[usize::from(opts.fuse)]
+            .get_or_init(|| std::sync::Arc::new(crate::decode::decode_program_with(self, opts)))
+            .clone()
     }
 }
 
@@ -338,5 +381,44 @@ mod tests {
         assert_eq!(p.fn_index("main"), Some(0));
         assert_eq!(p.fn_index("other"), None);
         assert_eq!(p.code_size(), 2);
+    }
+
+    #[test]
+    fn decoded_forms_are_memoized_per_mode() {
+        let p = CompiledProgram {
+            fns: vec![CompiledFn {
+                name: "main".into(),
+                arity: 0,
+                n_regs: 1,
+                code: vec![
+                    Instr::LpInt { dst: Reg(0), v: 1 },
+                    Instr::Ret { src: Reg(0) },
+                ],
+            }],
+            ..CompiledProgram::default()
+        };
+        let fused = p.decoded(DecodeOptions::fused());
+        assert!(
+            std::sync::Arc::ptr_eq(&fused, &p.decoded(DecodeOptions::fused())),
+            "repeat runs must reuse the decoded program"
+        );
+        let unfused = p.decoded(DecodeOptions::no_fuse());
+        assert!(
+            !std::sync::Arc::ptr_eq(&fused, &unfused),
+            "the two modes are distinct programs"
+        );
+        assert!(std::sync::Arc::ptr_eq(
+            &unfused,
+            &p.decoded(DecodeOptions::no_fuse())
+        ));
+        assert_eq!(fused.fns[0].code.len(), 1, "fused: one ConstRet cell");
+        assert_eq!(unfused.fns[0].code.len(), 2);
+        // A clone starts with a cold cache: it may be mutated before its
+        // first run.
+        let q = p.clone();
+        assert!(!std::sync::Arc::ptr_eq(
+            &fused,
+            &q.decoded(DecodeOptions::fused())
+        ));
     }
 }

@@ -19,9 +19,67 @@
 //! Decoding is lossless: [`DecodedFn::encode`] reconstructs the original
 //! enum instruction exactly (the round-trip the unit tests pin down), so
 //! the decoded form executes identically by construction.
+//!
+//! ## Superinstruction fusion
+//!
+//! On top of the base lowering, [`decode_program_with`] runs a peephole
+//! **fusion pass** (on by default, disabled by
+//! [`DecodeOptions::no_fuse`] / `--no-fuse`) that combines adjacent cells
+//! into *superinstructions* — single cells executing what used to be two or
+//! three dispatches. The fused shapes are the ones the compiled workloads
+//! actually run hottest (see the dispatch arms in [`crate::exec`]):
+//!
+//! | superinstruction | replaces | dispatches saved |
+//! |------------------|----------|------------------|
+//! | [`DecodedInstr::CmpBr`] | `Cmp` + `Branch` | 1 |
+//! | [`DecodedInstr::ConstCmpBr`] | `ConstInt` + `Cmp` + `Branch` | 2 |
+//! | [`DecodedInstr::ConstBin`] | `ConstInt` + `Bin` | 1 |
+//! | [`DecodedInstr::BinRet`] | `Bin` + `Ret` | 1 |
+//! | [`DecodedInstr::MovRet`] | `Move` + `Ret` | 1 |
+//! | [`DecodedInstr::ConstRet`] | `LpInt` + `Ret` | 1 |
+//! | [`DecodedInstr::ProjInc`] | `Project` + `Inc` | 1 |
+//! | [`DecodedInstr::CallBuiltinRet`] | `CallBuiltin` + `Ret` | 1 |
+//! | [`DecodedInstr::ConstructRet`] | `Construct` + `Ret` | 1 |
+//! | [`DecodedInstr::SwitchDense`] | `Switch` (contiguous keys) | scan → O(1) |
+//!
+//! Fusion **bails** conservatively: a pair is only combined when the
+//! swallowed instruction is not a jump target (control never enters the
+//! middle of a fused cell) and any intermediate register the fusion stops
+//! writing is read nowhere else in the function (whole-function read
+//! counts, so register reuse across blocks is handled). Jump targets are
+//! remapped over the shortened stream; `SwitchDense` additionally requires
+//! the case keys to form a contiguous range (duplicates or gaps fall back
+//! to the scanning `Switch`). Fused and unfused streams are differentially
+//! tested to produce byte-identical results on every workload.
 
 use crate::bytecode::{BinOp, CmpPred, CompiledFn, CompiledProgram, Instr, Reg};
 use lssa_rt::{Builtin, Nat};
+
+/// Options controlling [`decode_program_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeOptions {
+    /// Run the superinstruction fusion pass (the default; `--no-fuse`
+    /// disables it for fused-vs-unfused measurements).
+    pub fuse: bool,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> DecodeOptions {
+        DecodeOptions { fuse: true }
+    }
+}
+
+impl DecodeOptions {
+    /// The default: fusion on.
+    pub fn fused() -> DecodeOptions {
+        DecodeOptions { fuse: true }
+    }
+
+    /// Fusion off — the pre-PR-5 decoded stream, byte-for-byte.
+    pub fn no_fuse() -> DecodeOptions {
+        DecodeOptions { fuse: false }
+    }
+}
 
 /// A `(offset, len)` window into a function's shared register pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,11 +131,31 @@ pub enum OpClass {
     Global,
     /// `Trap`.
     Trap,
+    /// Fused `Cmp` + `Branch`.
+    FusedCmpBr,
+    /// Fused `ConstInt` + `Cmp` + `Branch`.
+    FusedConstCmpBr,
+    /// Fused `ConstInt` + `Bin`.
+    FusedConstBin,
+    /// Fused `Bin` + `Ret`.
+    FusedBinRet,
+    /// Fused `Move` + `Ret`.
+    FusedMovRet,
+    /// Fused `LpInt` + `Ret`.
+    FusedConstRet,
+    /// Fused `Project` + `Inc`.
+    FusedProjInc,
+    /// Fused `CallBuiltin` + `Ret`.
+    FusedCallBuiltinRet,
+    /// Fused `Construct` + `Ret`.
+    FusedConstructRet,
+    /// Dense-range `Switch` (direct jump-table lookup).
+    FusedSwitchDense,
 }
 
 impl OpClass {
     /// Number of classes (sizes the statistics arrays).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 24;
 
     /// All classes in display order.
     pub const ALL: [OpClass; OpClass::COUNT] = [
@@ -95,6 +173,16 @@ impl OpClass {
         OpClass::Move,
         OpClass::Global,
         OpClass::Trap,
+        OpClass::FusedCmpBr,
+        OpClass::FusedConstCmpBr,
+        OpClass::FusedConstBin,
+        OpClass::FusedBinRet,
+        OpClass::FusedMovRet,
+        OpClass::FusedConstRet,
+        OpClass::FusedProjInc,
+        OpClass::FusedCallBuiltinRet,
+        OpClass::FusedConstructRet,
+        OpClass::FusedSwitchDense,
     ];
 
     /// Stable display name.
@@ -114,7 +202,23 @@ impl OpClass {
             OpClass::Move => "move",
             OpClass::Global => "global",
             OpClass::Trap => "trap",
+            OpClass::FusedCmpBr => "fused cmp+br",
+            OpClass::FusedConstCmpBr => "fused const+cmp+br",
+            OpClass::FusedConstBin => "fused const+bin",
+            OpClass::FusedBinRet => "fused bin+ret",
+            OpClass::FusedMovRet => "fused mov+ret",
+            OpClass::FusedConstRet => "fused const+ret",
+            OpClass::FusedProjInc => "fused proj+inc",
+            OpClass::FusedCallBuiltinRet => "fused builtin+ret",
+            OpClass::FusedConstructRet => "fused construct+ret",
+            OpClass::FusedSwitchDense => "fused switch-dense",
         }
+    }
+
+    /// Whether this class is a superinstruction produced by the fusion
+    /// pass (the fused rows of `--vm-stats` / `ablation`).
+    pub fn is_fused(self) -> bool {
+        self as usize >= OpClass::FusedCmpBr as usize
     }
 }
 
@@ -330,6 +434,103 @@ pub enum DecodedInstr {
     },
     /// Executing this is a bug.
     Trap,
+
+    // ---- superinstructions (emitted only by the fusion pass) ----
+    /// Fused `Cmp` + `Branch`: branch directly on `pred(a, b)`.
+    CmpBr {
+        /// The predicate.
+        pred: CmpPred,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+        /// Target when the predicate holds.
+        then_t: u32,
+        /// Target when it does not.
+        else_t: u32,
+    },
+    /// Fused `ConstInt` + `Cmp` + `Branch`: branch on `pred(a, imm)`.
+    /// When the constant was the *left* comparison operand the stored
+    /// predicate is the swapped one, so the semantics stay `pred(a, imm)`.
+    ConstCmpBr {
+        /// The (possibly swapped) predicate.
+        pred: CmpPred,
+        /// The register operand.
+        a: Reg,
+        /// The immediate operand (fusion bails when it exceeds `i32`).
+        imm: i32,
+        /// Target when the predicate holds.
+        then_t: u32,
+        /// Target when it does not.
+        else_t: u32,
+    },
+    /// Fused `ConstInt` + `Bin`: `dst ← op(src, imm)` (or `op(imm, src)`
+    /// when `imm_rhs` is false).
+    ConstBin {
+        /// The operation.
+        op: BinOp,
+        /// Whether the immediate is the right operand.
+        imm_rhs: bool,
+        /// Destination.
+        dst: Reg,
+        /// The register operand.
+        src: Reg,
+        /// The immediate operand.
+        imm: i64,
+    },
+    /// Fused `Bin` + `Ret`: return `op(a, b)`.
+    BinRet {
+        /// The operation.
+        op: BinOp,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Fused `Move` + `Ret`: return `src`.
+    MovRet {
+        /// The result.
+        src: Reg,
+    },
+    /// Fused `LpInt` + `Ret`: return the scalar object `v`.
+    ConstRet {
+        /// The (small) integer.
+        v: i64,
+    },
+    /// Fused `Project` + `Inc`: `dst ← field idx of src`, then retain it.
+    ProjInc {
+        /// Destination.
+        dst: Reg,
+        /// Source object.
+        src: Reg,
+        /// Field index.
+        idx: u32,
+    },
+    /// Fused `CallBuiltin` + `Ret`: return the builtin's result.
+    CallBuiltinRet {
+        /// The builtin.
+        builtin: Builtin,
+        /// Arguments (pool slice).
+        args: ArgSlice,
+    },
+    /// Fused `Construct` + `Ret`: return `ctor{tag}(args…)`.
+    ConstructRet {
+        /// Variant tag.
+        tag: u32,
+        /// Field registers (pool slice).
+        args: ArgSlice,
+    },
+    /// `Switch` whose case keys form a contiguous range: the (sorted) run
+    /// in [`DecodedFn::cases`] is indexed directly by `value - first_key`
+    /// instead of scanned.
+    SwitchDense {
+        /// Scrutinee.
+        idx: Reg,
+        /// Sorted contiguous cases (slice of the case pool).
+        cases: ArgSlice,
+        /// Fallback target.
+        default: u32,
+    },
 }
 
 // The whole point of the decoded form: every instruction is one compact,
@@ -361,7 +562,76 @@ impl DecodedInstr {
             DecodedInstr::Move { .. } => OpClass::Move,
             DecodedInstr::GlobalLoad { .. } | DecodedInstr::GlobalStore { .. } => OpClass::Global,
             DecodedInstr::Trap => OpClass::Trap,
+            DecodedInstr::CmpBr { .. } => OpClass::FusedCmpBr,
+            DecodedInstr::ConstCmpBr { .. } => OpClass::FusedConstCmpBr,
+            DecodedInstr::ConstBin { .. } => OpClass::FusedConstBin,
+            DecodedInstr::BinRet { .. } => OpClass::FusedBinRet,
+            DecodedInstr::MovRet { .. } => OpClass::FusedMovRet,
+            DecodedInstr::ConstRet { .. } => OpClass::FusedConstRet,
+            DecodedInstr::ProjInc { .. } => OpClass::FusedProjInc,
+            DecodedInstr::CallBuiltinRet { .. } => OpClass::FusedCallBuiltinRet,
+            DecodedInstr::ConstructRet { .. } => OpClass::FusedConstructRet,
+            DecodedInstr::SwitchDense { .. } => OpClass::FusedSwitchDense,
         }
+    }
+}
+
+/// What the fusion pass did to a function (or, summed, to a program):
+/// superinstructions emitted per kind, plus the net shrink of the stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// `Cmp`+`Branch` pairs fused.
+    pub cmp_br: u32,
+    /// `ConstInt`+`Cmp`+`Branch` triples fused.
+    pub const_cmp_br: u32,
+    /// `ConstInt`+`Bin` pairs fused.
+    pub const_bin: u32,
+    /// `Bin`+`Ret` pairs fused.
+    pub bin_ret: u32,
+    /// `Move`+`Ret` pairs fused.
+    pub mov_ret: u32,
+    /// `LpInt`+`Ret` pairs fused.
+    pub const_ret: u32,
+    /// `Project`+`Inc` pairs fused.
+    pub proj_inc: u32,
+    /// `CallBuiltin`+`Ret` pairs fused.
+    pub call_builtin_ret: u32,
+    /// `Construct`+`Ret` pairs fused.
+    pub construct_ret: u32,
+    /// Dense-range `Switch` rewrites (same cell count, O(1) dispatch).
+    pub switch_dense: u32,
+    /// Original cells eliminated by fusion (static code shrink).
+    pub cells_saved: u32,
+}
+
+impl FusionStats {
+    /// Total superinstruction cells emitted.
+    pub fn superinstructions(&self) -> u64 {
+        u64::from(self.cmp_br)
+            + u64::from(self.const_cmp_br)
+            + u64::from(self.const_bin)
+            + u64::from(self.bin_ret)
+            + u64::from(self.mov_ret)
+            + u64::from(self.const_ret)
+            + u64::from(self.proj_inc)
+            + u64::from(self.call_builtin_ret)
+            + u64::from(self.construct_ret)
+            + u64::from(self.switch_dense)
+    }
+
+    /// Folds another function's statistics into this record.
+    pub fn absorb(&mut self, other: &FusionStats) {
+        self.cmp_br += other.cmp_br;
+        self.const_cmp_br += other.const_cmp_br;
+        self.const_bin += other.const_bin;
+        self.bin_ret += other.bin_ret;
+        self.mov_ret += other.mov_ret;
+        self.const_ret += other.const_ret;
+        self.proj_inc += other.proj_inc;
+        self.call_builtin_ret += other.call_builtin_ret;
+        self.construct_ret += other.construct_ret;
+        self.switch_dense += other.switch_dense;
+        self.cells_saved += other.cells_saved;
     }
 }
 
@@ -418,6 +688,378 @@ impl DecodedFn {
             d.code.push(decoded);
         }
         d
+    }
+
+    /// Per-register read counts over the whole function (pool operand
+    /// lists included). The fusion pass uses these to prove an intermediate
+    /// register dead: a register read exactly once — by the instruction
+    /// that swallows its def — can safely stop being written, whatever
+    /// block structure or register reuse surrounds the pair.
+    fn count_reads(&self) -> Vec<u32> {
+        let mut reads = vec![0u32; self.n_regs as usize];
+        for instr in &self.code {
+            let mut singles: [Option<Reg>; 3] = [None, None, None];
+            let mut slice: Option<ArgSlice> = None;
+            match *instr {
+                DecodedInstr::ConstInt { .. }
+                | DecodedInstr::LpInt { .. }
+                | DecodedInstr::LpBig { .. }
+                | DecodedInstr::LpStr { .. }
+                | DecodedInstr::Jump { .. }
+                | DecodedInstr::GlobalLoad { .. }
+                | DecodedInstr::ConstRet { .. }
+                | DecodedInstr::Trap => {}
+                DecodedInstr::GetLabel { src, .. }
+                | DecodedInstr::Project { src, .. }
+                | DecodedInstr::ProjInc { src, .. }
+                | DecodedInstr::Inc { src }
+                | DecodedInstr::Dec { src }
+                | DecodedInstr::Ret { src }
+                | DecodedInstr::MovRet { src }
+                | DecodedInstr::Mask { src, .. }
+                | DecodedInstr::Move { src, .. }
+                | DecodedInstr::GlobalStore { src, .. } => singles[0] = Some(src),
+                DecodedInstr::Construct { args, .. }
+                | DecodedInstr::Call { args, .. }
+                | DecodedInstr::CallBuiltin { args, .. }
+                | DecodedInstr::CallBuiltinRet { args, .. }
+                | DecodedInstr::ConstructRet { args, .. }
+                | DecodedInstr::TailCall { args, .. } => slice = Some(args),
+                DecodedInstr::Pap {
+                    args_off, args_len, ..
+                } => {
+                    slice = Some(ArgSlice {
+                        off: args_off,
+                        len: args_len,
+                    });
+                }
+                DecodedInstr::PapExtend { closure, args, .. } => {
+                    singles[0] = Some(closure);
+                    slice = Some(args);
+                }
+                DecodedInstr::Branch { cond, .. } => singles[0] = Some(cond),
+                DecodedInstr::Switch { idx, .. } | DecodedInstr::SwitchDense { idx, .. } => {
+                    singles[0] = Some(idx);
+                }
+                DecodedInstr::Bin { a, b, .. }
+                | DecodedInstr::Cmp { a, b, .. }
+                | DecodedInstr::BinRet { a, b, .. }
+                | DecodedInstr::CmpBr { a, b, .. } => {
+                    singles[0] = Some(a);
+                    singles[1] = Some(b);
+                }
+                DecodedInstr::ConstCmpBr { a, .. } => singles[0] = Some(a),
+                DecodedInstr::ConstBin { src, .. } => singles[0] = Some(src),
+                DecodedInstr::Select { c, a, b, .. } => singles = [Some(c), Some(a), Some(b)],
+            }
+            // Malformed code may reference registers beyond `n_regs`
+            // (decodable; a runtime failure only if executed) — grow the
+            // table rather than panic during decode.
+            let bump = |reads: &mut Vec<u32>, r: Reg| {
+                let i = r.0 as usize;
+                if i >= reads.len() {
+                    reads.resize(i + 1, 0);
+                }
+                reads[i] += 1;
+            };
+            for r in singles.into_iter().flatten() {
+                bump(&mut reads, r);
+            }
+            if let Some(s) = slice {
+                for &r in self.arg_regs(s) {
+                    bump(&mut reads, r);
+                }
+            }
+        }
+        reads
+    }
+
+    /// Whether any jump target points past the end of the code (legal to
+    /// decode; a recoverable error if executed).
+    fn has_out_of_range_target(&self) -> bool {
+        let n = self.code.len() as u32;
+        self.code.iter().any(|instr| match *instr {
+            DecodedInstr::Jump { target } => target >= n,
+            DecodedInstr::Branch { then_t, else_t, .. } => then_t >= n || else_t >= n,
+            DecodedInstr::Switch { cases, default, .. } => {
+                default >= n || self.cases[cases.range()].iter().any(|&(_, t)| t >= n)
+            }
+            _ => false,
+        })
+    }
+
+    /// Which instruction indices are jump targets. Control can only enter
+    /// the *first* cell of a fused group, so fusion bails when a would-be
+    /// swallowed instruction appears here.
+    fn jump_targets(&self) -> Vec<bool> {
+        let mut targets = vec![false; self.code.len()];
+        for instr in &self.code {
+            match *instr {
+                DecodedInstr::Jump { target } => targets[target as usize] = true,
+                DecodedInstr::Branch { then_t, else_t, .. }
+                | DecodedInstr::CmpBr { then_t, else_t, .. }
+                | DecodedInstr::ConstCmpBr { then_t, else_t, .. } => {
+                    targets[then_t as usize] = true;
+                    targets[else_t as usize] = true;
+                }
+                DecodedInstr::Switch { cases, default, .. }
+                | DecodedInstr::SwitchDense { cases, default, .. } => {
+                    targets[default as usize] = true;
+                    for &(_, t) in &self.cases[cases.range()] {
+                        targets[t as usize] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        targets
+    }
+
+    /// The peephole fusion pass: combines adjacent cells into the
+    /// superinstructions documented at module level, rewrites contiguous
+    /// switches to dense dispatch, and remaps every jump target over the
+    /// shortened stream. Swallowed pool runs stay in the pools (they are
+    /// small and decode happens once per program).
+    fn fuse(&mut self) -> FusionStats {
+        let mut stats = FusionStats::default();
+        // A malformed function can carry out-of-range jump targets; the
+        // unfused VM reports those as a recoverable "pc out of range"
+        // error when (and if) they execute. Skip fusion rather than
+        // introduce a decode-time panic for them.
+        if self.has_out_of_range_target() {
+            return stats;
+        }
+        let reads = self.count_reads();
+        let targets = self.jump_targets();
+        let old = std::mem::take(&mut self.code);
+        let mut map = vec![0u32; old.len()];
+        let mut code: Vec<DecodedInstr> = Vec::with_capacity(old.len());
+        let mut i = 0usize;
+        while i < old.len() {
+            let ni = u32::try_from(code.len()).expect("fused stream too large");
+            let (cell, consumed) = self
+                .try_fuse(&old, i, &targets, &reads)
+                .unwrap_or((old[i], 1));
+            // Swallowed cells map to the fused cell; nothing jumps at them
+            // (guaranteed by the `targets` bail), this is belt and braces.
+            for slot in &mut map[i..i + consumed] {
+                *slot = ni;
+            }
+            match cell {
+                DecodedInstr::CmpBr { .. } => stats.cmp_br += 1,
+                DecodedInstr::ConstCmpBr { .. } => stats.const_cmp_br += 1,
+                DecodedInstr::ConstBin { .. } => stats.const_bin += 1,
+                DecodedInstr::BinRet { .. } => stats.bin_ret += 1,
+                DecodedInstr::MovRet { .. } => stats.mov_ret += 1,
+                DecodedInstr::ConstRet { .. } => stats.const_ret += 1,
+                DecodedInstr::ProjInc { .. } => stats.proj_inc += 1,
+                DecodedInstr::CallBuiltinRet { .. } => stats.call_builtin_ret += 1,
+                DecodedInstr::ConstructRet { .. } => stats.construct_ret += 1,
+                DecodedInstr::SwitchDense { .. } => stats.switch_dense += 1,
+                _ => {}
+            }
+            stats.cells_saved += consumed as u32 - 1;
+            code.push(cell);
+            i += consumed;
+        }
+        self.code = code;
+        // Remap jump targets onto the shortened stream. Case-pool runs are
+        // remapped through the one instruction referencing them (decode and
+        // `densify` both append a fresh run per switch, so no run is shared
+        // or visited twice).
+        for instr in &mut self.code {
+            match instr {
+                DecodedInstr::Jump { target } => *target = map[*target as usize],
+                DecodedInstr::Branch { then_t, else_t, .. }
+                | DecodedInstr::CmpBr { then_t, else_t, .. }
+                | DecodedInstr::ConstCmpBr { then_t, else_t, .. } => {
+                    *then_t = map[*then_t as usize];
+                    *else_t = map[*else_t as usize];
+                }
+                DecodedInstr::Switch { cases, default, .. }
+                | DecodedInstr::SwitchDense { cases, default, .. } => {
+                    *default = map[*default as usize];
+                    for (_, t) in &mut self.cases[cases.range()] {
+                        *t = map[*t as usize];
+                    }
+                }
+                _ => {}
+            }
+        }
+        stats
+    }
+
+    /// Tries to fuse the instruction group starting at `i` of the unfused
+    /// stream `old`. Returns the superinstruction and how many original
+    /// cells it consumes.
+    fn try_fuse(
+        &mut self,
+        old: &[DecodedInstr],
+        i: usize,
+        targets: &[bool],
+        reads: &[u32],
+    ) -> Option<(DecodedInstr, usize)> {
+        // "Dead": read exactly once in the whole function — by the
+        // consuming instruction of the group under inspection. (`get`:
+        // malformed code may name registers the read table never saw.)
+        let dead = |r: Reg| reads.get(r.0 as usize).copied().unwrap_or(0) == 1;
+        let next = old.get(i + 1).copied();
+        let next_free = i + 1 < old.len() && !targets[i + 1];
+        match old[i] {
+            DecodedInstr::ConstInt { dst: c, v } if dead(c) => {
+                // Triple: ConstInt + Cmp + Branch → ConstCmpBr.
+                if i + 2 < old.len() && !targets[i + 1] && !targets[i + 2] {
+                    if let (
+                        DecodedInstr::Cmp { pred, dst, a, b },
+                        DecodedInstr::Branch {
+                            cond,
+                            then_t,
+                            else_t,
+                        },
+                    ) = (old[i + 1], old[i + 2])
+                    {
+                        if cond == dst && dead(dst) && (a == c) != (b == c) {
+                            if let Ok(imm) = i32::try_from(v) {
+                                // Keep the register operand on the left,
+                                // swapping the predicate when the constant
+                                // was the left operand.
+                                let (pred, a) = if b == c {
+                                    (pred, a)
+                                } else {
+                                    (pred.swapped(), b)
+                                };
+                                return Some((
+                                    DecodedInstr::ConstCmpBr {
+                                        pred,
+                                        a,
+                                        imm,
+                                        then_t,
+                                        else_t,
+                                    },
+                                    3,
+                                ));
+                            }
+                        }
+                    }
+                }
+                // Pair: ConstInt + Bin → ConstBin.
+                if next_free {
+                    if let Some(DecodedInstr::Bin { op, dst, a, b }) = next {
+                        if (a == c) != (b == c) {
+                            let (imm_rhs, src) = if b == c { (true, a) } else { (false, b) };
+                            return Some((
+                                DecodedInstr::ConstBin {
+                                    op,
+                                    imm_rhs,
+                                    dst,
+                                    src,
+                                    imm: v,
+                                },
+                                2,
+                            ));
+                        }
+                    }
+                }
+                None
+            }
+            DecodedInstr::Cmp { pred, dst, a, b } if next_free && dead(dst) => match next {
+                Some(DecodedInstr::Branch {
+                    cond,
+                    then_t,
+                    else_t,
+                }) if cond == dst => Some((
+                    DecodedInstr::CmpBr {
+                        pred,
+                        a,
+                        b,
+                        then_t,
+                        else_t,
+                    },
+                    2,
+                )),
+                _ => None,
+            },
+            // For every `*Ret` tail shape the group ends the frame's life:
+            // registers do not survive a return, so the swallowed def needs
+            // no dead-register proof (unlike the branch-ending fusions
+            // above, whose targets could observe the eliminated write).
+            DecodedInstr::Bin { op, dst, a, b } if next_free => match next {
+                Some(DecodedInstr::Ret { src }) if src == dst => {
+                    Some((DecodedInstr::BinRet { op, a, b }, 2))
+                }
+                _ => None,
+            },
+            DecodedInstr::Move { dst, src } if next_free => match next {
+                Some(DecodedInstr::Ret { src: ret }) if ret == dst => {
+                    Some((DecodedInstr::MovRet { src }, 2))
+                }
+                _ => None,
+            },
+            DecodedInstr::LpInt { dst, v } if next_free => match next {
+                Some(DecodedInstr::Ret { src }) if src == dst => {
+                    Some((DecodedInstr::ConstRet { v }, 2))
+                }
+                _ => None,
+            },
+            // Project + Inc keeps both effects (the projected value is
+            // still written), so no dead-register requirement applies.
+            DecodedInstr::Project { dst, src, idx } if next_free => match next {
+                Some(DecodedInstr::Inc { src: inced }) if inced == dst => {
+                    Some((DecodedInstr::ProjInc { dst, src, idx }, 2))
+                }
+                _ => None,
+            },
+            DecodedInstr::CallBuiltin { dst, builtin, args } if next_free => match next {
+                Some(DecodedInstr::Ret { src }) if src == dst => {
+                    Some((DecodedInstr::CallBuiltinRet { builtin, args }, 2))
+                }
+                _ => None,
+            },
+            DecodedInstr::Construct { dst, tag, args } if next_free => match next {
+                Some(DecodedInstr::Ret { src }) if src == dst => {
+                    Some((DecodedInstr::ConstructRet { tag, args }, 2))
+                }
+                _ => None,
+            },
+            DecodedInstr::Switch {
+                idx,
+                cases,
+                default,
+            } => self.densify(idx, cases, default).map(|cell| (cell, 1)),
+            _ => None,
+        }
+    }
+
+    /// Rewrites a `Switch` whose case keys form a contiguous range into
+    /// [`DecodedInstr::SwitchDense`], appending a key-sorted copy of the
+    /// run to the case pool. Returns `None` — keep the scanning `Switch` —
+    /// on gaps, duplicate keys, or fewer than two cases.
+    fn densify(&mut self, idx: Reg, cases: ArgSlice, default: u32) -> Option<DecodedInstr> {
+        let run = &self.cases[cases.range()];
+        if run.len() < 2 {
+            return None;
+        }
+        let min = run.iter().map(|&(v, _)| v).min()?;
+        let max = run.iter().map(|&(v, _)| v).max()?;
+        // Span == len - 1 with no duplicates ⇔ keys are contiguous.
+        if max.checked_sub(min) != Some(run.len() as i64 - 1) {
+            return None;
+        }
+        let mut sorted = run.to_vec();
+        sorted.sort_by_key(|&(v, _)| v);
+        if sorted.windows(2).any(|w| w[0].0 == w[1].0) {
+            return None;
+        }
+        let off = u32::try_from(self.cases.len()).expect("case pool exhausted");
+        self.cases.extend_from_slice(&sorted);
+        Some(DecodedInstr::SwitchDense {
+            idx,
+            cases: ArgSlice {
+                off,
+                len: cases.len,
+            },
+            default,
+        })
     }
 
     fn intern_args(&mut self, regs: &[Reg]) -> ArgSlice {
@@ -529,6 +1171,11 @@ impl DecodedFn {
 
     /// Reconstructs the enum form of instruction `i` — the inverse of
     /// decoding, used by the round-trip tests and for disassembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on superinstructions, which have no single enum counterpart:
+    /// encoding is defined on unfused streams ([`DecodeOptions::no_fuse`]).
     pub fn encode(&self, i: usize) -> Instr {
         let regs = |s: ArgSlice| self.arg_regs(s).to_vec();
         match self.code[i] {
@@ -612,6 +1259,19 @@ impl DecodedFn {
             DecodedInstr::GlobalLoad { dst, idx } => Instr::GlobalLoad { dst, idx },
             DecodedInstr::GlobalStore { idx, src } => Instr::GlobalStore { idx, src },
             DecodedInstr::Trap => Instr::Trap,
+            DecodedInstr::CmpBr { .. }
+            | DecodedInstr::ConstCmpBr { .. }
+            | DecodedInstr::ConstBin { .. }
+            | DecodedInstr::BinRet { .. }
+            | DecodedInstr::MovRet { .. }
+            | DecodedInstr::ConstRet { .. }
+            | DecodedInstr::ProjInc { .. }
+            | DecodedInstr::CallBuiltinRet { .. }
+            | DecodedInstr::ConstructRet { .. }
+            | DecodedInstr::SwitchDense { .. } => panic!(
+                "cannot encode superinstruction {:?}; decode with fusion disabled",
+                self.code[i]
+            ),
         }
     }
 }
@@ -629,6 +1289,9 @@ pub struct DecodedProgram {
     pub str_pool: Vec<String>,
     /// Global slot names.
     pub globals: Vec<String>,
+    /// What the fusion pass did, summed over all functions (all zeros for
+    /// an unfused decode).
+    pub fusion: FusionStats,
 }
 
 impl DecodedProgram {
@@ -638,15 +1301,35 @@ impl DecodedProgram {
     }
 }
 
-/// Lowers a compiled program to the decoded execution form. Linear in code
-/// size; done once per program, not once per executed instruction.
-pub fn decode_program(program: &CompiledProgram) -> DecodedProgram {
+/// Lowers a compiled program to the decoded execution form under the given
+/// options. Linear in code size; done once per program, not once per
+/// executed instruction (see [`CompiledProgram::decoded`] for the memoized
+/// entry point).
+pub fn decode_program_with(program: &CompiledProgram, opts: DecodeOptions) -> DecodedProgram {
+    let mut fusion = FusionStats::default();
+    let fns = program
+        .fns
+        .iter()
+        .map(|f| {
+            let mut d = DecodedFn::decode(f);
+            if opts.fuse {
+                fusion.absorb(&d.fuse());
+            }
+            d
+        })
+        .collect();
     DecodedProgram {
-        fns: program.fns.iter().map(DecodedFn::decode).collect(),
+        fns,
         big_pool: program.big_pool.clone(),
         str_pool: program.str_pool.clone(),
         globals: program.globals.clone(),
+        fusion,
     }
+}
+
+/// [`decode_program_with`] under the default options (fusion on).
+pub fn decode_program(program: &CompiledProgram) -> DecodedProgram {
+    decode_program_with(program, DecodeOptions::default())
 }
 
 #[cfg(test)]
@@ -721,6 +1404,532 @@ mod tests {
         // `ALL` must agree with the discriminants used to index stats.
         for (i, c) in OpClass::ALL.iter().enumerate() {
             assert_eq!(*c as usize, i);
+        }
+        // Everything from the first fused class on is fused; nothing before.
+        let first_fused = OpClass::FusedCmpBr as usize;
+        for c in OpClass::ALL {
+            assert_eq!(c.is_fused(), c as usize >= first_fused, "{}", c.name());
+        }
+    }
+
+    // ---- fusion pass ----
+
+    fn fuse_one(arity: u16, n_regs: u16, code: Vec<Instr>) -> (DecodedFn, FusionStats) {
+        let p = CompiledProgram {
+            fns: vec![CompiledFn {
+                name: "f".into(),
+                arity,
+                n_regs,
+                code,
+            }],
+            ..CompiledProgram::default()
+        };
+        let d = decode_program_with(&p, DecodeOptions::fused());
+        (d.fns.into_iter().next().unwrap(), d.fusion)
+    }
+
+    #[test]
+    fn fuses_cmp_branch_pair() {
+        let (f, stats) = fuse_one(
+            2,
+            3,
+            vec![
+                Instr::Cmp {
+                    pred: CmpPred::Slt,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Instr::Branch {
+                    cond: Reg(2),
+                    then_t: 2,
+                    else_t: 3,
+                },
+                Instr::Ret { src: Reg(0) },
+                Instr::Ret { src: Reg(1) },
+            ],
+        );
+        assert_eq!(stats.cmp_br, 1);
+        assert_eq!(stats.cells_saved, 1);
+        assert_eq!(f.code.len(), 3);
+        // Targets shifted down by the swallowed Branch cell.
+        assert_eq!(
+            f.code[0],
+            DecodedInstr::CmpBr {
+                pred: CmpPred::Slt,
+                a: Reg(0),
+                b: Reg(1),
+                then_t: 1,
+                else_t: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn cmp_branch_bails_when_cond_is_read_elsewhere() {
+        // The comparison result is also returned, so eliminating its write
+        // would be wrong.
+        let (f, stats) = fuse_one(
+            2,
+            3,
+            vec![
+                Instr::Cmp {
+                    pred: CmpPred::Eq,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Instr::Branch {
+                    cond: Reg(2),
+                    then_t: 2,
+                    else_t: 2,
+                },
+                Instr::Ret { src: Reg(2) },
+            ],
+        );
+        assert_eq!(stats.cmp_br, 0);
+        assert!(matches!(f.code[0], DecodedInstr::Cmp { .. }));
+    }
+
+    #[test]
+    fn fusion_bails_when_swallowed_instruction_is_a_jump_target() {
+        // Something jumps straight at the Branch (expecting the condition
+        // already computed), so the pair must stay two cells.
+        let (f, stats) = fuse_one(
+            2,
+            4,
+            vec![
+                Instr::Cmp {
+                    pred: CmpPred::Eq,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Instr::Branch {
+                    cond: Reg(2),
+                    then_t: 2,
+                    else_t: 3,
+                },
+                Instr::Ret { src: Reg(0) },
+                Instr::ConstInt { dst: Reg(2), v: 1 },
+                Instr::Jump { target: 1 },
+            ],
+        );
+        assert_eq!(stats.cmp_br, 0);
+        assert!(matches!(f.code[1], DecodedInstr::Branch { .. }));
+    }
+
+    #[test]
+    fn fuses_const_cmp_branch_triple_both_operand_orders() {
+        // Constant on the right: pred is kept.
+        let (f, stats) = fuse_one(
+            1,
+            3,
+            vec![
+                Instr::ConstInt { dst: Reg(1), v: 7 },
+                Instr::Cmp {
+                    pred: CmpPred::Slt,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Instr::Branch {
+                    cond: Reg(2),
+                    then_t: 3,
+                    else_t: 4,
+                },
+                Instr::Ret { src: Reg(0) },
+                Instr::Trap,
+            ],
+        );
+        assert_eq!(stats.const_cmp_br, 1);
+        assert_eq!(stats.cells_saved, 2);
+        assert_eq!(
+            f.code[0],
+            DecodedInstr::ConstCmpBr {
+                pred: CmpPred::Slt,
+                a: Reg(0),
+                imm: 7,
+                then_t: 1,
+                else_t: 2,
+            }
+        );
+        // Constant on the left: the stored predicate is swapped so the
+        // semantics stay `pred(reg, imm)`.
+        let (f, stats) = fuse_one(
+            1,
+            3,
+            vec![
+                Instr::ConstInt { dst: Reg(1), v: 7 },
+                Instr::Cmp {
+                    pred: CmpPred::Slt,
+                    dst: Reg(2),
+                    a: Reg(1),
+                    b: Reg(0),
+                },
+                Instr::Branch {
+                    cond: Reg(2),
+                    then_t: 3,
+                    else_t: 4,
+                },
+                Instr::Ret { src: Reg(0) },
+                Instr::Trap,
+            ],
+        );
+        assert_eq!(stats.const_cmp_br, 1);
+        assert_eq!(
+            f.code[0],
+            DecodedInstr::ConstCmpBr {
+                pred: CmpPred::Sgt,
+                a: Reg(0),
+                imm: 7,
+                then_t: 1,
+                else_t: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn const_cmp_branch_bails_on_wide_immediates() {
+        // An immediate beyond i32 cannot ride in the 16-byte cell; the
+        // pass must fall back to the ConstInt + (unfusable) pair.
+        let (f, stats) = fuse_one(
+            1,
+            3,
+            vec![
+                Instr::ConstInt {
+                    dst: Reg(1),
+                    v: i64::MAX,
+                },
+                Instr::Cmp {
+                    pred: CmpPred::Eq,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Instr::Branch {
+                    cond: Reg(2),
+                    then_t: 3,
+                    else_t: 3,
+                },
+                Instr::Ret { src: Reg(0) },
+            ],
+        );
+        assert_eq!(stats.const_cmp_br, 0);
+        assert!(matches!(f.code[0], DecodedInstr::ConstInt { .. }));
+    }
+
+    #[test]
+    fn fuses_const_bin_either_side() {
+        // `dst ← a - 1` (immediate on the right).
+        let (f, stats) = fuse_one(
+            1,
+            3,
+            vec![
+                Instr::ConstInt { dst: Reg(1), v: 1 },
+                Instr::Bin {
+                    op: BinOp::Sub,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Instr::Ret { src: Reg(2) },
+            ],
+        );
+        assert_eq!(stats.const_bin, 1);
+        assert_eq!(
+            f.code[0],
+            DecodedInstr::ConstBin {
+                op: BinOp::Sub,
+                imm_rhs: true,
+                dst: Reg(2),
+                src: Reg(0),
+                imm: 1,
+            }
+        );
+        // `dst ← 100 / a` (immediate on the left of a non-commutative op).
+        let (f, stats) = fuse_one(
+            1,
+            3,
+            vec![
+                Instr::ConstInt {
+                    dst: Reg(1),
+                    v: 100,
+                },
+                Instr::Bin {
+                    op: BinOp::Div,
+                    dst: Reg(2),
+                    a: Reg(1),
+                    b: Reg(0),
+                },
+                Instr::Ret { src: Reg(2) },
+            ],
+        );
+        assert_eq!(stats.const_bin, 1);
+        assert_eq!(
+            f.code[0],
+            DecodedInstr::ConstBin {
+                op: BinOp::Div,
+                imm_rhs: false,
+                dst: Reg(2),
+                src: Reg(0),
+                imm: 100,
+            }
+        );
+    }
+
+    #[test]
+    fn fuses_ret_tail_shapes() {
+        let (f, stats) = fuse_one(
+            2,
+            3,
+            vec![
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Instr::Ret { src: Reg(2) },
+            ],
+        );
+        assert_eq!(stats.bin_ret, 1);
+        assert_eq!(
+            f.code[0],
+            DecodedInstr::BinRet {
+                op: BinOp::Add,
+                a: Reg(0),
+                b: Reg(1),
+            }
+        );
+        let (f, stats) = fuse_one(
+            1,
+            2,
+            vec![
+                Instr::Move {
+                    dst: Reg(1),
+                    src: Reg(0),
+                },
+                Instr::Ret { src: Reg(1) },
+            ],
+        );
+        assert_eq!(stats.mov_ret, 1);
+        assert_eq!(f.code[0], DecodedInstr::MovRet { src: Reg(0) });
+        let (f, stats) = fuse_one(
+            0,
+            1,
+            vec![
+                Instr::LpInt { dst: Reg(0), v: 9 },
+                Instr::Ret { src: Reg(0) },
+            ],
+        );
+        assert_eq!(stats.const_ret, 1);
+        assert_eq!(f.code[0], DecodedInstr::ConstRet { v: 9 });
+        let (f, stats) = fuse_one(
+            2,
+            3,
+            vec![
+                Instr::CallBuiltin {
+                    dst: Reg(2),
+                    builtin: Builtin::NatAdd,
+                    args: vec![Reg(0), Reg(1)],
+                },
+                Instr::Ret { src: Reg(2) },
+            ],
+        );
+        assert_eq!(stats.call_builtin_ret, 1);
+        assert!(matches!(
+            f.code[0],
+            DecodedInstr::CallBuiltinRet {
+                builtin: Builtin::NatAdd,
+                ..
+            }
+        ));
+        let (f, stats) = fuse_one(
+            2,
+            3,
+            vec![
+                Instr::Construct {
+                    dst: Reg(2),
+                    tag: 4,
+                    args: vec![Reg(0), Reg(1)],
+                },
+                Instr::Ret { src: Reg(2) },
+            ],
+        );
+        assert_eq!(stats.construct_ret, 1);
+        let DecodedInstr::ConstructRet { tag: 4, args } = f.code[0] else {
+            panic!("expected ConstructRet, got {:?}", f.code[0]);
+        };
+        assert_eq!(f.arg_regs(args), &[Reg(0), Reg(1)]);
+    }
+
+    #[test]
+    fn fuses_project_inc() {
+        // The projected field is read later, which is fine: ProjInc keeps
+        // the write (no dead-register requirement).
+        let (f, stats) = fuse_one(
+            1,
+            2,
+            vec![
+                Instr::Project {
+                    dst: Reg(1),
+                    src: Reg(0),
+                    idx: 3,
+                },
+                Instr::Inc { src: Reg(1) },
+                Instr::Ret { src: Reg(1) },
+            ],
+        );
+        assert_eq!(stats.proj_inc, 1);
+        assert_eq!(
+            f.code[0],
+            DecodedInstr::ProjInc {
+                dst: Reg(1),
+                src: Reg(0),
+                idx: 3,
+            }
+        );
+        assert!(matches!(f.code[1], DecodedInstr::Ret { src: Reg(1) }));
+    }
+
+    #[test]
+    fn jump_targets_remap_across_fused_boundaries() {
+        // A diamond whose join sits *after* two fused pairs of different
+        // widths; every target must land on the right post-fusion cell.
+        let code = vec![
+            // 0..=2 fuse into one ConstCmpBr cell.
+            Instr::ConstInt { dst: Reg(1), v: 0 },
+            Instr::Cmp {
+                pred: CmpPred::Eq,
+                dst: Reg(2),
+                a: Reg(0),
+                b: Reg(1),
+            },
+            Instr::Branch {
+                cond: Reg(2),
+                then_t: 3,
+                else_t: 5,
+            },
+            // then-block: 3..=4 fuse into one ConstRet cell.
+            Instr::LpInt { dst: Reg(3), v: 1 },
+            Instr::Ret { src: Reg(3) },
+            // else-block: a jump over a trap to the tail.
+            Instr::Jump { target: 7 },
+            Instr::Trap,
+            Instr::LpInt { dst: Reg(3), v: 2 },
+            Instr::Ret { src: Reg(3) },
+        ];
+        let (f, stats) = fuse_one(1, 4, code);
+        assert_eq!(stats.const_cmp_br, 1);
+        assert_eq!(stats.const_ret, 2);
+        assert_eq!(stats.cells_saved, 4);
+        // Stream: [ConstCmpBr, ConstRet(1), Jump, Trap, ConstRet(2)].
+        assert_eq!(f.code.len(), 5);
+        assert_eq!(
+            f.code[0],
+            DecodedInstr::ConstCmpBr {
+                pred: CmpPred::Eq,
+                a: Reg(0),
+                imm: 0,
+                then_t: 1,
+                else_t: 2,
+            }
+        );
+        assert_eq!(f.code[1], DecodedInstr::ConstRet { v: 1 });
+        assert_eq!(f.code[2], DecodedInstr::Jump { target: 4 });
+        assert_eq!(f.code[4], DecodedInstr::ConstRet { v: 2 });
+    }
+
+    #[test]
+    fn dense_switch_fast_path_and_fallbacks() {
+        let switch_over = |cases: Vec<(i64, usize)>| {
+            let n = cases.len();
+            let mut code = vec![Instr::Switch {
+                idx: Reg(0),
+                cases,
+                default: n + 1,
+            }];
+            code.extend((0..=n).map(|_| Instr::Ret { src: Reg(0) }));
+            code.push(Instr::Trap);
+            code
+        };
+        // Contiguous but unsorted keys: densified, pool run sorted.
+        let (f, stats) = fuse_one(1, 1, switch_over(vec![(12, 2), (10, 1), (11, 3)]));
+        assert_eq!(stats.switch_dense, 1);
+        assert_eq!(stats.cells_saved, 0, "densify keeps the cell count");
+        let DecodedInstr::SwitchDense { cases, default, .. } = f.code[0] else {
+            panic!("expected SwitchDense, got {:?}", f.code[0]);
+        };
+        assert_eq!(&f.cases[cases.range()], &[(10, 1), (11, 3), (12, 2)]);
+        assert_eq!(default, 4);
+        // A gap in the keys: stays a scanning Switch.
+        let (f, stats) = fuse_one(1, 1, switch_over(vec![(10, 1), (12, 2), (13, 3)]));
+        assert_eq!(stats.switch_dense, 0);
+        assert!(matches!(f.code[0], DecodedInstr::Switch { .. }));
+        // Duplicate keys (span happens to match the length): scan keeps
+        // first-match-wins semantics.
+        let (f, stats) = fuse_one(1, 1, switch_over(vec![(10, 1), (10, 2), (12, 3)]));
+        assert_eq!(stats.switch_dense, 0);
+        assert!(matches!(f.code[0], DecodedInstr::Switch { .. }));
+    }
+
+    #[test]
+    fn out_of_range_jump_targets_skip_fusion_instead_of_panicking() {
+        // Malformed code decodes fine and fails at *runtime* with a
+        // recoverable "pc out of range" error; fusion must preserve that
+        // instead of panicking while remapping.
+        let (f, stats) = fuse_one(
+            0,
+            1,
+            vec![
+                Instr::LpInt { dst: Reg(0), v: 1 },
+                Instr::Ret { src: Reg(0) },
+                Instr::Jump { target: 99 },
+            ],
+        );
+        assert_eq!(stats, FusionStats::default());
+        assert_eq!(f.code.len(), 3, "stream left unfused");
+    }
+
+    #[test]
+    fn out_of_range_registers_decode_without_panicking() {
+        // An unreachable instruction naming a register beyond n_regs is
+        // decodable (and runnable — the bad cell never executes); the
+        // fusion pass's read counting must tolerate it.
+        let (f, stats) = fuse_one(
+            0,
+            1,
+            vec![
+                Instr::LpInt { dst: Reg(0), v: 1 },
+                Instr::Ret { src: Reg(0) },
+                Instr::Ret { src: Reg(9) },
+            ],
+        );
+        assert_eq!(stats.const_ret, 1, "reachable prefix still fuses");
+        assert!(matches!(f.code[0], DecodedInstr::ConstRet { v: 1 }));
+    }
+
+    #[test]
+    fn no_fuse_option_leaves_the_stream_alone() {
+        let p = CompiledProgram {
+            fns: vec![CompiledFn {
+                name: "f".into(),
+                arity: 0,
+                n_regs: 1,
+                code: vec![
+                    Instr::LpInt { dst: Reg(0), v: 1 },
+                    Instr::Ret { src: Reg(0) },
+                ],
+            }],
+            ..CompiledProgram::default()
+        };
+        let d = decode_program_with(&p, DecodeOptions::no_fuse());
+        assert_eq!(d.fusion, FusionStats::default());
+        assert_eq!(d.fns[0].code.len(), 2);
+        // And the unfused stream still encodes losslessly.
+        for (i, original) in p.fns[0].code.iter().enumerate() {
+            assert_eq!(&d.fns[0].encode(i), original);
         }
     }
 }

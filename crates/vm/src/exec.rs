@@ -18,7 +18,7 @@
 //!   wall-clock time.
 
 use crate::bytecode::{CompiledProgram, Reg};
-use crate::decode::{decode_program, DecodedInstr, DecodedProgram, OpClass};
+use crate::decode::{DecodeOptions, DecodedInstr, DecodedProgram, OpClass};
 use lssa_rt::{pap_extend, pap_new, ApplyOutcome, FuncId, Heap, HeapStats, Int, ObjRef};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -79,6 +79,9 @@ pub struct VmStatistics {
     pub frame_reuses: u64,
     /// Tail calls that reused the current register file in place.
     pub tail_frame_reuses: u64,
+    /// Superinstruction cells in the decoded stream (static count; 0 when
+    /// decoded with `--no-fuse`).
+    pub fused_cells: u64,
     /// Wall time spent executing.
     pub duration: Duration,
     /// Heap statistics at the end of the run.
@@ -96,6 +99,24 @@ impl VmStatistics {
         self.class_allocs[class as usize]
     }
 
+    /// Executed cells that were fused superinstructions.
+    pub fn fused_executed(&self) -> u64 {
+        OpClass::ALL
+            .iter()
+            .filter(|c| c.is_fused())
+            .map(|&c| self.executed_of(c))
+            .sum()
+    }
+
+    /// Share of executed cells that were fused superinstructions (0..=1).
+    pub fn fused_share(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.fused_executed() as f64 / self.instructions as f64
+        }
+    }
+
     /// Folds statistics from an independent run into this record (counts
     /// sum, depths take the maximum) — used to aggregate run-side costs
     /// across a whole workload suite, like `PassStatistics::absorb_parallel`
@@ -111,6 +132,7 @@ impl VmStatistics {
         self.frame_allocs += other.frame_allocs;
         self.frame_reuses += other.frame_reuses;
         self.tail_frame_reuses += other.tail_frame_reuses;
+        self.fused_cells += other.fused_cells;
         self.duration += other.duration;
         self.heap.absorb(&other.heap);
     }
@@ -131,7 +153,7 @@ impl VmStatistics {
         );
         let _ = writeln!(
             out,
-            "  {:<16} {:>14} {:>12} {:>7}",
+            "  {:<19} {:>14} {:>12} {:>7}",
             "opcode class", "executed", "heap-allocs", "share"
         );
         for class in OpClass::ALL {
@@ -146,7 +168,7 @@ impl VmStatistics {
             };
             let _ = writeln!(
                 out,
-                "  {:<16} {:>14} {:>12} {:>6.1}%",
+                "  {:<19} {:>14} {:>12} {:>6.1}%",
                 class.name(),
                 executed,
                 self.allocs_of(class),
@@ -157,6 +179,12 @@ impl VmStatistics {
             out,
             "  frames: {} allocated, {} reused via free list, {} tail-call in-place reuses",
             self.frame_allocs, self.frame_reuses, self.tail_frame_reuses,
+        );
+        let _ = writeln!(
+            out,
+            "  fused: {} superinstruction cells decoded, {:.1}% of executed cells were fused",
+            self.fused_cells,
+            self.fused_share() * 100.0,
         );
         let _ = writeln!(
             out,
@@ -430,34 +458,9 @@ impl<'p> Vm<'p> {
                     // `ret_dst` and `after_ret` carry over unchanged.
                 }
                 DecodedInstr::Ret { src } => {
-                    let value = ObjRef::from_bits(frame.regs[src.0 as usize]);
-                    let ret_dst = frame.ret_dst;
-                    let after_ret = std::mem::take(&mut frame.after_ret);
-                    self.stack.pop();
-                    self.free.push(fi as u32);
-                    if !after_ret.is_empty() {
-                        // Continue an over-saturated application.
-                        if !matches!(self.heap.data(value), lssa_rt::ObjData::Closure { .. }) {
-                            return Err(err("over-application of a non-closure result"));
-                        }
-                        let a0 = self.heap.alloc_count();
-                        let outcome = pap_extend(&mut self.heap, value, after_ret);
-                        self.class_allocs[OpClass::Ret as usize] += self.heap.alloc_count() - a0;
-                        if self.stack.is_empty() {
-                            // Whole-program result must not be pending.
-                            return match outcome {
-                                ApplyOutcome::Partial(c) => Ok(c),
-                                _ => Err(err("dangling over-application at exit")),
-                            };
-                        }
-                        self.apply(ret_dst, outcome)?;
-                        continue;
-                    }
-                    match self.stack.last() {
-                        Some(&ci) => {
-                            self.pool[ci as usize].regs[ret_dst.0 as usize] = value.to_bits();
-                        }
-                        None => return Ok(value),
+                    let bits = frame.regs[src.0 as usize];
+                    if let Some(value) = self.do_ret(fi, bits)? {
+                        return Ok(value);
                     }
                 }
                 DecodedInstr::Jump { target } => frame.pc = target,
@@ -520,7 +523,157 @@ impl<'p> Vm<'p> {
                 DecodedInstr::Trap => {
                     return Err(err(format!("reached unreachable code in @{}", f.name)))
                 }
+                DecodedInstr::CmpBr {
+                    pred,
+                    a,
+                    b,
+                    then_t,
+                    else_t,
+                } => {
+                    let x = frame.regs[a.0 as usize] as i64;
+                    let y = frame.regs[b.0 as usize] as i64;
+                    frame.pc = if pred.eval(x, y) { then_t } else { else_t };
+                }
+                DecodedInstr::ConstCmpBr {
+                    pred,
+                    a,
+                    imm,
+                    then_t,
+                    else_t,
+                } => {
+                    let x = frame.regs[a.0 as usize] as i64;
+                    frame.pc = if pred.eval(x, i64::from(imm)) {
+                        then_t
+                    } else {
+                        else_t
+                    };
+                }
+                DecodedInstr::ConstBin {
+                    op,
+                    imm_rhs,
+                    dst,
+                    src,
+                    imm,
+                } => {
+                    let s = frame.regs[src.0 as usize] as i64;
+                    let (x, y) = if imm_rhs { (s, imm) } else { (imm, s) };
+                    let v = op
+                        .eval(x, y)
+                        .ok_or_else(|| err("integer division by zero"))?;
+                    frame.regs[dst.0 as usize] = v as u64;
+                }
+                DecodedInstr::BinRet { op, a, b } => {
+                    let x = frame.regs[a.0 as usize] as i64;
+                    let y = frame.regs[b.0 as usize] as i64;
+                    let v = op
+                        .eval(x, y)
+                        .ok_or_else(|| err("integer division by zero"))?;
+                    if let Some(value) = self.do_ret(fi, v as u64)? {
+                        return Ok(value);
+                    }
+                }
+                DecodedInstr::MovRet { src } => {
+                    let bits = frame.regs[src.0 as usize];
+                    if let Some(value) = self.do_ret(fi, bits)? {
+                        return Ok(value);
+                    }
+                }
+                DecodedInstr::ConstRet { v } => {
+                    if let Some(value) = self.do_ret(fi, ObjRef::scalar(v).to_bits())? {
+                        return Ok(value);
+                    }
+                }
+                DecodedInstr::ProjInc { dst, src, idx } => {
+                    let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                    let field = self.heap.ctor_field(o, idx as usize);
+                    self.heap.inc(field);
+                    frame.regs[dst.0 as usize] = field.to_bits();
+                }
+                DecodedInstr::CallBuiltinRet { builtin, args } => {
+                    let vals = &mut self.scratch_objs;
+                    vals.clear();
+                    vals.extend(
+                        f.arg_regs(args)
+                            .iter()
+                            .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize])),
+                    );
+                    self.calls += 1;
+                    let a0 = self.heap.alloc_count();
+                    let out = builtin.call(&mut self.heap, &self.scratch_objs);
+                    self.class_allocs[OpClass::FusedCallBuiltinRet as usize] +=
+                        self.heap.alloc_count() - a0;
+                    if let Some(value) = self.do_ret(fi, out.to_bits())? {
+                        return Ok(value);
+                    }
+                }
+                DecodedInstr::ConstructRet { tag, args } => {
+                    let fields: Vec<ObjRef> = f
+                        .arg_regs(args)
+                        .iter()
+                        .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
+                        .collect();
+                    let obj = self.heap.alloc_ctor(tag, fields);
+                    self.class_allocs[OpClass::FusedConstructRet as usize] += 1;
+                    if let Some(value) = self.do_ret(fi, obj.to_bits())? {
+                        return Ok(value);
+                    }
+                }
+                DecodedInstr::SwitchDense {
+                    idx,
+                    cases,
+                    default,
+                } => {
+                    let v = frame.regs[idx.0 as usize] as i64;
+                    let run = &f.cases[cases.range()];
+                    // The run is sorted and contiguous: `v - first_key`
+                    // indexes it directly (checked_sub: a key range that
+                    // underflows i64 is certainly out of the table).
+                    frame.pc = match v.checked_sub(run[0].0) {
+                        Some(p) if (p as u64) < run.len() as u64 => run[p as usize].1,
+                        _ => default,
+                    };
+                }
             }
+        }
+    }
+
+    /// Completes a return of `bits` from the frame at pool index `fi` —
+    /// shared by `Ret` and every fused `*Ret` superinstruction. Recycles
+    /// the frame, resumes any over-saturated application (allocation there
+    /// is attributed to the `ret` class regardless of the fused shape), and
+    /// either writes the caller's destination register (`None`) or, when
+    /// the stack is empty, yields the whole-program result (`Some`).
+    fn do_ret(&mut self, fi: usize, bits: u64) -> Result<Option<ObjRef>, VmError> {
+        let value = ObjRef::from_bits(bits);
+        let frame = &mut self.pool[fi];
+        let ret_dst = frame.ret_dst;
+        let after_ret = std::mem::take(&mut frame.after_ret);
+        self.stack.pop();
+        self.free.push(fi as u32);
+        if !after_ret.is_empty() {
+            // Continue an over-saturated application.
+            if !matches!(self.heap.data(value), lssa_rt::ObjData::Closure { .. }) {
+                return Err(err("over-application of a non-closure result"));
+            }
+            let a0 = self.heap.alloc_count();
+            let outcome = pap_extend(&mut self.heap, value, after_ret);
+            self.class_allocs[OpClass::Ret as usize] += self.heap.alloc_count() - a0;
+            if self.stack.is_empty() {
+                // Whole-program result must not be pending.
+                return match outcome {
+                    ApplyOutcome::Partial(c) => Ok(Some(c)),
+                    _ => Err(err("dangling over-application at exit")),
+                };
+            }
+            self.apply(ret_dst, outcome)?;
+            return Ok(None);
+        }
+        match self.stack.last() {
+            Some(&ci) => {
+                self.pool[ci as usize].regs[ret_dst.0 as usize] = bits;
+                Ok(None)
+            }
+            None => Ok(Some(value)),
         }
     }
 
@@ -616,6 +769,7 @@ impl<'p> Vm<'p> {
             frame_allocs: self.frame_allocs,
             frame_reuses: self.frame_reuses,
             tail_frame_reuses: self.tail_frame_reuses,
+            fused_cells: self.program.fusion.superinstructions(),
             duration: self.exec_time,
             heap: self.heap.stats(),
         }
@@ -648,9 +802,22 @@ pub fn run_decoded(
     })
 }
 
-/// Decodes `program`, then runs `entry` and renders the result. Callers
-/// executing the same program repeatedly should [`decode_program`] once and
-/// use [`run_decoded`].
+/// Decodes `program` under `opts` (memoized per program, see
+/// [`CompiledProgram::decoded`]), then runs `entry` and renders the result.
+///
+/// # Errors
+///
+/// See [`Vm::run`].
+pub fn run_program_with(
+    program: &CompiledProgram,
+    entry: &str,
+    max_steps: u64,
+    opts: DecodeOptions,
+) -> Result<RunOutcome, VmError> {
+    run_decoded(&program.decoded(opts), entry, max_steps)
+}
+
+/// [`run_program_with`] under the default decode options (fusion on).
 ///
 /// # Errors
 ///
@@ -660,13 +827,14 @@ pub fn run_program(
     entry: &str,
     max_steps: u64,
 ) -> Result<RunOutcome, VmError> {
-    run_decoded(&decode_program(program), entry, max_steps)
+    run_program_with(program, entry, max_steps, DecodeOptions::default())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bytecode::{BinOp, CmpPred, CompiledFn, CompiledProgram, Instr};
+    use crate::decode::decode_program;
 
     fn single(code: Vec<Instr>, n_regs: u16) -> CompiledProgram {
         CompiledProgram {
@@ -750,9 +918,17 @@ mod tests {
         );
         let out = run_program(&p, "main", 1000).unwrap();
         assert_eq!(out.rendered, "42");
-        assert_eq!(out.stats.instructions, 2);
-        assert_eq!(out.vm_stats.executed_of(OpClass::Const), 1);
-        assert_eq!(out.vm_stats.executed_of(OpClass::Ret), 1);
+        // LpInt + Ret fuse into a single ConstRet superinstruction.
+        assert_eq!(out.stats.instructions, 1);
+        assert_eq!(out.vm_stats.executed_of(OpClass::FusedConstRet), 1);
+        assert_eq!(out.vm_stats.fused_cells, 1);
+        // The unfused stream executes the two original cells.
+        let unfused = run_program_with(&p, "main", 1000, DecodeOptions::no_fuse()).unwrap();
+        assert_eq!(unfused.rendered, "42");
+        assert_eq!(unfused.stats.instructions, 2);
+        assert_eq!(unfused.vm_stats.executed_of(OpClass::Const), 1);
+        assert_eq!(unfused.vm_stats.executed_of(OpClass::Ret), 1);
+        assert_eq!(unfused.vm_stats.fused_cells, 0);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! Stand-in for the paper's LLVM backend: compiles fully-lowered flat-CFG IR
 //! modules ([`compile`]) to a register bytecode ([`bytecode`]), pre-decodes
-//! it into a compact pointer-free execution stream ([`decode`]), and
-//! executes it ([`exec`]) over the shared `lssa-rt` heap.
+//! it into a compact pointer-free execution stream with peephole-fused
+//! superinstructions ([`decode`]), and executes it ([`exec`]) over the
+//! shared `lssa-rt` heap.
 //!
 //! Three properties matter for the reproduction:
 //!
@@ -25,7 +26,12 @@ pub mod compile;
 pub mod decode;
 pub mod exec;
 
-pub use bytecode::{CompiledFn, CompiledProgram, Instr, Reg};
+pub use bytecode::{CompiledFn, CompiledProgram, DecodeCache, Instr, Reg};
 pub use compile::{compile_module, CompileError};
-pub use decode::{decode_program, DecodedFn, DecodedInstr, DecodedProgram, OpClass};
-pub use exec::{run_decoded, run_program, ExecStats, RunOutcome, Vm, VmError, VmStatistics};
+pub use decode::{
+    decode_program, decode_program_with, DecodeOptions, DecodedFn, DecodedInstr, DecodedProgram,
+    FusionStats, OpClass,
+};
+pub use exec::{
+    run_decoded, run_program, run_program_with, ExecStats, RunOutcome, Vm, VmError, VmStatistics,
+};

@@ -1,0 +1,43 @@
+//! Disassembles the decoded instruction streams of the benchmark
+//! workloads, fused next to unfused — the tool to reach for when tuning
+//! the superinstruction set.
+//!
+//! ```text
+//! cargo run --release --example dump_decoded [workload]
+//! ```
+
+use lambda_ssa::driver::pipelines::{compile, CompilerConfig};
+use lambda_ssa::driver::workloads::{all, Scale};
+use lambda_ssa::vm::{decode_program_with, DecodeOptions};
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    for w in all(Scale::Test) {
+        if filter.as_deref().is_some_and(|f| f != w.name) {
+            continue;
+        }
+        let p = compile(&w.src, CompilerConfig::mlir()).expect("workload compiles");
+        let fused = decode_program_with(&p, DecodeOptions::fused());
+        let unfused = decode_program_with(&p, DecodeOptions::no_fuse());
+        println!("==== {} ====", w.name);
+        println!(
+            "fusion: {:?} ({} superinstructions, {} cells saved)",
+            fused.fusion,
+            fused.fusion.superinstructions(),
+            fused.fusion.cells_saved
+        );
+        for (f, uf) in fused.fns.iter().zip(&unfused.fns) {
+            println!(
+                "@{} (arity {}, {} regs, {} cells fused vs {} unfused)",
+                f.name,
+                f.arity,
+                f.n_regs,
+                f.code.len(),
+                uf.code.len()
+            );
+            for (i, instr) in f.code.iter().enumerate() {
+                println!("  {i:4}: {instr:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Fused vs `--no-fuse` differential suite: the superinstruction pass must
+//! be a pure dispatch optimization. For every workload (under every
+//! compiler configuration) and every conformance case, the two decode
+//! modes must produce byte-identical results and identical heap/allocation
+//! counters — only the executed-cell counts may differ (fused runs fewer).
+//!
+//! Runtime errors count too: a program that traps must trap with the same
+//! message in both modes.
+
+use lambda_ssa::driver::conformance::handwritten;
+use lambda_ssa::driver::pipelines::{compile, CompilerConfig};
+use lambda_ssa::driver::workloads::{all, Scale};
+use lambda_ssa::driver::{diff, par};
+use lambda_ssa::vm::{run_program_with, DecodeOptions};
+
+const MAX_STEPS: u64 = 500_000_000;
+
+/// Runs one compiled program in both decode modes and checks equivalence.
+/// Returns the fused outcome's rendering (for checksum asserts).
+fn assert_modes_agree(label: &str, program: &lambda_ssa::vm::CompiledProgram) -> Option<String> {
+    let fused = run_program_with(program, "main", MAX_STEPS, DecodeOptions::fused());
+    let unfused = run_program_with(program, "main", MAX_STEPS, DecodeOptions::no_fuse());
+    match (fused, unfused) {
+        (Ok(f), Ok(u)) => {
+            assert_eq!(f.rendered, u.rendered, "{label}: checksum diverged");
+            assert_eq!(
+                f.vm_stats.heap, u.vm_stats.heap,
+                "{label}: heap counters diverged"
+            );
+            assert_eq!(
+                f.vm_stats.max_depth, u.vm_stats.max_depth,
+                "{label}: frame depth diverged"
+            );
+            assert_eq!(
+                f.vm_stats.frame_allocs, u.vm_stats.frame_allocs,
+                "{label}: frame allocation diverged"
+            );
+            assert!(
+                f.stats.instructions <= u.stats.instructions,
+                "{label}: fused dispatch must never execute more cells"
+            );
+            Some(f.rendered)
+        }
+        (Err(fe), Err(ue)) => {
+            assert_eq!(fe.message, ue.message, "{label}: error message diverged");
+            None
+        }
+        (f, u) => panic!(
+            "{label}: one mode failed, the other did not (fused: {:?}, unfused: {:?})",
+            f.map(|o| o.rendered),
+            u.map(|o| o.rendered)
+        ),
+    }
+}
+
+#[test]
+fn workloads_agree_fused_vs_unfused_across_all_pipelines() {
+    let workloads = all(Scale::Test);
+    par::par_map(&workloads, |w| {
+        for config in diff::configs() {
+            let label = format!("{} [{}]", w.name, config.label());
+            let program = compile(&w.src, config).unwrap_or_else(|e| panic!("{label}: {e}"));
+            let rendered = assert_modes_agree(&label, &program)
+                .unwrap_or_else(|| panic!("{label}: workload must not trap"));
+            assert_eq!(rendered, w.expected_test, "{label}");
+        }
+    });
+}
+
+#[test]
+fn conformance_cases_agree_fused_vs_unfused() {
+    // The hand-written corpus covers every language construct and the
+    // runtime-error edges (div-by-zero and friends) — exactly the places a
+    // fusion bug would hide.
+    let cases = handwritten();
+    par::par_map(&cases, |case| {
+        let program = match compile(&case.src, CompilerConfig::mlir()) {
+            Ok(p) => p,
+            // Compile-time failures never reach the decoder.
+            Err(_) => return,
+        };
+        assert_modes_agree(&case.name, &program);
+    });
+}

@@ -11,7 +11,7 @@
 
 use lambda_ssa::driver::pipelines::{compile, CompilerConfig};
 use lambda_ssa::driver::workloads::{all, Scale};
-use lambda_ssa::vm::{decode_program, run_decoded, OpClass};
+use lambda_ssa::vm::{decode_program, decode_program_with, run_decoded, DecodeOptions, OpClass};
 
 const MAX_STEPS: u64 = 500_000_000;
 
@@ -20,7 +20,10 @@ fn decode_round_trips_compiled_workloads() {
     for w in all(Scale::Test) {
         let program =
             compile(&w.src, CompilerConfig::mlir()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        let decoded = decode_program(&program);
+        // Round-tripping is defined on the unfused stream (fused cells have
+        // no single enum counterpart); fused-vs-unfused equivalence is
+        // covered by `fuse_differential.rs`.
+        let decoded = decode_program_with(&program, DecodeOptions::no_fuse());
         assert_eq!(decoded.fns.len(), program.fns.len());
         for (df, f) in decoded.fns.iter().zip(&program.fns) {
             assert_eq!(df.name, f.name, "{}", w.name);
@@ -42,6 +45,22 @@ fn decode_round_trips_compiled_workloads() {
             run_decoded(&decoded, "main", MAX_STEPS).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(out.rendered, w.expected_test, "{}", w.name);
         assert_eq!(out.stats.heap.live, 0, "{}: leak", w.name);
+        // The fused stream is strictly shorter statically and dynamically,
+        // and produces the same checksum.
+        let fused = decode_program(&program);
+        assert!(
+            fused.fusion.cells_saved > 0,
+            "{}: fusion found nothing to fuse",
+            w.name
+        );
+        let fused_out =
+            run_decoded(&fused, "main", MAX_STEPS).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(fused_out.rendered, w.expected_test, "{}", w.name);
+        assert!(
+            fused_out.stats.instructions < out.stats.instructions,
+            "{}: fused dispatch must execute fewer cells",
+            w.name
+        );
     }
 }
 
