@@ -2,10 +2,26 @@
 //!
 //! ```text
 //! lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--print-ir-after-all]
+//! lssa check <file>... [--format human|json]
+//! lssa fmt <file>... [--write | --check]
 //! lssa dump <file> [--stage lp|rgn|opt|cfg]
 //! lssa diff <file>
-//! lssa bench <name>|all [--scale quick|test|bench|stress] [--no-fuse] [--json] [--out FILE]
+//! lssa bench <name>|all|<file.lssa> [--scale quick|test|bench|stress] [--no-fuse] [--json] [--out FILE]
 //! ```
+//!
+//! Files ending in `.lssa` are parsed by the S-expression text frontend
+//! (`lssa-syntax`); anything else uses the built-in surface language. The
+//! text frontend reports problems as structured diagnostics with stable
+//! codes and source spans — `check` prints them (human-readable by default,
+//! one JSON object per line with `--format json`) and exits non-zero when
+//! any are found; `run`/`dump`/`diff`/`bench` on a `.lssa` file report the
+//! *same* codes on the same defects, because the `E01xx` wellformedness
+//! codes are shared with the AST-level checker.
+//!
+//! `fmt` reprints a `.lssa` file in canonical form to stdout; `--write`
+//! rewrites the file in place, `--check` exits non-zero when the file is not
+//! already canonical (CI drift detection). Formatting is idempotent and
+//! round-trips the AST exactly.
 //!
 //! `--pass-stats` prints the backend's per-pass statistics table (runs,
 //! changed flag, live-op counts before/after, wall time, per named
@@ -22,9 +38,11 @@
 //! `--out FILE`) — the committed perf-trajectory baseline.
 
 use lssa_driver::pipelines::{
-    compile_and_run_opts, compile_and_run_with_report_opts, frontend, Backend, CompilerConfig,
+    compile_and_run_ast_opts, compile_and_run_with_report_opts, compile_ast_with_report, frontend,
+    frontend_ast, Backend, CompilerConfig,
 };
 use lssa_driver::workloads::{all, by_name, Scale, Workload};
+use lssa_lambda::ast::Program;
 use lssa_vm::DecodeOptions;
 use std::process::ExitCode;
 
@@ -33,7 +51,7 @@ const MAX_STEPS: u64 = 2_000_000_000;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -41,10 +59,12 @@ fn main() -> ExitCode {
             eprintln!(
                 "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--print-ir-after-all]"
             );
+            eprintln!("  lssa check <file>... [--format human|json]");
+            eprintln!("  lssa fmt <file>... [--write | --check]");
             eprintln!("  lssa dump <file> [--stage lambda|lp|rgn|opt|cfg]");
             eprintln!("  lssa diff <file>");
             eprintln!(
-                "  lssa bench <name>|all [--scale quick|test|bench|stress] [--no-fuse] [--json] [--out FILE]"
+                "  lssa bench <name>|all|<file.lssa> [--scale quick|test|bench|stress] [--no-fuse] [--json] [--out FILE]"
             );
             ExitCode::FAILURE
         }
@@ -80,7 +100,47 @@ fn config_of(name: &str) -> Result<CompilerConfig, String> {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Whether `file` should go through the `.lssa` text frontend.
+fn is_lssa(file: &str) -> bool {
+    file.ends_with(".lssa")
+}
+
+/// Parses a `.lssa` source strictly. On any diagnostic (syntax *or*
+/// wellformedness — same `E01xx` codes as `lssa check`), renders them
+/// human-readably to stderr and yields the failure exit code.
+fn load_lssa(file: &str, src: &str) -> Result<Program, ExitCode> {
+    match lssa_syntax::parse_program(src) {
+        Ok(p) => Ok(p),
+        Err(diags) => {
+            eprint!(
+                "{}",
+                lssa_syntax::render_all(&diags, file, src, lssa_syntax::RenderFormat::Human)
+            );
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// The non-flag file arguments after the verb, skipping flag values.
+fn file_args(args: &[String]) -> Vec<&str> {
+    let mut files = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--format" || a == "--out" {
+            i += 2;
+            continue;
+        }
+        if !a.starts_with("--") {
+            files.push(a);
+        }
+        i += 1;
+    }
+    files
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
         "run" => {
@@ -104,8 +164,20 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                 }
             }
-            let (out, report) = compile_and_run_with_report_opts(&src, config, MAX_STEPS, decode)
-                .map_err(|e| e.to_string())?;
+            let (out, report) = if is_lssa(file) {
+                let program = match load_lssa(file, &src) {
+                    Ok(p) => p,
+                    Err(code) => return Ok(code),
+                };
+                let (compiled, report) =
+                    compile_ast_with_report(&program, config).map_err(|e| e.to_string())?;
+                let out = lssa_vm::run_program_with(&compiled, "main", MAX_STEPS, decode)
+                    .map_err(|e| format!("execution error: {e}"))?;
+                (out, report)
+            } else {
+                compile_and_run_with_report_opts(&src, config, MAX_STEPS, decode)
+                    .map_err(|e| e.to_string())?
+            };
             println!("{}", out.rendered);
             eprintln!(
                 "-- {} instructions, {} calls, peak {} live objects",
@@ -127,13 +199,94 @@ fn run(args: &[String]) -> Result<(), String> {
             if want_vm_stats {
                 print!("{}", out.vm_stats.render_table());
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let files = file_args(args);
+            if files.is_empty() {
+                return Err("missing file".to_string());
+            }
+            let format = match flag_value(args, "--format") {
+                None | Some("human") => lssa_syntax::RenderFormat::Human,
+                Some("json") => lssa_syntax::RenderFormat::Json,
+                Some(other) => return Err(format!("unknown format `{other}`")),
+            };
+            let mut failed = false;
+            for file in files {
+                let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+                let diags = lssa_syntax::check_source(&src);
+                if !diags.is_empty() {
+                    failed = true;
+                    print!("{}", lssa_syntax::render_all(&diags, file, &src, format));
+                }
+            }
+            Ok(if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "fmt" => {
+            let files = file_args(args);
+            if files.is_empty() {
+                return Err("missing file".to_string());
+            }
+            let write = has_flag(args, "--write");
+            let check = has_flag(args, "--check");
+            if write && check {
+                return Err("--write and --check are mutually exclusive".to_string());
+            }
+            let mut drifted = false;
+            for file in files {
+                let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+                let formatted = match lssa_syntax::format_source(&src) {
+                    Ok(f) => f,
+                    Err(diags) => {
+                        eprint!(
+                            "{}",
+                            lssa_syntax::render_all(
+                                &diags,
+                                file,
+                                &src,
+                                lssa_syntax::RenderFormat::Human
+                            )
+                        );
+                        return Ok(ExitCode::FAILURE);
+                    }
+                };
+                if write {
+                    if formatted != src {
+                        std::fs::write(file, &formatted).map_err(|e| format!("{file}: {e}"))?;
+                        eprintln!("-- rewrote {file}");
+                    }
+                } else if check {
+                    if formatted != src {
+                        eprintln!("-- {file}: not canonically formatted (run `lssa fmt --write`)");
+                        drifted = true;
+                    }
+                } else {
+                    print!("{formatted}");
+                }
+            }
+            Ok(if drifted {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
         }
         "dump" => {
             let file = args.get(1).ok_or("missing file")?;
             let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
             let stage = flag_value(args, "--stage").unwrap_or("cfg");
-            let rc = frontend(&src, CompilerConfig::mlir()).map_err(|e| e.to_string())?;
+            let rc = if is_lssa(file) {
+                let program = match load_lssa(file, &src) {
+                    Ok(p) => p,
+                    Err(code) => return Ok(code),
+                };
+                frontend_ast(&program, CompilerConfig::mlir()).map_err(|e| e.to_string())?
+            } else {
+                frontend(&src, CompilerConfig::mlir()).map_err(|e| e.to_string())?
+            };
             match stage {
                 "lambda" => {
                     for f in &rc.fns {
@@ -164,22 +317,59 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 other => return Err(format!("unknown stage `{other}`")),
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "diff" => {
             let file = args.get(1).ok_or("missing file")?;
             let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-            let r = lssa_driver::diff::run_differential(file, &src, MAX_STEPS);
+            let r = if is_lssa(file) {
+                let program = match load_lssa(file, &src) {
+                    Ok(p) => p,
+                    Err(code) => return Ok(code),
+                };
+                lssa_driver::diff::run_differential_ast(file, &program, MAX_STEPS)
+            } else {
+                lssa_driver::diff::run_differential(file, &src, MAX_STEPS)
+            };
             match r.failure {
                 None => {
                     println!("PASS: all pipelines agree on {:?}", r.rendered.unwrap());
-                    Ok(())
+                    Ok(ExitCode::SUCCESS)
                 }
                 Some(f) => Err(format!("differential mismatch: {f}")),
             }
         }
         "bench" => {
             let name = args.get(1).ok_or("missing benchmark name")?;
+            if is_lssa(name) {
+                // A `.lssa` file: time it across all configurations, like a
+                // named workload (but ineligible for the committed JSON
+                // baseline, which is keyed by workload name and scale).
+                if has_flag(args, "--json") {
+                    return Err("--json measures the built-in workloads only".to_string());
+                }
+                let src = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
+                let program = match load_lssa(name, &src) {
+                    Ok(p) => p,
+                    Err(code) => return Ok(code),
+                };
+                let decode = decode_options(args);
+                for config in lssa_driver::diff::configs() {
+                    let start = std::time::Instant::now();
+                    let out = compile_and_run_ast_opts(&program, config, MAX_STEPS, decode)
+                        .map_err(|e| e.to_string())?;
+                    let elapsed = start.elapsed();
+                    println!(
+                        "{:20} {:28} {:>12?} {:>14} instrs  result={}",
+                        name,
+                        config.label(),
+                        elapsed,
+                        out.stats.instructions,
+                        out.rendered
+                    );
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
             let (scale, scale_label) = match flag_value(args, "--scale").unwrap_or("test") {
                 // `quick` is the CI alias for the smallest inputs.
                 "test" | "quick" => (Scale::Test, "test"),
@@ -227,14 +417,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 let json = lssa_driver::benchjson::render_json(scale_label, BENCH_RUNS, &records);
                 std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
                 eprintln!("-- wrote {path}");
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             let decode = decode_options(args);
             for w in &selected {
                 for config in lssa_driver::diff::configs() {
                     let start = std::time::Instant::now();
-                    let out = compile_and_run_opts(&w.src, config, MAX_STEPS, decode)
-                        .map_err(|e| e.to_string())?;
+                    let out = lssa_driver::pipelines::compile_and_run_opts(
+                        &w.src, config, MAX_STEPS, decode,
+                    )
+                    .map_err(|e| e.to_string())?;
                     let elapsed = start.elapsed();
                     println!(
                         "{:20} {:28} {:>12?} {:>14} instrs  result={}",
@@ -246,7 +438,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     );
                 }
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`")),
     }

@@ -7,7 +7,9 @@
 //! the rgn-only pipeline and the unoptimized pipeline — produce the same
 //! value *and* release every heap object.
 
-use crate::pipelines::{compile_and_run, frontend, CompilerConfig};
+use crate::pipelines::{compile_and_run_ast_opts, frontend_ast, CompilerConfig};
+use lssa_lambda::ast::Program;
+use lssa_vm::DecodeOptions;
 
 /// Outcome of one differential test.
 #[derive(Debug, Clone)]
@@ -37,15 +39,32 @@ pub fn configs() -> Vec<CompilerConfig> {
     ]
 }
 
-/// Runs `src` through the oracle and every pipeline, comparing results.
+/// Runs `src` (the built-in surface language) through the oracle and every
+/// pipeline, comparing results.
 pub fn run_differential(name: &str, src: &str, max_steps: u64) -> DiffResult {
+    let program = match lssa_lambda::parse_program(src) {
+        Ok(p) => p,
+        Err(e) => {
+            return DiffResult {
+                name: name.to_string(),
+                rendered: None,
+                failure: Some(format!("frontend: parse error: {e}")),
+            }
+        }
+    };
+    run_differential_ast(name, &program, max_steps)
+}
+
+/// [`run_differential`] over an already-parsed program — the entry point for
+/// `.lssa` files, whose text frontend lives in `lssa-syntax`.
+pub fn run_differential_ast(name: &str, program: &Program, max_steps: u64) -> DiffResult {
     let fail = |msg: String| DiffResult {
         name: name.to_string(),
         rendered: None,
         failure: Some(msg),
     };
     // Oracle: the λrc reference interpreter on the unsimplified program.
-    let rc = match frontend(src, CompilerConfig::none()) {
+    let rc = match frontend_ast(program, CompilerConfig::none()) {
         Ok(rc) => rc,
         Err(e) => return fail(format!("frontend: {e}")),
     };
@@ -57,10 +76,11 @@ pub fn run_differential(name: &str, src: &str, max_steps: u64) -> DiffResult {
         return fail(format!("oracle leaked {} objects", oracle.stats.live));
     }
     for config in configs() {
-        let out = match compile_and_run(src, config, max_steps) {
-            Ok(o) => o,
-            Err(e) => return fail(format!("[{}] {e}", config.label())),
-        };
+        let out =
+            match compile_and_run_ast_opts(program, config, max_steps, DecodeOptions::default()) {
+                Ok(o) => o,
+                Err(e) => return fail(format!("[{}] {e}", config.label())),
+            };
         if out.rendered != oracle.rendered {
             return fail(format!(
                 "[{}] produced {:?}, oracle {:?}",

@@ -130,7 +130,21 @@ pub fn frontend(src: &str, config: CompilerConfig) -> Result<Program, PipelineEr
         stage: "parse",
         message: e.to_string(),
     })?;
-    lssa_lambda::check_program(&program).map_err(|errs| PipelineError {
+    frontend_ast(&program, config)
+}
+
+/// Front-lowers an already-parsed λpure program into λrc under a config:
+/// wellformedness check, optional simplifier, RC insertion.
+///
+/// This is where `.lssa` files enter the pipeline — the text frontend
+/// (`lssa-syntax`) parses to the same [`Program`] the built-in surface
+/// language lowers to, and both funnel through here.
+///
+/// # Errors
+///
+/// Returns wellformedness failures.
+pub fn frontend_ast(program: &Program, config: CompilerConfig) -> Result<Program, PipelineError> {
+    lssa_lambda::check_program(program).map_err(|errs| PipelineError {
         stage: "wellformedness",
         message: errs
             .iter()
@@ -139,8 +153,8 @@ pub fn frontend(src: &str, config: CompilerConfig) -> Result<Program, PipelineEr
             .join("; "),
     })?;
     let program = match config.simplify {
-        Some(opts) => lssa_lambda::simplify_program(&program, opts),
-        None => program,
+        Some(opts) => lssa_lambda::simplify_program(program, opts),
+        None => program.clone(),
     };
     Ok(lssa_lambda::insert_rc(&program))
 }
@@ -241,6 +255,65 @@ pub fn compile_batch(
         })
         .collect();
     (results, merged)
+}
+
+/// Compiles an already-parsed program end-to-end, returning the backend's
+/// per-pass statistics alongside the bytecode.
+///
+/// # Errors
+///
+/// Returns the first failure along the pipeline.
+pub fn compile_ast_with_report(
+    program: &Program,
+    config: CompilerConfig,
+) -> Result<(CompiledProgram, Option<PipelineReport>), PipelineError> {
+    let rc = frontend_ast(program, config)?;
+    backend_with_report(&rc, config)
+}
+
+/// [`compile_batch`] over already-parsed programs: shards compilation across
+/// `jobs` worker threads, returning per-program outcomes in input order and
+/// the merged backend statistics.
+pub fn compile_batch_asts(
+    programs: &[Program],
+    config: CompilerConfig,
+    jobs: usize,
+) -> (Vec<Result<CompiledProgram, PipelineError>>, PipelineReport) {
+    let outcomes = crate::par::BatchRunner::new()
+        .with_jobs(jobs)
+        .map(programs, |p| compile_ast_with_report(p, config));
+    let mut merged = PipelineReport::default();
+    let results = outcomes
+        .into_iter()
+        .map(|outcome| {
+            outcome.map(|(program, report)| {
+                if let Some(report) = report {
+                    merged.merge(&report);
+                }
+                program
+            })
+        })
+        .collect();
+    (results, merged)
+}
+
+/// Compiles an already-parsed program and runs `main` with explicit decode
+/// options.
+///
+/// # Errors
+///
+/// Returns compilation or execution failures.
+pub fn compile_and_run_ast_opts(
+    program: &Program,
+    config: CompilerConfig,
+    max_steps: u64,
+    decode: DecodeOptions,
+) -> Result<RunOutcome, PipelineError> {
+    let (compiled, _) = compile_ast_with_report(program, config)?;
+    lssa_vm::run_program_with(&compiled, "main", max_steps, decode).map_err(|e| PipelineError {
+        stage: "execution",
+        message: e.to_string(),
+    })
 }
 
 /// Compiles and runs `main`.

@@ -219,6 +219,193 @@ fn print_ir_after_all_dumps_to_stderr() {
     std::fs::remove_file(path).ok();
 }
 
+fn write_lssa(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("lssa-cli-{name}-{}.lssa", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const LSSA_PROGRAM: &str = "(def main ()
+  (let x0 40
+  (let x1 2
+  (let x2 (call lean_nat_add x0 x1)
+  (ret x2)))))
+";
+
+const LSSA_ILL_FORMED: &str = "(def main ()\n  (ret x7))\n";
+
+#[test]
+fn check_passes_clean_lssa_and_flags_defects() {
+    let good = write_lssa("check-good", LSSA_PROGRAM);
+    let out = lssa().args(["check"]).arg(&good).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stdout.is_empty(), "clean check must print nothing");
+
+    let bad = write_lssa("check-bad", LSSA_ILL_FORMED);
+    let out = lssa().args(["check"]).arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error[E0101]"), "{text}");
+    assert!(
+        text.contains(":2:8:"),
+        "human format carries line:col\n{text}"
+    );
+    std::fs::remove_file(good).ok();
+    std::fs::remove_file(bad).ok();
+}
+
+#[test]
+fn check_json_is_machine_readable() {
+    let bad = write_lssa("check-json", LSSA_ILL_FORMED);
+    let out = lssa()
+        .args(["check"])
+        .arg(&bad)
+        .args(["--format", "json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "{text}");
+    assert!(lines[0].starts_with("{\"code\":\"E0101\""), "{text}");
+    assert!(lines[0].contains("\"span\":{\"start\":"), "{text}");
+    assert!(lines[0].contains("\"line\":2,\"col\":8"), "{text}");
+    std::fs::remove_file(bad).ok();
+}
+
+#[test]
+fn fmt_prints_canonical_form_and_write_check_cycle() {
+    let path = write_lssa("fmt", "(def main()(let x0 1(ret x0)))");
+    // Default: canonical form on stdout, file untouched.
+    let out = lssa().args(["fmt"]).arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let formatted = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(formatted, "(def main ()\n  (let x0 1\n  (ret x0)))\n");
+    // --check flags the drift without touching the file.
+    let out = lssa()
+        .args(["fmt"])
+        .arg(&path)
+        .args(["--check"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // --write rewrites; --check then passes.
+    let out = lssa()
+        .args(["fmt"])
+        .arg(&path)
+        .args(["--write"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), formatted);
+    let out = lssa()
+        .args(["fmt"])
+        .arg(&path)
+        .args(["--check"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn fmt_formats_ill_scoped_but_rejects_broken_syntax() {
+    // Wellformedness problems don't block formatting…
+    let path = write_lssa("fmt-illformed", LSSA_ILL_FORMED);
+    let out = lssa().args(["fmt"]).arg(&path).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(ret x7)"));
+    std::fs::remove_file(path).ok();
+    // …but unbalanced parentheses do.
+    let path = write_lssa("fmt-broken", "(def main () (ret x0");
+    let out = lssa().args(["fmt"]).arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error[E0003]"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn run_executes_lssa_files_on_every_backend() {
+    let path = write_lssa("run", LSSA_PROGRAM);
+    for backend in ["leanc", "mlir", "rgn-only", "none"] {
+        let out = lssa()
+            .args(["run"])
+            .arg(&path)
+            .args(["--backend", backend])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{backend}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
+            "42",
+            "{backend}"
+        );
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn run_reports_lssa_wellformedness_with_check_codes() {
+    // Regression: `run` on an ill-formed `.lssa` file must exit 1 and
+    // report the same stable code `check` does — as a diagnostic, not a
+    // usage error.
+    let path = write_lssa("run-illformed", LSSA_ILL_FORMED);
+    let out = lssa().args(["run"]).arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error[E0101]"), "{err}");
+    assert!(err.contains("use of x7 out of scope"), "{err}");
+    assert!(
+        !err.contains("usage:"),
+        "diagnostics must not trigger usage spam\n{err}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn diff_and_bench_accept_lssa_files() {
+    let path = write_lssa("diff", LSSA_PROGRAM);
+    let out = lssa().args(["diff"]).arg(&path).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+
+    let out = lssa().args(["bench"]).arg(&path).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 4, "one line per config\n{text}");
+    assert!(text.contains("result=42"), "{text}");
+
+    // The JSON baseline is keyed by workload name: .lssa files refuse it.
+    let out = lssa()
+        .args(["bench"])
+        .arg(&path)
+        .args(["--json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_file(path).ok();
+}
+
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = lssa().args(["frobnicate"]).output().unwrap();

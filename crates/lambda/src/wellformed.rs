@@ -16,11 +16,55 @@ use lssa_rt::Builtin;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+/// Stable diagnostic codes for wellformedness violations.
+///
+/// Shared with the `lssa-syntax` text frontend, so `lssa check` (syntax-level
+/// checking with spans) and `lssa run` (AST-level checking) report the same
+/// code for the same defect.
+pub mod codes {
+    /// Use of a variable that is not in scope.
+    pub const OUT_OF_SCOPE: &str = "E0101";
+    /// A variable bound more than once within one function.
+    pub const REBOUND: &str = "E0102";
+    /// Jump to a join point that is not in scope.
+    pub const UNKNOWN_JOIN: &str = "E0103";
+    /// Jump argument count differs from the join point's parameter count.
+    pub const JUMP_ARITY: &str = "E0104";
+    /// A join-point body references a variable that is not one of its
+    /// parameters.
+    pub const JOIN_CAPTURE: &str = "E0105";
+    /// Call of an unknown top-level function.
+    pub const UNKNOWN_FUNCTION: &str = "E0106";
+    /// Call argument count differs from the callee's arity.
+    pub const CALL_ARITY: &str = "E0107";
+    /// Call of an unknown `lean_*` runtime builtin.
+    pub const UNKNOWN_BUILTIN: &str = "E0108";
+    /// Builtin argument count differs from the builtin's arity.
+    pub const BUILTIN_ARITY: &str = "E0109";
+    /// Partial application that does not under-apply, or of an unknown
+    /// function.
+    pub const BAD_PAP: &str = "E0110";
+    /// Closure application with no arguments.
+    pub const EMPTY_APP: &str = "E0111";
+    /// Bigint literal that is not a nonempty string of decimal digits.
+    pub const BAD_BIGINT: &str = "E0112";
+    /// Two `case` arms with the same constructor tag.
+    pub const DUPLICATE_TAG: &str = "E0113";
+    /// A `case` with neither arms nor a default.
+    pub const EMPTY_CASE: &str = "E0114";
+    /// Two top-level functions with the same name.
+    pub const DUPLICATE_FUNCTION: &str = "E0115";
+    /// A variable id at or above the function's declared `next_var` bound.
+    pub const VAR_BOUND: &str = "E0116";
+}
+
 /// A well-formedness violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WfError {
     /// The function in which the violation occurred.
     pub func: String,
+    /// Stable diagnostic code (see [`codes`]).
+    pub code: &'static str,
     /// Description.
     pub message: String,
 }
@@ -45,6 +89,7 @@ pub fn check_program(p: &Program) -> Result<(), Vec<WfError>> {
         if !names.insert(f.name.clone()) {
             errors.push(WfError {
                 func: f.name.clone(),
+                code: codes::DUPLICATE_FUNCTION,
                 message: "duplicate function name".to_string(),
             });
         }
@@ -76,7 +121,7 @@ fn check_fn(program: &Program, func: &FnDef, errors: &mut Vec<WfError>) {
     let mut scope: HashSet<VarId> = HashSet::new();
     for &p in &func.params {
         if !c.bound_once.insert(p) {
-            c.error(format!("parameter x{p} bound twice"));
+            c.error(codes::REBOUND, format!("parameter x{p} bound twice"));
         }
         scope.insert(p);
     }
@@ -85,28 +130,32 @@ fn check_fn(program: &Program, func: &FnDef, errors: &mut Vec<WfError>) {
 }
 
 impl Checker<'_> {
-    fn error(&mut self, message: String) {
+    fn error(&mut self, code: &'static str, message: String) {
         self.errors.push(WfError {
             func: self.func.name.clone(),
+            code,
             message,
         });
     }
 
     fn check_var(&mut self, v: VarId, scope: &HashSet<VarId>) {
         if !scope.contains(&v) {
-            self.error(format!("use of x{v} out of scope"));
+            self.error(codes::OUT_OF_SCOPE, format!("use of x{v} out of scope"));
         }
         if v >= self.func.next_var {
-            self.error(format!(
-                "x{v} exceeds the function's declared variable bound {}",
-                self.func.next_var
-            ));
+            self.error(
+                codes::VAR_BOUND,
+                format!(
+                    "x{v} exceeds the function's declared variable bound {}",
+                    self.func.next_var
+                ),
+            );
         }
     }
 
     fn bind(&mut self, v: VarId, scope: &mut HashSet<VarId>) {
         if !self.bound_once.insert(v) {
-            self.error(format!("x{v} bound more than once"));
+            self.error(codes::REBOUND, format!("x{v} bound more than once"));
         }
         scope.insert(v);
     }
@@ -122,39 +171,53 @@ impl Checker<'_> {
                     match func.parse::<Builtin>() {
                         Ok(b) => {
                             if b.arity() != args.len() {
-                                self.error(format!(
-                                    "builtin {func} expects {} args, got {}",
-                                    b.arity(),
-                                    args.len()
-                                ));
+                                self.error(
+                                    codes::BUILTIN_ARITY,
+                                    format!(
+                                        "builtin {func} expects {} args, got {}",
+                                        b.arity(),
+                                        args.len()
+                                    ),
+                                );
                             }
                         }
-                        Err(_) => self.error(format!("unknown builtin {func}")),
+                        Err(_) => {
+                            self.error(codes::UNKNOWN_BUILTIN, format!("unknown builtin {func}"))
+                        }
                     }
                 } else {
                     match self.program.arity_of(func) {
                         Some(a) if a == args.len() => {}
-                        Some(a) => self.error(format!(
-                            "call to @{func} with {} args (arity {a})",
-                            args.len()
-                        )),
-                        None => self.error(format!("call to unknown function @{func}")),
+                        Some(a) => self.error(
+                            codes::CALL_ARITY,
+                            format!("call to @{func} with {} args (arity {a})", args.len()),
+                        ),
+                        None => self.error(
+                            codes::UNKNOWN_FUNCTION,
+                            format!("call to unknown function @{func}"),
+                        ),
                     }
                 }
             }
             Value::Pap { func, args } => match self.program.arity_of(func) {
                 Some(a) if args.len() < a => {}
-                Some(a) => self.error(format!(
-                    "pap of @{func} with {} args must under-apply (arity {a})",
-                    args.len()
-                )),
-                None => self.error(format!("pap of unknown function @{func}")),
+                Some(a) => self.error(
+                    codes::BAD_PAP,
+                    format!(
+                        "pap of @{func} with {} args must under-apply (arity {a})",
+                        args.len()
+                    ),
+                ),
+                None => self.error(codes::BAD_PAP, format!("pap of unknown function @{func}")),
             },
             Value::App { args, .. } if args.is_empty() => {
-                self.error("closure application with no arguments".to_string());
+                self.error(
+                    codes::EMPTY_APP,
+                    "closure application with no arguments".to_string(),
+                );
             }
             Value::LitBig(s) if (s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit())) => {
-                self.error(format!("malformed bigint literal {s:?}"));
+                self.error(codes::BAD_BIGINT, format!("malformed bigint literal {s:?}"));
             }
             _ => {}
         }
@@ -187,9 +250,12 @@ impl Checker<'_> {
                     .into_iter()
                     .find(|v| !params.contains(v));
                 if let Some(v) = extra {
-                    self.error(format!(
-                        "join point j{label} body references x{v}, which is not a parameter"
-                    ));
+                    self.error(
+                        codes::JOIN_CAPTURE,
+                        format!(
+                            "join point j{label} body references x{v}, which is not a parameter"
+                        ),
+                    );
                 }
                 let mut joins = joins.clone();
                 joins.insert(*label, params.len());
@@ -202,12 +268,15 @@ impl Checker<'_> {
             } => {
                 self.check_var(*scrutinee, scope);
                 if alts.is_empty() && default.is_none() {
-                    self.error("case with no arms".to_string());
+                    self.error(codes::EMPTY_CASE, "case with no arms".to_string());
                 }
                 let mut seen = HashSet::new();
                 for alt in alts {
                     if !seen.insert(alt.tag) {
-                        self.error(format!("duplicate case tag {}", alt.tag));
+                        self.error(
+                            codes::DUPLICATE_TAG,
+                            format!("duplicate case tag {}", alt.tag),
+                        );
                     }
                     self.check_expr(&alt.body, scope, joins);
                 }
@@ -221,11 +290,17 @@ impl Checker<'_> {
                 }
                 match joins.get(label) {
                     Some(&arity) if arity == args.len() => {}
-                    Some(&arity) => self.error(format!(
-                        "jump to j{label} with {} args (expects {arity})",
-                        args.len()
-                    )),
-                    None => self.error(format!("jump to unknown join point j{label}")),
+                    Some(&arity) => self.error(
+                        codes::JUMP_ARITY,
+                        format!(
+                            "jump to j{label} with {} args (expects {arity})",
+                            args.len()
+                        ),
+                    ),
+                    None => self.error(
+                        codes::UNKNOWN_JOIN,
+                        format!("jump to unknown join point j{label}"),
+                    ),
                 }
             }
             Expr::Ret(v) => self.check_var(*v, scope),

@@ -1,0 +1,229 @@
+//! Structured diagnostics: stable codes, spans, notes, and two renderings —
+//! human-readable lines and machine-readable JSON lines.
+//!
+//! Codes are stable across releases so tooling (and the `tests/corpus/bad`
+//! goldens) can match on them:
+//!
+//! - `E00xx` — lexical / syntactic errors produced by the `.lssa` reader,
+//! - `E01xx` — wellformedness violations, shared verbatim with the AST-level
+//!   checker in [`lssa_lambda::wellformed`] (see its `codes` module), so
+//!   `lssa check` and `lssa run` report identical codes for the same defect.
+
+use crate::span::{LineIndex, Span};
+use std::fmt;
+
+/// Lexical error: a character that cannot start any token.
+pub const E_LEX_CHAR: &str = "E0001";
+/// Lexical error: unterminated string literal or invalid escape.
+pub const E_LEX_STRING: &str = "E0002";
+/// Syntactic error: unbalanced parentheses / unexpected token.
+pub const E_UNBALANCED: &str = "E0003";
+/// Structural error: malformed special form (wrong head or shape).
+pub const E_BAD_FORM: &str = "E0004";
+/// Structural error: malformed literal, variable, or label token.
+pub const E_BAD_TOKEN: &str = "E0005";
+
+/// One reported defect: a stable code, a message, an optional source span,
+/// and optional follow-up notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-matchable code (`E0xxx`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the source the defect sits, when known.
+    pub span: Option<Span>,
+    /// Additional context lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with a span.
+    pub fn new(code: &'static str, message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            code,
+            message: message.into(),
+            span: Some(span),
+            notes: Vec::new(),
+        }
+    }
+
+    /// A diagnostic without location information.
+    pub fn spanless(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a note.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Converts an AST-level wellformedness error. The span is unknown (the
+    /// AST carries no locations); the function name becomes a note.
+    pub fn from_wf(e: &lssa_lambda::wellformed::WfError) -> Diagnostic {
+        Diagnostic::spanless(e.code, e.message.clone())
+            .with_note(format!("in function @{}", e.func))
+    }
+
+    /// Renders `file:line:col: error[CODE]: message` plus indented notes.
+    pub fn render_human(&self, file: &str, index: &LineIndex) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        match self.span {
+            Some(span) => {
+                let (line, col) = index.line_col(span.start);
+                let _ = write!(out, "{file}:{line}:{col}: ");
+            }
+            None => {
+                let _ = write!(out, "{file}: ");
+            }
+        }
+        let _ = write!(out, "error[{}]: {}", self.code, self.message);
+        for note in &self.notes {
+            let _ = write!(out, "\n  note: {note}");
+        }
+        out
+    }
+
+    /// Renders one JSON object (a single line, no trailing newline):
+    ///
+    /// ```json
+    /// {"code":"E0101","message":"...","file":"f.lssa",
+    ///  "span":{"start":9,"end":11,"line":2,"col":3},"notes":[]}
+    /// ```
+    ///
+    /// `span` is `null` when the location is unknown.
+    pub fn render_json(&self, file: &str, index: &LineIndex) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"message\":\"{}\",\"file\":\"{}\",\"span\":",
+            self.code,
+            escape_json(&self.message),
+            escape_json(file)
+        );
+        match self.span {
+            Some(span) => {
+                let (line, col) = index.line_col(span.start);
+                let _ = write!(
+                    out,
+                    "{{\"start\":{},\"end\":{},\"line\":{line},\"col\":{col}}}",
+                    span.start, span.end
+                );
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"notes\":[");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", escape_json(note));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error[{}]: {}", self.code, self.message)
+    }
+}
+
+/// Renders every diagnostic in `format`, one per line.
+pub fn render_all(diags: &[Diagnostic], file: &str, src: &str, format: RenderFormat) -> String {
+    let index = LineIndex::new(src);
+    let mut out = String::new();
+    for d in diags {
+        let rendered = match format {
+            RenderFormat::Human => d.render_human(file, &index),
+            RenderFormat::Json => d.render_json(file, &index),
+        };
+        out.push_str(&rendered);
+        out.push('\n');
+    }
+    out
+}
+
+/// Output style for [`render_all`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenderFormat {
+    /// `file:line:col: error[CODE]: message` (+ notes).
+    Human,
+    /// One JSON object per line.
+    Json,
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_rendering_includes_location_and_notes() {
+        let src = "hello\nworld";
+        let idx = LineIndex::new(src);
+        let d = Diagnostic::new(E_BAD_FORM, "broken", Span::new(6, 11)).with_note("context");
+        assert_eq!(
+            d.render_human("f.lssa", &idx),
+            "f.lssa:2:1: error[E0004]: broken\n  note: context"
+        );
+        let d = Diagnostic::spanless(E_BAD_FORM, "broken");
+        assert_eq!(
+            d.render_human("f.lssa", &idx),
+            "f.lssa: error[E0004]: broken"
+        );
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_locates() {
+        let src = "ab\ncd";
+        let idx = LineIndex::new(src);
+        let d = Diagnostic::new(E_BAD_TOKEN, "bad \"tok\"\n", Span::new(3, 5)).with_note("n1");
+        let json = d.render_json("a\\b.lssa", &idx);
+        assert_eq!(
+            json,
+            "{\"code\":\"E0005\",\"message\":\"bad \\\"tok\\\"\\n\",\"file\":\"a\\\\b.lssa\",\
+             \"span\":{\"start\":3,\"end\":5,\"line\":2,\"col\":1},\"notes\":[\"n1\"]}"
+        );
+        let d = Diagnostic::spanless(E_BAD_TOKEN, "x");
+        assert!(d.render_json("f", &idx).contains("\"span\":null"));
+    }
+
+    #[test]
+    fn render_all_is_line_oriented() {
+        let diags = vec![
+            Diagnostic::spanless(E_BAD_FORM, "one"),
+            Diagnostic::spanless(E_BAD_TOKEN, "two"),
+        ];
+        let text = render_all(&diags, "f", "", RenderFormat::Json);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

@@ -1,0 +1,294 @@
+//! The `.lssa` lexer: S-expression tokens, every one carrying its byte span.
+//!
+//! Token classes are deliberately small — parentheses, atoms, and string
+//! literals. `;` starts a comment running to end of line. Atoms are maximal
+//! runs of characters that are not whitespace, parentheses, quotes, or `;`;
+//! the parser decides whether an atom is a variable (`x12`), a join label
+//! (`j3`), an integer, a keyword (`def`, `let`, …), or a function name.
+
+use crate::diag::{Diagnostic, E_LEX_CHAR, E_LEX_STRING};
+use crate::span::Span;
+
+/// What kind of token this is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// A bare atom (identifier, number, keyword).
+    Atom(String),
+    /// A string literal, with escapes already decoded.
+    Str(String),
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's class and payload.
+    pub kind: TokenKind,
+    /// Byte range in the source.
+    pub span: Span,
+}
+
+/// Splits `src` into tokens. Lexical errors are collected (and the offending
+/// bytes skipped) so one bad character does not hide later diagnostics.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Diagnostic>) {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut diags = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b';' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    span: Span::new(i as u32, i as u32 + 1),
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    span: Span::new(i as u32, i as u32 + 1),
+                });
+                i += 1;
+            }
+            b'"' => {
+                let (len, result) = lex_string(&src[i..], i as u32);
+                match result {
+                    Ok(token) => tokens.push(token),
+                    Err(d) => diags.push(d),
+                }
+                i += len;
+            }
+            _ if is_atom_byte(b) => {
+                let start = i;
+                while i < bytes.len() && is_atom_byte(bytes[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Atom(src[start..i].to_string()),
+                    span: Span::new(start as u32, i as u32),
+                });
+            }
+            _ => {
+                // A control byte or other character no token can start with.
+                // Skip the whole (possibly multi-byte) character.
+                let c = src[i..].chars().next().expect("in-bounds char");
+                diags.push(Diagnostic::new(
+                    E_LEX_CHAR,
+                    format!("unexpected character {:?}", c),
+                    Span::new(i as u32, (i + c.len_utf8()) as u32),
+                ));
+                i += c.len_utf8();
+            }
+        }
+    }
+    (tokens, diags)
+}
+
+/// Whether `b` can appear inside a bare atom.
+fn is_atom_byte(b: u8) -> bool {
+    !matches!(b, b' ' | b'\t' | b'\r' | b'\n' | b'(' | b')' | b'"' | b';')
+        && (0x21..0x7f).contains(&b)
+}
+
+/// Lexes one string literal starting at `src[0] == '"'`. Returns the number
+/// of bytes consumed and the token or a diagnostic.
+///
+/// On a bad escape the first error is recorded but scanning continues to the
+/// closing quote, so the rest of the input still lexes token-aligned.
+fn lex_string(src: &str, base: u32) -> (usize, Result<Token, Diagnostic>) {
+    let bytes = src.as_bytes();
+    debug_assert_eq!(bytes[0], b'"');
+    let mut out = String::new();
+    let mut err: Option<Diagnostic> = None;
+    let mut i = 1usize;
+    loop {
+        let Some(&b) = bytes.get(i) else {
+            let unterminated = Diagnostic::new(
+                E_LEX_STRING,
+                "unterminated string literal".to_string(),
+                Span::new(base, base + i as u32),
+            );
+            return (i, Err(err.unwrap_or(unterminated)));
+        };
+        match b {
+            b'"' => {
+                i += 1;
+                return (
+                    i,
+                    match err {
+                        Some(e) => Err(e),
+                        None => Ok(Token {
+                            kind: TokenKind::Str(out),
+                            span: Span::new(base, base + i as u32),
+                        }),
+                    },
+                );
+            }
+            b'\\' => {
+                let escape_start = i;
+                i += 1;
+                match bytes.get(i).copied() {
+                    Some(b'"') => {
+                        out.push('"');
+                        i += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        i += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        i += 1;
+                    }
+                    Some(b't') => {
+                        out.push('\t');
+                        i += 1;
+                    }
+                    Some(b'r') => {
+                        out.push('\r');
+                        i += 1;
+                    }
+                    Some(b'u') => {
+                        // \u{HEX}
+                        i += 1;
+                        let ok = bytes.get(i) == Some(&b'{');
+                        let close = src[i..].find('}').map(|off| i + off);
+                        match (ok, close) {
+                            (true, Some(close)) => {
+                                let hex = &src[i + 1..close];
+                                match u32::from_str_radix(hex, 16).ok().and_then(char::from_u32) {
+                                    Some(c) => {
+                                        out.push(c);
+                                        i = close + 1;
+                                    }
+                                    None => {
+                                        err.get_or_insert_with(|| {
+                                            Diagnostic::new(
+                                                E_LEX_STRING,
+                                                format!("invalid unicode escape \\u{{{hex}}}"),
+                                                Span::new(
+                                                    base + escape_start as u32,
+                                                    base + close as u32 + 1,
+                                                ),
+                                            )
+                                        });
+                                        i = close + 1;
+                                    }
+                                }
+                            }
+                            _ => {
+                                err.get_or_insert_with(|| {
+                                    Diagnostic::new(
+                                        E_LEX_STRING,
+                                        "malformed \\u{...} escape".to_string(),
+                                        Span::new(base + escape_start as u32, base + i as u32),
+                                    )
+                                });
+                            }
+                        }
+                    }
+                    other => {
+                        let len = other.map(|_| 2).unwrap_or(1);
+                        err.get_or_insert_with(|| {
+                            Diagnostic::new(
+                                E_LEX_STRING,
+                                "invalid escape sequence".to_string(),
+                                Span::new(
+                                    base + escape_start as u32,
+                                    base + (escape_start + len) as u32,
+                                ),
+                            )
+                        });
+                        if other.is_some() {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ => {
+                let c = src[i..].chars().next().expect("in-bounds char");
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let (tokens, diags) = lex(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokens_and_spans() {
+        let (tokens, diags) = lex("(ret x0) ; trailing comment\n42");
+        assert!(diags.is_empty());
+        assert_eq!(tokens.len(), 5);
+        assert_eq!(tokens[0].kind, TokenKind::LParen);
+        assert_eq!(tokens[1].kind, TokenKind::Atom("ret".into()));
+        assert_eq!(tokens[1].span, Span::new(1, 4));
+        assert_eq!(tokens[2].kind, TokenKind::Atom("x0".into()));
+        assert_eq!(tokens[3].kind, TokenKind::RParen);
+        assert_eq!(tokens[4].kind, TokenKind::Atom("42".into()));
+        assert_eq!(tokens[4].span, Span::new(28, 30));
+    }
+
+    #[test]
+    fn strings_decode_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\t\"\\\u{3b1}""#),
+            vec![TokenKind::Str("a\nb\t\"\\α".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_reported() {
+        let (_, diags) = lex("\"abc");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, E_LEX_STRING);
+        assert_eq!(diags[0].span, Some(Span::new(0, 4)));
+    }
+
+    #[test]
+    fn bad_escape_reported() {
+        let (_, diags) = lex(r#""a\q""#);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, E_LEX_STRING);
+    }
+
+    #[test]
+    fn stray_control_character_reported_and_skipped() {
+        let (tokens, diags) = lex("(ret \u{1} x0)");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, E_LEX_CHAR);
+        assert_eq!(tokens.len(), 4, "lexing continues after the bad byte");
+    }
+
+    #[test]
+    fn negative_numbers_and_rich_atoms() {
+        assert_eq!(
+            kinds("-42 lean_nat_add else"),
+            vec![
+                TokenKind::Atom("-42".into()),
+                TokenKind::Atom("lean_nat_add".into()),
+                TokenKind::Atom("else".into()),
+            ]
+        );
+    }
+}

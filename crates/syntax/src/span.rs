@@ -1,0 +1,130 @@
+//! Byte spans and the line index used to render them as `line:col`.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into one source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: u32,
+    /// Byte offset one past the last byte.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at`.
+    pub fn point(at: u32) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Span length in bytes.
+    pub fn len(self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span is zero-width.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Maps byte offsets to 1-based `(line, column)` pairs.
+///
+/// Built once per source file; lookups are a binary search over the line
+/// starts. Columns are byte columns (the corpus is ASCII; multi-byte
+/// characters count their bytes).
+#[derive(Debug, Clone)]
+pub struct LineIndex {
+    line_starts: Vec<u32>,
+}
+
+impl LineIndex {
+    /// Indexes `src`.
+    pub fn new(src: &str) -> LineIndex {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineIndex { line_starts }
+    }
+
+    /// 1-based line and column of a byte offset.
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let col = offset - self.line_starts[line];
+        (line as u32 + 1, col + 1)
+    }
+
+    /// The span of the whole 1-based `line` (without its newline), if it
+    /// exists.
+    pub fn line_span(&self, line: u32, src_len: u32) -> Option<Span> {
+        let idx = line.checked_sub(1)? as usize;
+        let start = *self.line_starts.get(idx)?;
+        let end = self
+            .line_starts
+            .get(idx + 1)
+            .map(|&next| next.saturating_sub(1))
+            .unwrap_or(src_len);
+        Some(Span::new(start, end.max(start)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_merge_and_measure() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::point(7).is_empty());
+    }
+
+    #[test]
+    fn line_index_maps_offsets() {
+        let src = "ab\ncde\n\nf";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(1), (1, 2));
+        assert_eq!(idx.line_col(3), (2, 1));
+        assert_eq!(idx.line_col(5), (2, 3));
+        assert_eq!(idx.line_col(7), (3, 1));
+        assert_eq!(idx.line_col(8), (4, 1));
+    }
+
+    #[test]
+    fn line_span_covers_lines() {
+        let src = "ab\ncde\n";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.line_span(1, src.len() as u32), Some(Span::new(0, 2)));
+        assert_eq!(idx.line_span(2, src.len() as u32), Some(Span::new(3, 6)));
+        assert_eq!(idx.line_span(0, src.len() as u32), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates the checked-in `.lssa` conformance corpus from the benchmark
+//! workloads.
+//!
+//! ```text
+//! cargo run --example gen_corpus
+//! ```
+//!
+//! For every workload at `Scale::Test` this writes
+//! `tests/corpus/<name>.lssa` (the program in canonical formatter output, so
+//! `lssa fmt --check` passes on the corpus) and
+//! `tests/corpus/<name>.expected` (the checksum `main()` must print). The
+//! files are committed; `tests/corpus_conformance.rs` asserts they stay
+//! byte-identical to what this generator produces, so any change to the
+//! workloads, the lowering, or the formatter shows up as a diff here.
+
+use lambda_ssa::driver::workloads::{all, Scale};
+use lambda_ssa::{lambda, syntax};
+
+fn main() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    std::fs::create_dir_all(root).expect("create corpus dir");
+    for w in all(Scale::Test) {
+        let program = lambda::parse_program(&w.src).expect("workload parses");
+        let text = syntax::print_program(&program);
+        let reparsed = syntax::parse_program(&text).expect("canonical text reparses");
+        assert_eq!(reparsed, program, "{}: round-trip must be exact", w.name);
+        std::fs::write(format!("{root}/{}.lssa", w.name), &text).expect("write .lssa");
+        std::fs::write(
+            format!("{root}/{}.expected", w.name),
+            format!("{}\n", w.expected_test),
+        )
+        .expect("write .expected");
+        println!("wrote {}.lssa ({} bytes)", w.name, text.len());
+    }
+}

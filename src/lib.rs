@@ -5,6 +5,7 @@
 //! - [`rt`] — runtime (refcounted heap, bignums, closures),
 //! - [`ir`] — SSA+regions compiler IR (MLIR stand-in),
 //! - [`lambda`] — λpure/λrc frontend, simplifier, interpreter,
+//! - [`syntax`] — the `.lssa` text frontend (parser, checker, formatter),
 //! - [`core`] — the lp and rgn dialects (the paper's contribution),
 //! - [`vm`] — bytecode backend with guaranteed tail calls,
 //! - [`driver`] — pipelines, differential testing, benchmarks.
@@ -17,4 +18,5 @@ pub use lssa_driver as driver;
 pub use lssa_ir as ir;
 pub use lssa_lambda as lambda;
 pub use lssa_rt as rt;
+pub use lssa_syntax as syntax;
 pub use lssa_vm as vm;
