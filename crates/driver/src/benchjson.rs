@@ -1,26 +1,94 @@
-//! Machine-readable benchmark results (`lssa bench --json`).
+//! Machine-readable benchmark results (`lssa bench --json` / `--check`).
 //!
-//! Every workload is compiled once (full MLIR pipeline), then executed in
-//! both decode modes — fused superinstructions and `--no-fuse` — several
-//! times, recording the median wall time next to the deterministic
-//! counters (instructions executed, fused cells and share, heap
-//! allocations). The records serialize to `BENCH_<scale>.json`, giving
-//! the repository a perf trajectory that survives across PRs: commit the
-//! file, diff it later.
+//! Every workload is compiled once (full MLIR pipeline), then executed
+//! under each **knob configuration** — the ablation ladder for the VM's
+//! dispatch optimisations — in interleaved rounds (round-robin over the
+//! ladder, so a slow system phase taxes every config alike), recording
+//! the *minimum* wall time next to the deterministic counters
+//! (instructions executed, fused share, heap allocations, inline-cache
+//! hits/misses). The minimum, not the median: on a shared machine the
+//! best observed run is the least-noise estimate of a deterministic
+//! program's true cost. The ladder:
 //!
-//! The JSON is written by hand — the workspace is offline and a perf
-//! baseline does not justify a serde dependency.
+//! | config           | dispatch | inline cache | renumber | fusion |
+//! |------------------|----------|--------------|----------|--------|
+//! | `base`           | match    | off          | off      | on     |
+//! | `threaded`       | threaded | off          | off      | on     |
+//! | `threaded_cache` | threaded | on           | off      | on     |
+//! | `full`           | threaded | on           | on       | on     |
+//! | `full_nofuse`    | threaded | on           | on       | off    |
+//!
+//! `base` is the PR 5 interpreter (match dispatch over fused cells), so
+//! each record's `speedup` — `base` wall over `full` wall — tracks the
+//! aggregate win of this PR's three optimisations, and consecutive rows
+//! isolate each knob's contribution. The records serialize to
+//! `BENCH_<scale>.json`: commit the file, diff it later, and
+//! [`check_against`] a committed baseline to catch regressions in CI
+//! (instruction counts must match exactly; wall time within a tolerance).
+//!
+//! The JSON is written *and parsed* by hand — the workspace is offline and
+//! a perf baseline does not justify a serde dependency. The parser only
+//! accepts the shape [`render_json`] emits.
 
 use crate::pipelines::{compile, CompilerConfig};
 use crate::workloads::Workload;
-use lssa_vm::DecodeOptions;
+use lssa_vm::{DecodeOptions, DispatchMode, ExecOptions};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One decode mode's measurement for one workload.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ModeResult {
-    /// Median wall time over the runs, in milliseconds.
+/// One knob configuration: a label plus the decode/exec option pair.
+#[derive(Debug, Clone, Copy)]
+pub struct KnobConfig {
+    /// Stable row label (a JSON key, so `[a-z_]+`).
+    pub label: &'static str,
+    /// Decode-time options (fusion, register renumbering).
+    pub decode: DecodeOptions,
+    /// Execution options (dispatch mode, inline caches).
+    pub exec: ExecOptions,
+}
+
+/// The measured ladder, in ablation order (see the module docs).
+pub fn knob_configs() -> [KnobConfig; 5] {
+    let match_nc = ExecOptions::default()
+        .with_dispatch(DispatchMode::Match)
+        .with_inline_cache(false);
+    let threaded_nc = ExecOptions::default().with_inline_cache(false);
+    let threaded_c = ExecOptions::default();
+    [
+        KnobConfig {
+            label: "base",
+            decode: DecodeOptions::fused().with_renumber(false),
+            exec: match_nc,
+        },
+        KnobConfig {
+            label: "threaded",
+            decode: DecodeOptions::fused().with_renumber(false),
+            exec: threaded_nc,
+        },
+        KnobConfig {
+            label: "threaded_cache",
+            decode: DecodeOptions::fused().with_renumber(false),
+            exec: threaded_c,
+        },
+        KnobConfig {
+            label: "full",
+            decode: DecodeOptions::fused(),
+            exec: threaded_c,
+        },
+        KnobConfig {
+            label: "full_nofuse",
+            decode: DecodeOptions::no_fuse().with_renumber(true),
+            exec: threaded_c,
+        },
+    ]
+}
+
+/// One knob configuration's measurement for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnobResult {
+    /// Which [`KnobConfig`] produced this row.
+    pub config: &'static str,
+    /// Minimum wall time over the interleaved rounds, in milliseconds.
     pub wall_ms: f64,
     /// Cells executed (deterministic, identical across runs).
     pub instructions: u64,
@@ -30,67 +98,90 @@ pub struct ModeResult {
     pub fused_share: f64,
     /// Heap objects allocated over the run.
     pub heap_allocs: u64,
+    /// Inline-cache hits (0 when caching is off).
+    pub cache_hits: u64,
+    /// Inline-cache misses (0 when caching is off).
+    pub cache_misses: u64,
 }
 
-/// Fused and unfused measurements for one workload.
+/// All knob rows for one workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Workload name.
     pub name: String,
-    /// Default decode (superinstruction fusion on).
-    pub fused: ModeResult,
-    /// `--no-fuse` decode.
-    pub unfused: ModeResult,
+    /// One row per [`knob_configs`] entry, in ladder order.
+    pub rows: Vec<KnobResult>,
 }
 
 impl BenchRecord {
-    /// Wall-clock speedup of fused over unfused dispatch.
+    /// The row for a config label, if measured.
+    pub fn row(&self, config: &str) -> Option<&KnobResult> {
+        self.rows.iter().find(|r| r.config == config)
+    }
+
+    /// Wall-clock speedup of the `full` configuration over `base` (the
+    /// PR 5 interpreter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is missing.
     pub fn speedup(&self) -> f64 {
-        self.unfused.wall_ms / self.fused.wall_ms
+        self.row("base").expect("base row").wall_ms / self.row("full").expect("full row").wall_ms
     }
 }
 
-fn measure_mode(
-    program: &lssa_vm::CompiledProgram,
-    opts: DecodeOptions,
-    runs: usize,
-    max_steps: u64,
-) -> ModeResult {
-    assert!(runs >= 1);
-    let decoded = program.decoded(opts);
-    let mut times = Vec::with_capacity(runs);
-    let mut stats = lssa_vm::VmStatistics::default();
-    for _ in 0..runs {
-        let start = Instant::now();
-        let out = lssa_vm::run_decoded(&decoded, "main", max_steps).expect("benchmark run");
-        times.push(start.elapsed());
-        assert_eq!(out.stats.heap.live, 0, "benchmark leaked");
-        stats = out.vm_stats;
+/// Geometric mean of per-workload [`BenchRecord::speedup`]s — the
+/// headline "aggregate over the PR 5 baseline" number.
+pub fn geomean_speedup(records: &[BenchRecord]) -> f64 {
+    if records.is_empty() {
+        return 1.0;
     }
-    times.sort();
-    ModeResult {
-        wall_ms: times[times.len() / 2].as_secs_f64() * 1e3,
-        instructions: stats.instructions,
-        fused_cells: stats.fused_cells,
-        fused_share: stats.fused_share(),
-        heap_allocs: stats.heap.allocs,
-    }
+    let log_sum: f64 = records.iter().map(|r| r.speedup().ln()).sum();
+    (log_sum / records.len() as f64).exp()
 }
 
-/// Measures one workload in both decode modes (compiling it once with the
-/// full MLIR pipeline).
+/// Measures one workload under every knob configuration (compiling it
+/// once with the full MLIR pipeline). The configs run in interleaved
+/// rounds — base, threaded, …, then the whole ladder again — and each
+/// row keeps its best time, so system-wide slow phases cannot bias one
+/// config against another.
 ///
 /// # Panics
 ///
 /// Panics if the workload fails to compile or run — benchmarks must be
 /// green before being timed.
 pub fn measure_workload(w: &Workload, runs: usize, max_steps: u64) -> BenchRecord {
+    assert!(runs >= 1);
     let program =
         compile(&w.src, CompilerConfig::mlir()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let configs = knob_configs();
+    let mut best: Vec<Option<KnobResult>> = vec![None; configs.len()];
+    for _ in 0..runs {
+        for (slot, cfg) in best.iter_mut().zip(&configs) {
+            let decoded = program.decoded(cfg.decode);
+            let start = Instant::now();
+            let out = lssa_vm::run_decoded_with(&decoded, "main", max_steps, cfg.exec)
+                .expect("benchmark");
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(out.stats.heap.live, 0, "benchmark leaked");
+            let stats = out.vm_stats;
+            if slot.as_ref().is_none_or(|r| wall_ms < r.wall_ms) {
+                *slot = Some(KnobResult {
+                    config: cfg.label,
+                    wall_ms,
+                    instructions: stats.instructions,
+                    fused_cells: stats.fused_cells,
+                    fused_share: stats.fused_share(),
+                    heap_allocs: stats.heap.allocs,
+                    cache_hits: stats.cache_hits,
+                    cache_misses: stats.cache_misses,
+                });
+            }
+        }
+    }
     BenchRecord {
         name: w.name.to_string(),
-        fused: measure_mode(&program, DecodeOptions::fused(), runs, max_steps),
-        unfused: measure_mode(&program, DecodeOptions::no_fuse(), runs, max_steps),
+        rows: best.into_iter().map(|r| r.expect("runs >= 1")).collect(),
     }
 }
 
@@ -124,35 +215,176 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-fn mode_json(out: &mut String, label: &str, m: &ModeResult) {
+fn row_json(out: &mut String, m: &KnobResult) {
     let _ = write!(
         out,
-        "      \"{label}\": {{ \"wall_ms\": {:.3}, \"instructions\": {}, \
-         \"fused_cells\": {}, \"fused_share\": {:.4}, \"heap_allocs\": {} }}",
-        m.wall_ms, m.instructions, m.fused_cells, m.fused_share, m.heap_allocs
+        "      \"{}\": {{ \"wall_ms\": {:.3}, \"instructions\": {}, \
+         \"fused_cells\": {}, \"fused_share\": {:.4}, \"heap_allocs\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {} }}",
+        m.config,
+        m.wall_ms,
+        m.instructions,
+        m.fused_cells,
+        m.fused_share,
+        m.heap_allocs,
+        m.cache_hits,
+        m.cache_misses
     );
 }
 
 /// Serializes the records. `scale_label` and `runs` document how the
 /// numbers were produced; wall times are milliseconds, `fused_share` is a
-/// 0..=1 fraction of executed cells.
+/// 0..=1 fraction of executed cells, `speedup` is `base` over `full`.
 pub fn render_json(scale_label: &str, runs: usize, records: &[BenchRecord]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"scale\": \"");
     escape_into(&mut out, scale_label);
-    let _ = writeln!(out, "\",\n  \"runs\": {runs},\n  \"workloads\": [");
+    let _ = writeln!(out, "\",\n  \"runs\": {runs},");
+    out.push_str("  \"configs\": [");
+    for (i, cfg) in knob_configs().iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}\"{}\"", cfg.label);
+    }
+    out.push_str("],\n  \"workloads\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str("    {\n      \"name\": \"");
         escape_into(&mut out, &r.name);
         out.push_str("\",\n");
-        mode_json(&mut out, "fused", &r.fused);
-        out.push_str(",\n");
-        mode_json(&mut out, "unfused", &r.unfused);
-        let _ = write!(out, ",\n      \"speedup\": {:.3}\n    }}", r.speedup());
+        for m in &r.rows {
+            row_json(&mut out, m);
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "      \"speedup\": {:.3}\n    }}", r.speedup());
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    let _ = write!(
+        out,
+        "  ],\n  \"geomean_speedup\": {:.3}\n}}\n",
+        geomean_speedup(records)
+    );
     out
+}
+
+/// One `(workload, config)` row recovered from a committed baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Workload name.
+    pub name: String,
+    /// Config label (`base`, `threaded`, …).
+    pub config: String,
+    /// Recorded median wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Recorded deterministic instruction count.
+    pub instructions: u64,
+}
+
+fn field_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', ' ', '}']).unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+/// Recovers the `(workload, config, wall, instructions)` rows from a
+/// baseline file previously written by [`render_json`]. Line-oriented by
+/// design: it accepts exactly the shape this module emits.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_baseline(json: &str) -> Result<Vec<BaselineRow>, String> {
+    let mut rows = Vec::new();
+    let mut name: Option<String> = None;
+    for line in json.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("\"name\": \"") {
+            let n = rest
+                .strip_suffix("\",")
+                .ok_or_else(|| format!("malformed name line: {t}"))?;
+            name = Some(n.to_string());
+            continue;
+        }
+        if t.contains("\"wall_ms\":") {
+            let config = t
+                .strip_prefix('"')
+                .and_then(|r| r.split_once('"'))
+                .map(|(c, _)| c.to_string())
+                .ok_or_else(|| format!("malformed row line: {t}"))?;
+            let wall_ms = field_after(t, "wall_ms")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("bad wall_ms in: {t}"))?;
+            let instructions = field_after(t, "instructions")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("bad instructions in: {t}"))?;
+            rows.push(BaselineRow {
+                name: name
+                    .clone()
+                    .ok_or_else(|| format!("row before name: {t}"))?,
+                config,
+                wall_ms,
+                instructions,
+            });
+        }
+    }
+    if rows.is_empty() {
+        return Err("no benchmark rows found in baseline".to_string());
+    }
+    Ok(rows)
+}
+
+/// The result of checking fresh measurements against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOutcome {
+    /// Rows compared (workload × config pairs present in both sets).
+    pub compared: usize,
+    /// Human-readable regression descriptions; empty means the check
+    /// passed.
+    pub failures: Vec<String>,
+}
+
+/// Compares fresh measurements against a committed baseline: instruction
+/// counts must match **exactly** (they are deterministic), wall time may
+/// regress by at most `tolerance_pct` percent. A fresh row missing from
+/// the baseline is skipped (new workloads are not regressions); a
+/// baseline row missing from the fresh set is a failure (a workload or
+/// config silently disappeared).
+pub fn check_against(
+    baseline: &[BaselineRow],
+    fresh: &[BenchRecord],
+    tolerance_pct: f64,
+) -> CheckOutcome {
+    let mut failures = Vec::new();
+    let mut compared = 0;
+    for b in baseline {
+        let Some(row) = fresh
+            .iter()
+            .find(|r| r.name == b.name)
+            .and_then(|r| r.row(&b.config))
+        else {
+            failures.push(format!(
+                "{}/{}: row missing from fresh run",
+                b.name, b.config
+            ));
+            continue;
+        };
+        compared += 1;
+        if row.instructions != b.instructions {
+            failures.push(format!(
+                "{}/{}: instructions changed {} -> {} (deterministic counter; \
+                 regenerate the baseline if intentional)",
+                b.name, b.config, b.instructions, row.instructions
+            ));
+        }
+        let limit = b.wall_ms * (1.0 + tolerance_pct / 100.0);
+        if row.wall_ms > limit {
+            failures.push(format!(
+                "{}/{}: wall time {:.3}ms exceeds baseline {:.3}ms by more than {}%",
+                b.name, b.config, row.wall_ms, b.wall_ms, tolerance_pct
+            ));
+        }
+    }
+    CheckOutcome { compared, failures }
 }
 
 #[cfg(test)]
@@ -164,18 +396,90 @@ mod tests {
     fn measures_and_serializes_a_workload() {
         let w = by_name("filter", Scale::Test).unwrap();
         let r = measure_workload(&w, 2, 500_000_000);
-        assert_eq!(r.fused.heap_allocs, r.unfused.heap_allocs, "same program");
-        assert!(r.fused.instructions < r.unfused.instructions, "fewer cells");
-        assert!(r.fused.fused_cells > 0);
-        assert_eq!(r.unfused.fused_cells, 0);
-        let json = render_json("test", 2, &[r]);
+        let base = r.row("base").unwrap();
+        let full = r.row("full").unwrap();
+        let nofuse = r.row("full_nofuse").unwrap();
+        assert_eq!(base.heap_allocs, full.heap_allocs, "same program");
+        assert!(full.instructions < nofuse.instructions, "fusion cuts cells");
+        assert_eq!(
+            base.instructions, full.instructions,
+            "dispatch/caches/renumbering must not change the cell count"
+        );
+        assert!(full.fused_cells > 0);
+        assert_eq!(nofuse.fused_cells, 0);
+        assert_eq!(base.cache_hits, 0, "caching off in base");
+        assert!(
+            full.cache_hits > 0,
+            "a call-heavy workload must hit the inline caches"
+        );
+        let json = render_json("test", 2, std::slice::from_ref(&r));
         assert!(json.contains("\"name\": \"filter\""));
-        assert!(json.contains("\"fused\":"));
-        assert!(json.contains("\"unfused\":"));
+        for cfg in knob_configs() {
+            assert!(
+                json.contains(&format!("\"{}\":", cfg.label)),
+                "{}",
+                cfg.label
+            );
+        }
         assert!(json.contains("\"speedup\":"));
+        assert!(json.contains("\"geomean_speedup\":"));
         // Brackets balance (cheap well-formedness check without a parser).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The baseline parser round-trips what the renderer wrote.
+        let rows = parse_baseline(&json).unwrap();
+        assert_eq!(rows.len(), knob_configs().len());
+        assert_eq!(rows[0].name, "filter");
+        assert_eq!(rows[0].config, "base");
+        assert_eq!(rows[0].instructions, base.instructions);
+        assert!((rows[0].wall_ms - base.wall_ms).abs() < 0.001);
+        // And checking fresh-vs-own-baseline passes. The JSON rounds walls
+        // to 3 decimals, so the parsed baseline can sit up to 0.0005ms
+        // below the in-memory value — a few percent of a sub-0.1ms quick
+        // wall; the tolerance must cover that slack.
+        let outcome = check_against(&rows, std::slice::from_ref(&r), 5.0);
+        assert_eq!(outcome.compared, rows.len());
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    }
+
+    #[test]
+    fn check_flags_instruction_and_wall_regressions() {
+        let fresh = BenchRecord {
+            name: "w".into(),
+            rows: vec![KnobResult {
+                config: "full",
+                wall_ms: 2.0,
+                instructions: 100,
+                fused_cells: 0,
+                fused_share: 0.0,
+                heap_allocs: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+            }],
+        };
+        let baseline = vec![
+            BaselineRow {
+                name: "w".into(),
+                config: "full".into(),
+                wall_ms: 1.0,
+                instructions: 99,
+            },
+            BaselineRow {
+                name: "gone".into(),
+                config: "full".into(),
+                wall_ms: 1.0,
+                instructions: 1,
+            },
+        ];
+        let out = check_against(&baseline, std::slice::from_ref(&fresh), 10.0);
+        assert_eq!(out.compared, 1);
+        assert_eq!(out.failures.len(), 3, "{:?}", out.failures);
+        assert!(out.failures.iter().any(|f| f.contains("instructions")));
+        assert!(out.failures.iter().any(|f| f.contains("wall time")));
+        assert!(out.failures.iter().any(|f| f.contains("missing")));
+        // Generous tolerance forgives the wall slip but not the counter.
+        let out = check_against(&baseline[..1], std::slice::from_ref(&fresh), 200.0);
+        assert_eq!(out.failures.len(), 1);
     }
 
     #[test]
@@ -188,5 +492,11 @@ mod tests {
     #[test]
     fn default_path_is_scale_keyed() {
         assert_eq!(default_path("bench"), "BENCH_bench.json");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("\"wall_ms\": nope").is_err());
     }
 }

@@ -1,12 +1,15 @@
 //! The `lssa` command-line compiler driver.
 //!
 //! ```text
-//! lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--print-ir-after-all]
+//! lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats]
+//!                 [--no-fuse] [--no-renumber] [--no-inline-cache] [--dispatch match|threaded]
+//!                 [--print-ir-after-all]
 //! lssa check <file>... [--format human|json]
 //! lssa fmt <file>... [--write | --check]
 //! lssa dump <file> [--stage lp|rgn|opt|cfg]
 //! lssa diff <file>
-//! lssa bench <name>|all|<file.lssa> [--scale quick|test|bench|stress] [--no-fuse] [--json] [--out FILE]
+//! lssa bench <name>|all|<file.lssa> [--scale quick|test|bench|stress] [--no-fuse] [--json]
+//!                 [--check] [--tolerance PCT] [--out FILE]
 //! ```
 //!
 //! Files ending in `.lssa` are parsed by the S-expression text frontend
@@ -29,21 +32,29 @@
 //! mirror — the VM's per-opcode-class table (executed counts, heap
 //! allocations, frame-pool behaviour, max frame depth, wall time),
 //! including the fused-superinstruction rows. `--no-fuse` disables the
-//! decode-time superinstruction fusion pass (for fused-vs-unfused
-//! measurements). `--print-ir-after-all` dumps the module to stderr after
-//! every pass, MLIR-style.
+//! decode-time superinstruction fusion pass, `--no-renumber` the
+//! decode-time register compaction, `--no-inline-cache` the per-call-site
+//! target caches, and `--dispatch match` falls back from the threaded
+//! function-pointer dispatch loop to the classic match loop — one flag per
+//! knob, for ablation measurements. `--print-ir-after-all` dumps the
+//! module to stderr after every pass, MLIR-style.
 //!
-//! `bench --json` measures the selected workloads in *both* decode modes
-//! and writes machine-readable records to `BENCH_<scale>.json` (or
-//! `--out FILE`) — the committed perf-trajectory baseline.
+//! `bench --json` measures the selected workloads under every knob
+//! configuration (see `lssa_driver::benchjson`) and writes
+//! machine-readable records to `BENCH_<scale>.json` (or `--out FILE`) —
+//! the committed perf-trajectory baseline. `bench --check` re-measures
+//! and compares against that committed file instead of overwriting it:
+//! instruction counts must match exactly, wall time may regress by at
+//! most `--tolerance PCT` (default 20), and any regression exits
+//! non-zero.
 
 use lssa_driver::pipelines::{
-    compile_and_run_ast_opts, compile_and_run_with_report_opts, compile_ast_with_report, frontend,
+    compile_and_run_ast_vm, compile_and_run_with_report_vm, compile_ast_with_report, frontend,
     frontend_ast, Backend, CompilerConfig,
 };
 use lssa_driver::workloads::{all, by_name, Scale, Workload};
 use lssa_lambda::ast::Program;
-use lssa_vm::DecodeOptions;
+use lssa_vm::{DecodeOptions, DispatchMode, ExecOptions};
 use std::process::ExitCode;
 
 const MAX_STEPS: u64 = 2_000_000_000;
@@ -57,14 +68,14 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!(
-                "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--print-ir-after-all]"
+                "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--no-renumber] [--no-inline-cache] [--dispatch match|threaded] [--print-ir-after-all]"
             );
             eprintln!("  lssa check <file>... [--format human|json]");
             eprintln!("  lssa fmt <file>... [--write | --check]");
             eprintln!("  lssa dump <file> [--stage lambda|lp|rgn|opt|cfg]");
             eprintln!("  lssa diff <file>");
             eprintln!(
-                "  lssa bench <name>|all|<file.lssa> [--scale quick|test|bench|stress] [--no-fuse] [--json] [--out FILE]"
+                "  lssa bench <name>|all|<file.lssa> [--scale quick|test|bench|stress] [--no-fuse] [--json] [--check] [--tolerance PCT] [--runs N] [--out FILE]"
             );
             ExitCode::FAILURE
         }
@@ -83,11 +94,21 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 }
 
 fn decode_options(args: &[String]) -> DecodeOptions {
-    if has_flag(args, "--no-fuse") {
-        DecodeOptions::no_fuse()
-    } else {
-        DecodeOptions::fused()
-    }
+    // The two decode knobs are orthogonal: `--no-fuse` leaves renumbering
+    // on, and vice versa.
+    DecodeOptions::fused()
+        .with_fuse(!has_flag(args, "--no-fuse"))
+        .with_renumber(!has_flag(args, "--no-renumber"))
+}
+
+fn exec_options(args: &[String]) -> Result<ExecOptions, String> {
+    let dispatch = match flag_value(args, "--dispatch") {
+        None => DispatchMode::default(),
+        Some(s) => DispatchMode::parse(s).ok_or_else(|| format!("unknown dispatch mode `{s}`"))?,
+    };
+    Ok(ExecOptions::default()
+        .with_dispatch(dispatch)
+        .with_inline_cache(!has_flag(args, "--no-inline-cache")))
 }
 
 fn config_of(name: &str) -> Result<CompilerConfig, String> {
@@ -150,6 +171,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let want_stats = has_flag(args, "--pass-stats");
             let want_vm_stats = has_flag(args, "--vm-stats");
             let decode = decode_options(args);
+            let exec = exec_options(args)?;
             if has_flag(args, "--print-ir-after-all") {
                 match config.backend {
                     Backend::Mlir(mut opts) => {
@@ -171,11 +193,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 };
                 let (compiled, report) =
                     compile_ast_with_report(&program, config).map_err(|e| e.to_string())?;
-                let out = lssa_vm::run_program_with(&compiled, "main", MAX_STEPS, decode)
+                let out = lssa_vm::run_program_opts(&compiled, "main", MAX_STEPS, decode, exec)
                     .map_err(|e| format!("execution error: {e}"))?;
                 (out, report)
             } else {
-                compile_and_run_with_report_opts(&src, config, MAX_STEPS, decode)
+                compile_and_run_with_report_vm(&src, config, MAX_STEPS, decode, exec)
                     .map_err(|e| e.to_string())?
             };
             println!("{}", out.rendered);
@@ -354,9 +376,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     Err(code) => return Ok(code),
                 };
                 let decode = decode_options(args);
+                let exec = exec_options(args)?;
                 for config in lssa_driver::diff::configs() {
                     let start = std::time::Instant::now();
-                    let out = compile_and_run_ast_opts(&program, config, MAX_STEPS, decode)
+                    let out = compile_and_run_ast_vm(&program, config, MAX_STEPS, decode, exec)
                         .map_err(|e| e.to_string())?;
                     let elapsed = start.elapsed();
                     println!(
@@ -382,18 +405,26 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             } else {
                 vec![by_name(name, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?]
             };
-            if has_flag(args, "--json") {
+            let want_json = has_flag(args, "--json");
+            let want_check = has_flag(args, "--check");
+            if want_json && want_check {
+                return Err("--json (regenerate) and --check (compare) are exclusive".to_string());
+            }
+            if want_json || want_check {
                 if has_flag(args, "--no-fuse") {
-                    return Err(
-                        "--json always measures both decode modes; drop --no-fuse".to_string()
-                    );
+                    return Err(format!(
+                        "--{} always measures every knob configuration; drop --no-fuse",
+                        if want_json { "json" } else { "check" }
+                    ));
                 }
                 // The default path is the committed full-suite baseline;
                 // never let a single-workload run clobber it silently (and
                 // fail before spending minutes measuring).
                 let path = match flag_value(args, "--out") {
                     Some(out) => out.to_string(),
-                    None if name == "all" => lssa_driver::benchjson::default_path(scale_label),
+                    None if name == "all" || want_check => {
+                        lssa_driver::benchjson::default_path(scale_label)
+                    }
                     None => {
                         return Err(format!(
                             "bench {name} --json would overwrite the full-suite \
@@ -402,29 +433,89 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         ))
                     }
                 };
-                const BENCH_RUNS: usize = 3;
-                let records = lssa_driver::benchjson::run_suite(&selected, BENCH_RUNS, MAX_STEPS);
+                // Read the baseline up front: fail before spending minutes
+                // measuring if it is missing or malformed.
+                let baseline = if want_check {
+                    let text =
+                        std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                    let mut rows = lssa_driver::benchjson::parse_baseline(&text)
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    // A partial run only checks the selected workloads.
+                    rows.retain(|b| selected.iter().any(|w| w.name == b.name));
+                    Some(rows)
+                } else {
+                    None
+                };
+                // Interleaved rounds per workload; raise on a noisy
+                // machine so every config's best time catches a quiet
+                // window (the row keeps the minimum, see `benchjson`).
+                let bench_runs = match flag_value(args, "--runs") {
+                    None => 5,
+                    Some(r) => match r.parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => return Err(format!("bad --runs `{r}`")),
+                    },
+                };
+                let records = lssa_driver::benchjson::run_suite(&selected, bench_runs, MAX_STEPS);
                 for r in &records {
+                    let full = r.row("full").expect("full row");
+                    let base = r.row("base").expect("base row");
                     println!(
-                        "{:20} fused {:>10.3}ms ({:>4.1}% fused cells)   no-fuse {:>10.3}ms   speedup {:.3}x",
+                        "{:20} base {:>9.3}ms   full {:>9.3}ms   speedup {:.3}x   \
+                         ({:>4.1}% fused, {:.1}% cache hits)",
                         r.name,
-                        r.fused.wall_ms,
-                        r.fused.fused_share * 100.0,
-                        r.unfused.wall_ms,
+                        base.wall_ms,
+                        full.wall_ms,
                         r.speedup(),
+                        full.fused_share * 100.0,
+                        100.0 * full.cache_hits as f64
+                            / (full.cache_hits + full.cache_misses).max(1) as f64,
                     );
                 }
-                let json = lssa_driver::benchjson::render_json(scale_label, BENCH_RUNS, &records);
+                println!(
+                    "{:20} geomean speedup {:.3}x",
+                    "aggregate",
+                    lssa_driver::benchjson::geomean_speedup(&records)
+                );
+                if let Some(baseline) = baseline {
+                    let tolerance = match flag_value(args, "--tolerance") {
+                        None => 20.0,
+                        Some(t) => t
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad --tolerance `{t}`"))?,
+                    };
+                    let outcome =
+                        lssa_driver::benchjson::check_against(&baseline, &records, tolerance);
+                    for f in &outcome.failures {
+                        eprintln!("REGRESSION: {f}");
+                    }
+                    eprintln!(
+                        "-- checked {} rows against {path} (tolerance {tolerance}%): {}",
+                        outcome.compared,
+                        if outcome.failures.is_empty() {
+                            "ok".to_string()
+                        } else {
+                            format!("{} regression(s)", outcome.failures.len())
+                        }
+                    );
+                    return Ok(if outcome.failures.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    });
+                }
+                let json = lssa_driver::benchjson::render_json(scale_label, bench_runs, &records);
                 std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
                 eprintln!("-- wrote {path}");
                 return Ok(ExitCode::SUCCESS);
             }
             let decode = decode_options(args);
+            let exec = exec_options(args)?;
             for w in &selected {
                 for config in lssa_driver::diff::configs() {
                     let start = std::time::Instant::now();
-                    let out = lssa_driver::pipelines::compile_and_run_opts(
-                        &w.src, config, MAX_STEPS, decode,
+                    let out = lssa_driver::pipelines::compile_and_run_vm(
+                        &w.src, config, MAX_STEPS, decode, exec,
                     )
                     .map_err(|e| e.to_string())?;
                     let elapsed = start.elapsed();

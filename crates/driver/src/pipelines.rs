@@ -11,7 +11,7 @@
 use lssa_core::pipeline::{PipelineOptions, PipelineReport};
 use lssa_lambda::ast::Program;
 use lssa_lambda::simplify::SimplifyOptions;
-use lssa_vm::{CompiledProgram, DecodeOptions, RunOutcome};
+use lssa_vm::{CompiledProgram, DecodeOptions, ExecOptions, RunOutcome};
 use std::borrow::Cow;
 use std::fmt;
 
@@ -309,10 +309,28 @@ pub fn compile_and_run_ast_opts(
     max_steps: u64,
     decode: DecodeOptions,
 ) -> Result<RunOutcome, PipelineError> {
+    compile_and_run_ast_vm(program, config, max_steps, decode, ExecOptions::default())
+}
+
+/// [`compile_and_run_ast_opts`] with explicit execution options too — the
+/// fully-parameterized AST entry point behind the dispatch/cache knobs.
+///
+/// # Errors
+///
+/// Returns compilation or execution failures.
+pub fn compile_and_run_ast_vm(
+    program: &Program,
+    config: CompilerConfig,
+    max_steps: u64,
+    decode: DecodeOptions,
+    exec: ExecOptions,
+) -> Result<RunOutcome, PipelineError> {
     let (compiled, _) = compile_ast_with_report(program, config)?;
-    lssa_vm::run_program_with(&compiled, "main", max_steps, decode).map_err(|e| PipelineError {
-        stage: "execution",
-        message: e.to_string(),
+    lssa_vm::run_program_opts(&compiled, "main", max_steps, decode, exec).map_err(|e| {
+        PipelineError {
+            stage: "execution",
+            message: e.to_string(),
+        }
     })
 }
 
@@ -344,6 +362,23 @@ pub fn compile_and_run_opts(
     compile_and_run_with_report_opts(src, config, max_steps, decode).map(|(o, _)| o)
 }
 
+/// [`compile_and_run_opts`] with explicit execution options too — the
+/// fully-parameterized source entry point (`--dispatch`,
+/// `--no-inline-cache`, `--no-renumber`, `--no-fuse`).
+///
+/// # Errors
+///
+/// Returns compilation or execution failures.
+pub fn compile_and_run_vm(
+    src: &str,
+    config: CompilerConfig,
+    max_steps: u64,
+    decode: DecodeOptions,
+    exec: ExecOptions,
+) -> Result<RunOutcome, PipelineError> {
+    compile_and_run_with_report_vm(src, config, max_steps, decode, exec).map(|(o, _)| o)
+}
+
 /// [`compile_and_run`], also returning the backend's per-pass statistics.
 ///
 /// # Errors
@@ -368,13 +403,29 @@ pub fn compile_and_run_with_report_opts(
     max_steps: u64,
     decode: DecodeOptions,
 ) -> Result<(RunOutcome, Option<PipelineReport>), PipelineError> {
+    compile_and_run_with_report_vm(src, config, max_steps, decode, ExecOptions::default())
+}
+
+/// [`compile_and_run_with_report_opts`] with explicit execution options.
+///
+/// # Errors
+///
+/// Returns compilation or execution failures.
+pub fn compile_and_run_with_report_vm(
+    src: &str,
+    config: CompilerConfig,
+    max_steps: u64,
+    decode: DecodeOptions,
+    exec: ExecOptions,
+) -> Result<(RunOutcome, Option<PipelineReport>), PipelineError> {
     let (program, report) = compile_with_report(src, config)?;
-    let outcome = lssa_vm::run_program_with(&program, "main", max_steps, decode).map_err(|e| {
-        PipelineError {
-            stage: "execution",
-            message: e.to_string(),
-        }
-    })?;
+    let outcome =
+        lssa_vm::run_program_opts(&program, "main", max_steps, decode, exec).map_err(|e| {
+            PipelineError {
+                stage: "execution",
+                message: e.to_string(),
+            }
+        })?;
     Ok((outcome, report))
 }
 

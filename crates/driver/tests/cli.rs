@@ -169,12 +169,58 @@ fn bench_json_writes_records() {
     for needle in [
         "\"scale\": \"test\"",
         "\"name\": \"filter\"",
-        "\"fused\":",
-        "\"unfused\":",
+        "\"base\":",
+        "\"threaded\":",
+        "\"threaded_cache\":",
+        "\"full\":",
+        "\"full_nofuse\":",
+        "\"cache_hits\":",
         "\"speedup\":",
+        "\"geomean_speedup\":",
     ] {
         assert!(json.contains(needle), "missing {needle}\n{json}");
     }
+    // `bench --check` against the file just written passes (counters are
+    // deterministic; the wall tolerance absorbs timer noise).
+    let out = lssa()
+        .args([
+            "bench",
+            "filter",
+            "--scale",
+            "quick",
+            "--check",
+            "--tolerance",
+            "500",
+            "--out",
+        ])
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("checked"));
+    // A corrupted instruction count is a regression: non-zero exit.
+    let tampered = json.replacen("\"instructions\": ", "\"instructions\": 9", 1);
+    std::fs::write(&json_path, tampered).unwrap();
+    let out = lssa()
+        .args([
+            "bench",
+            "filter",
+            "--scale",
+            "quick",
+            "--check",
+            "--tolerance",
+            "500",
+            "--out",
+        ])
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("REGRESSION"));
     std::fs::remove_file(json_path).ok();
     // A single-workload run without --out must refuse rather than clobber
     // the committed full-suite BENCH_<scale>.json baseline.

@@ -72,6 +72,10 @@ pub struct Heap {
     slots: Vec<Object>,
     free_head: Option<u32>,
     stats: HeapStats,
+    /// Reused worklist for transitive frees ([`Heap::dec`]): a dec that
+    /// frees nothing — the overwhelmingly common case — and even most
+    /// frees cost no allocation.
+    dec_scratch: Vec<ObjRef>,
 }
 
 impl Heap {
@@ -322,12 +326,31 @@ impl Heap {
     }
 
     fn dec_no_stat(&mut self, r: ObjRef) {
-        if r.is_scalar() {
+        let Some(slot) = r.as_heap() else {
             return;
+        };
+        let obj = &mut self.slots[slot as usize];
+        debug_assert!(
+            !matches!(obj.data, ObjData::Free(_)),
+            "dec on freed slot {slot}"
+        );
+        debug_assert!(obj.rc >= 1, "dec on rc 0");
+        obj.rc -= 1;
+        if obj.rc == 0 {
+            self.free_transitively(slot);
         }
-        let mut worklist = vec![r];
+    }
+
+    /// Frees `slot` and — iteratively, without using the machine stack —
+    /// every transitively-owned child whose refcount reaches zero. The
+    /// worklist buffer persists on the heap (`dec_scratch`), so the free
+    /// path itself does not allocate.
+    fn free_transitively(&mut self, slot: u32) {
+        let mut worklist = std::mem::take(&mut self.dec_scratch);
+        debug_assert!(worklist.is_empty());
+        self.free_one(slot, &mut worklist);
         while let Some(r) = worklist.pop() {
-            let slot = r.as_heap().unwrap();
+            let slot = r.as_heap().expect("worklist holds heap refs");
             let obj = &mut self.slots[slot as usize];
             debug_assert!(
                 !matches!(obj.data, ObjData::Free(_)),
@@ -335,28 +358,34 @@ impl Heap {
             );
             debug_assert!(obj.rc >= 1, "dec on rc 0");
             obj.rc -= 1;
-            if obj.rc > 0 {
-                continue;
+            if obj.rc == 0 {
+                self.free_one(slot, &mut worklist);
             }
-            // Free the object and push heap children.
-            let next_free = self.free_head.unwrap_or(u32::MAX);
-            let data = std::mem::replace(&mut obj.data, ObjData::Free(next_free));
-            self.free_head = Some(slot);
-            self.stats.frees += 1;
-            self.stats.live -= 1;
-            match data {
-                ObjData::Ctor { fields, .. } => {
-                    worklist.extend(fields.iter().copied().filter(|f| f.is_heap()));
-                }
-                ObjData::Closure { args, .. } => {
-                    worklist.extend(args.iter().copied().filter(|a| a.is_heap()));
-                }
-                ObjData::Array(elems) => {
-                    worklist.extend(elems.iter().copied().filter(|e| e.is_heap()));
-                }
-                ObjData::BigInt(_) | ObjData::Str(_) => {}
-                ObjData::Free(_) => unreachable!(),
+        }
+        self.dec_scratch = worklist;
+    }
+
+    /// Frees one object: threads the slot onto the free list and queues
+    /// its heap children for a deferred dec on `worklist`.
+    fn free_one(&mut self, slot: u32, worklist: &mut Vec<ObjRef>) {
+        let obj = &mut self.slots[slot as usize];
+        let next_free = self.free_head.unwrap_or(u32::MAX);
+        let data = std::mem::replace(&mut obj.data, ObjData::Free(next_free));
+        self.free_head = Some(slot);
+        self.stats.frees += 1;
+        self.stats.live -= 1;
+        match data {
+            ObjData::Ctor { fields, .. } => {
+                worklist.extend(fields.iter().copied().filter(|f| f.is_heap()));
             }
+            ObjData::Closure { args, .. } => {
+                worklist.extend(args.iter().copied().filter(|a| a.is_heap()));
+            }
+            ObjData::Array(elems) => {
+                worklist.extend(elems.iter().copied().filter(|e| e.is_heap()));
+            }
+            ObjData::BigInt(_) | ObjData::Str(_) => {}
+            ObjData::Free(_) => unreachable!(),
         }
     }
 

@@ -290,7 +290,8 @@ pub struct CompiledFn {
 /// `CompiledProgram` implements neither.
 #[derive(Default)]
 pub struct DecodeCache {
-    slots: [std::sync::OnceLock<std::sync::Arc<crate::decode::DecodedProgram>>; 2],
+    slots: [std::sync::OnceLock<std::sync::Arc<crate::decode::DecodedProgram>>;
+        crate::decode::DecodeOptions::CACHE_SLOTS],
 }
 
 impl Clone for DecodeCache {
@@ -304,6 +305,8 @@ impl fmt::Debug for DecodeCache {
         f.debug_struct("DecodeCache")
             .field("unfused", &self.slots[0].get().is_some())
             .field("fused", &self.slots[1].get().is_some())
+            .field("renumbered", &self.slots[2].get().is_some())
+            .field("fused+renumbered", &self.slots[3].get().is_some())
             .finish()
     }
 }
@@ -344,7 +347,7 @@ impl CompiledProgram {
     /// calls return the shared result. The program must not be mutated
     /// once decoded — treat construction as finished before the first run.
     pub fn decoded(&self, opts: DecodeOptions) -> std::sync::Arc<crate::decode::DecodedProgram> {
-        self.decode_cache.slots[usize::from(opts.fuse)]
+        self.decode_cache.slots[opts.cache_index()]
             .get_or_init(|| std::sync::Arc::new(crate::decode::decode_program_with(self, opts)))
             .clone()
     }

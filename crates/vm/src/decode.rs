@@ -41,6 +41,14 @@
 //! | [`DecodedInstr::CallBuiltinRet`] | `CallBuiltin` + `Ret` | 1 |
 //! | [`DecodedInstr::ConstructRet`] | `Construct` + `Ret` | 1 |
 //! | [`DecodedInstr::SwitchDense`] | `Switch` (contiguous keys) | scan → O(1) |
+//! | [`DecodedInstr::Dec2`] | `Dec` + `Dec` | 1 |
+//! | [`DecodedInstr::ProjInc2`] | `Project` + `Inc` + `Project` + `Inc` | 3 |
+//!
+//! The last two came out of the `--pairs` histogram in
+//! `examples/dump_decoded.rs`: `dec+dec` and `projinc+projinc` were the
+//! two most frequent fusible adjacencies left in the fused streams of the
+//! benchmark suite (RC-heavy constructor code releases fields in bursts,
+//! and pattern matches project-and-retain consecutive fields).
 //!
 //! Fusion **bails** conservatively: a pair is only combined when the
 //! swallowed instruction is not a jump target (control never enters the
@@ -61,25 +69,61 @@ pub struct DecodeOptions {
     /// Run the superinstruction fusion pass (the default; `--no-fuse`
     /// disables it for fused-vs-unfused measurements).
     pub fuse: bool,
+    /// Run the register-renumbering compaction pass (the default;
+    /// `--no-renumber` disables it for ablation): every function's
+    /// referenced registers are renumbered to a dense prefix, shrinking
+    /// the pooled frames' register files.
+    pub renumber: bool,
 }
 
 impl Default for DecodeOptions {
     fn default() -> DecodeOptions {
-        DecodeOptions { fuse: true }
+        DecodeOptions {
+            fuse: true,
+            renumber: true,
+        }
     }
 }
 
 impl DecodeOptions {
-    /// The default: fusion on.
+    /// The default: fusion and renumbering on.
     pub fn fused() -> DecodeOptions {
-        DecodeOptions { fuse: true }
+        DecodeOptions::default()
     }
 
-    /// Fusion off — the pre-PR-5 decoded stream, byte-for-byte.
+    /// Everything off — the pre-PR-5 decoded stream, byte-for-byte (this
+    /// is the mode the encode round-trip is defined on, so renumbering is
+    /// off here too).
     pub fn no_fuse() -> DecodeOptions {
-        DecodeOptions { fuse: false }
+        DecodeOptions {
+            fuse: false,
+            renumber: false,
+        }
     }
+
+    /// Same options with the fusion pass toggled.
+    pub fn with_fuse(self, fuse: bool) -> DecodeOptions {
+        DecodeOptions { fuse, ..self }
+    }
+
+    /// Same options with the renumbering pass toggled.
+    pub fn with_renumber(self, renumber: bool) -> DecodeOptions {
+        DecodeOptions { renumber, ..self }
+    }
+
+    /// Cache-slot index for [`crate::bytecode::DecodeCache`] (one slot per
+    /// option combination).
+    pub(crate) fn cache_index(self) -> usize {
+        usize::from(self.fuse) | (usize::from(self.renumber) << 1)
+    }
+
+    /// Number of distinct option combinations ([`Self::cache_index`] range).
+    pub(crate) const CACHE_SLOTS: usize = 4;
 }
+
+/// Sentinel for call-shaped instructions without an inline-cache slot
+/// (functions with more than `u16::MAX - 1` call sites stop allocating).
+pub const NO_CACHE: u16 = u16::MAX;
 
 /// A `(offset, len)` window into a function's shared register pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,11 +195,15 @@ pub enum OpClass {
     FusedConstructRet,
     /// Dense-range `Switch` (direct jump-table lookup).
     FusedSwitchDense,
+    /// Fused `Dec` + `Dec`.
+    FusedDec2,
+    /// Fused `Project` + `Inc` + `Project` + `Inc`.
+    FusedProjInc2,
 }
 
 impl OpClass {
     /// Number of classes (sizes the statistics arrays).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 26;
 
     /// All classes in display order.
     pub const ALL: [OpClass; OpClass::COUNT] = [
@@ -183,6 +231,8 @@ impl OpClass {
         OpClass::FusedCallBuiltinRet,
         OpClass::FusedConstructRet,
         OpClass::FusedSwitchDense,
+        OpClass::FusedDec2,
+        OpClass::FusedProjInc2,
     ];
 
     /// Stable display name.
@@ -212,6 +262,8 @@ impl OpClass {
             OpClass::FusedCallBuiltinRet => "fused builtin+ret",
             OpClass::FusedConstructRet => "fused construct+ret",
             OpClass::FusedSwitchDense => "fused switch-dense",
+            OpClass::FusedDec2 => "fused dec+dec",
+            OpClass::FusedProjInc2 => "fused proj+inc x2",
         }
     }
 
@@ -304,6 +356,8 @@ pub enum DecodedInstr {
         closure: Reg,
         /// Arguments to add (pool slice).
         args: ArgSlice,
+        /// Inline-cache slot (function-local; [`NO_CACHE`] when absent).
+        cache: u16,
     },
     /// Retain.
     Inc {
@@ -315,14 +369,20 @@ pub enum DecodedInstr {
         /// The object.
         src: Reg,
     },
-    /// Direct call of a user function.
+    /// Direct call of a user function. The argument slice is flattened
+    /// (like [`DecodedInstr::Pap`]) to make room for the cache slot within
+    /// the 16-byte cell.
     Call {
         /// Destination for the result.
         dst: Reg,
         /// VM function index.
         func: u32,
-        /// Arguments (pool slice).
-        args: ArgSlice,
+        /// Arguments: offset into the pool.
+        args_off: u32,
+        /// Arguments: count.
+        args_len: u16,
+        /// Inline-cache slot (function-local; [`NO_CACHE`] when absent).
+        cache: u16,
     },
     /// Call of a runtime builtin.
     CallBuiltin {
@@ -333,12 +393,17 @@ pub enum DecodedInstr {
         /// Arguments (pool slice).
         args: ArgSlice,
     },
-    /// Guaranteed tail call: reuses the current frame in place.
+    /// Guaranteed tail call: reuses the current frame in place. Flattened
+    /// argument slice, as in [`DecodedInstr::Call`].
     TailCall {
         /// VM function index.
         func: u32,
-        /// Arguments (pool slice).
-        args: ArgSlice,
+        /// Arguments: offset into the pool.
+        args_off: u32,
+        /// Arguments: count.
+        args_len: u16,
+        /// Inline-cache slot (function-local; [`NO_CACHE`] when absent).
+        cache: u16,
     },
     /// Return `src` to the caller.
     Ret {
@@ -531,6 +596,33 @@ pub enum DecodedInstr {
         /// Fallback target.
         default: u32,
     },
+    /// Fused `Dec` + `Dec`: release two objects in one dispatch.
+    Dec2 {
+        /// First object released.
+        a: Reg,
+        /// Second object released.
+        b: Reg,
+    },
+    /// Fused `Project` + `Inc` + `Project` + `Inc`: two project-and-retain
+    /// groups (pattern matches peel consecutive constructor fields this
+    /// way). Field indices are narrowed to `u16` to fit the cell — fusion
+    /// falls back to two [`DecodedInstr::ProjInc`]s on overflow. Executes
+    /// strictly in order: `dst1 ← src1[idx1]`, retain, `dst2 ← src2[idx2]`,
+    /// retain — so `src2` may name `dst1`.
+    ProjInc2 {
+        /// First destination.
+        dst1: Reg,
+        /// First source object.
+        src1: Reg,
+        /// First field index.
+        idx1: u16,
+        /// Second destination.
+        dst2: Reg,
+        /// Second source object.
+        src2: Reg,
+        /// Second field index.
+        idx2: u16,
+    },
 }
 
 // The whole point of the decoded form: every instruction is one compact,
@@ -572,6 +664,8 @@ impl DecodedInstr {
             DecodedInstr::CallBuiltinRet { .. } => OpClass::FusedCallBuiltinRet,
             DecodedInstr::ConstructRet { .. } => OpClass::FusedConstructRet,
             DecodedInstr::SwitchDense { .. } => OpClass::FusedSwitchDense,
+            DecodedInstr::Dec2 { .. } => OpClass::FusedDec2,
+            DecodedInstr::ProjInc2 { .. } => OpClass::FusedProjInc2,
         }
     }
 }
@@ -600,6 +694,10 @@ pub struct FusionStats {
     pub construct_ret: u32,
     /// Dense-range `Switch` rewrites (same cell count, O(1) dispatch).
     pub switch_dense: u32,
+    /// `Dec`+`Dec` pairs fused.
+    pub dec2: u32,
+    /// `Project`+`Inc`+`Project`+`Inc` quads fused.
+    pub proj_inc2: u32,
     /// Original cells eliminated by fusion (static code shrink).
     pub cells_saved: u32,
 }
@@ -617,6 +715,8 @@ impl FusionStats {
             + u64::from(self.call_builtin_ret)
             + u64::from(self.construct_ret)
             + u64::from(self.switch_dense)
+            + u64::from(self.dec2)
+            + u64::from(self.proj_inc2)
     }
 
     /// Folds another function's statistics into this record.
@@ -631,7 +731,35 @@ impl FusionStats {
         self.call_builtin_ret += other.call_builtin_ret;
         self.construct_ret += other.construct_ret;
         self.switch_dense += other.switch_dense;
+        self.dec2 += other.dec2;
+        self.proj_inc2 += other.proj_inc2;
         self.cells_saved += other.cells_saved;
+    }
+}
+
+/// What the register-renumbering pass did (per function, or summed over a
+/// program): register-file sizes before/after compaction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RenumberStats {
+    /// Σ register-file sizes before compaction.
+    pub regs_before: u64,
+    /// Σ register-file sizes after compaction.
+    pub regs_after: u64,
+    /// Functions whose register file actually shrank.
+    pub fns_compacted: u32,
+}
+
+impl RenumberStats {
+    /// Folds another function's statistics into this record.
+    pub fn absorb(&mut self, other: &RenumberStats) {
+        self.regs_before += other.regs_before;
+        self.regs_after += other.regs_after;
+        self.fns_compacted += other.fns_compacted;
+    }
+
+    /// Register-file words eliminated by compaction.
+    pub fn regs_saved(&self) -> u64 {
+        self.regs_before.saturating_sub(self.regs_after)
     }
 }
 
@@ -642,7 +770,9 @@ pub struct DecodedFn {
     pub name: String,
     /// Number of parameters (passed in registers `0..arity`).
     pub arity: u16,
-    /// Total registers used.
+    /// Size of the register file. After renumbering
+    /// ([`DecodeOptions::renumber`]) this is the *referenced* register
+    /// count, not the compiler's maximum register id.
     pub n_regs: u16,
     /// The code.
     pub code: Vec<DecodedInstr>,
@@ -650,6 +780,15 @@ pub struct DecodedFn {
     pub args: Vec<Reg>,
     /// Shared switch-table pool: `(value, target)` pairs.
     pub cases: Vec<(i64, u32)>,
+    /// Per-cell [`OpClass`] discriminants, parallel to `code` — the
+    /// "decoded opcode" byte the threaded dispatcher indexes its handler
+    /// table (and the statistics arrays) with.
+    pub classes: Vec<u8>,
+    /// This function's first slot in the program-wide inline-cache pool;
+    /// a call site's global slot is `cache_base + its local cache id`.
+    pub cache_base: u32,
+    /// Number of inline-cache slots this function owns.
+    pub cache_sites: u16,
 }
 
 impl DecodedFn {
@@ -667,6 +806,9 @@ impl DecodedFn {
             code: Vec::with_capacity(f.code.len()),
             args: Vec::new(),
             cases: Vec::new(),
+            classes: Vec::new(),
+            cache_base: 0,
+            cache_sites: 0,
         };
         assert!(
             u32::try_from(f.code.len()).is_ok(),
@@ -720,12 +862,16 @@ impl DecodedFn {
                 | DecodedInstr::Move { src, .. }
                 | DecodedInstr::GlobalStore { src, .. } => singles[0] = Some(src),
                 DecodedInstr::Construct { args, .. }
-                | DecodedInstr::Call { args, .. }
                 | DecodedInstr::CallBuiltin { args, .. }
                 | DecodedInstr::CallBuiltinRet { args, .. }
-                | DecodedInstr::ConstructRet { args, .. }
-                | DecodedInstr::TailCall { args, .. } => slice = Some(args),
+                | DecodedInstr::ConstructRet { args, .. } => slice = Some(args),
                 DecodedInstr::Pap {
+                    args_off, args_len, ..
+                }
+                | DecodedInstr::Call {
+                    args_off, args_len, ..
+                }
+                | DecodedInstr::TailCall {
                     args_off, args_len, ..
                 } => {
                     slice = Some(ArgSlice {
@@ -751,6 +897,14 @@ impl DecodedFn {
                 DecodedInstr::ConstCmpBr { a, .. } => singles[0] = Some(a),
                 DecodedInstr::ConstBin { src, .. } => singles[0] = Some(src),
                 DecodedInstr::Select { c, a, b, .. } => singles = [Some(c), Some(a), Some(b)],
+                DecodedInstr::Dec2 { a, b } => {
+                    singles[0] = Some(a);
+                    singles[1] = Some(b);
+                }
+                DecodedInstr::ProjInc2 { src1, src2, .. } => {
+                    singles[0] = Some(src1);
+                    singles[1] = Some(src2);
+                }
             }
             // Malformed code may reference registers beyond `n_regs`
             // (decodable; a runtime failure only if executed) — grow the
@@ -790,8 +944,10 @@ impl DecodedFn {
 
     /// Which instruction indices are jump targets. Control can only enter
     /// the *first* cell of a fused group, so fusion bails when a would-be
-    /// swallowed instruction appears here.
-    fn jump_targets(&self) -> Vec<bool> {
+    /// swallowed instruction appears here. Public so fusion-tuning tools
+    /// (`examples/dump_decoded.rs --pairs`) can apply the same fusibility
+    /// filter the pass itself uses.
+    pub fn jump_targets(&self) -> Vec<bool> {
         let mut targets = vec![false; self.code.len()];
         for instr in &self.code {
             match *instr {
@@ -856,6 +1012,8 @@ impl DecodedFn {
                 DecodedInstr::CallBuiltinRet { .. } => stats.call_builtin_ret += 1,
                 DecodedInstr::ConstructRet { .. } => stats.construct_ret += 1,
                 DecodedInstr::SwitchDense { .. } => stats.switch_dense += 1,
+                DecodedInstr::Dec2 { .. } => stats.dec2 += 1,
+                DecodedInstr::ProjInc2 { .. } => stats.proj_inc2 += 1,
                 _ => {}
             }
             stats.cells_saved += consumed as u32 - 1;
@@ -1003,10 +1161,49 @@ impl DecodedFn {
             },
             // Project + Inc keeps both effects (the projected value is
             // still written), so no dead-register requirement applies.
+            // When *two* project-and-retain groups sit back to back (the
+            // shape pattern matches compile to when peeling consecutive
+            // constructor fields), fuse all four into one quad cell.
             DecodedInstr::Project { dst, src, idx } if next_free => match next {
                 Some(DecodedInstr::Inc { src: inced }) if inced == dst => {
+                    if i + 3 < old.len() && !targets[i + 2] && !targets[i + 3] {
+                        if let (
+                            DecodedInstr::Project {
+                                dst: dst2,
+                                src: src2,
+                                idx: idx2,
+                            },
+                            DecodedInstr::Inc { src: inced2 },
+                        ) = (old[i + 2], old[i + 3])
+                        {
+                            if inced2 == dst2 {
+                                if let (Ok(idx1), Ok(idx2)) =
+                                    (u16::try_from(idx), u16::try_from(idx2))
+                                {
+                                    return Some((
+                                        DecodedInstr::ProjInc2 {
+                                            dst1: dst,
+                                            src1: src,
+                                            idx1,
+                                            dst2,
+                                            src2,
+                                            idx2,
+                                        },
+                                        4,
+                                    ));
+                                }
+                            }
+                        }
+                    }
                     Some((DecodedInstr::ProjInc { dst, src, idx }, 2))
                 }
+                _ => None,
+            },
+            // Two releases in one dispatch; pure effects, no liveness
+            // concerns. RC-heavy code drops a constructor's fields in
+            // bursts, making this the most frequent leftover adjacency.
+            DecodedInstr::Dec { src: a } if next_free => match next {
+                Some(DecodedInstr::Dec { src: b }) => Some((DecodedInstr::Dec2 { a, b }, 2)),
                 _ => None,
             },
             DecodedInstr::CallBuiltin { dst, builtin, args } if next_free => match next {
@@ -1062,6 +1259,199 @@ impl DecodedFn {
         })
     }
 
+    /// Applies `f` to every register operand of every instruction,
+    /// including the pool runs they reference. Orphaned pool runs (left
+    /// behind by fusion-swallowed cells) are not visited: each live run is
+    /// reached through the single instruction referencing it.
+    fn for_each_reg_mut(&mut self, mut f: impl FnMut(&mut Reg)) {
+        for i in 0..self.code.len() {
+            let mut instr = self.code[i];
+            let mut slice: Option<ArgSlice> = None;
+            match &mut instr {
+                DecodedInstr::ConstInt { dst, .. }
+                | DecodedInstr::LpInt { dst, .. }
+                | DecodedInstr::LpBig { dst, .. }
+                | DecodedInstr::LpStr { dst, .. }
+                | DecodedInstr::GlobalLoad { dst, .. } => f(dst),
+                DecodedInstr::Construct { dst, args, .. } => {
+                    f(dst);
+                    slice = Some(*args);
+                }
+                DecodedInstr::GetLabel { dst, src }
+                | DecodedInstr::Project { dst, src, .. }
+                | DecodedInstr::ProjInc { dst, src, .. }
+                | DecodedInstr::Move { dst, src }
+                | DecodedInstr::Mask { dst, src, .. }
+                | DecodedInstr::ConstBin { dst, src, .. } => {
+                    f(dst);
+                    f(src);
+                }
+                DecodedInstr::Pap {
+                    dst,
+                    args_off,
+                    args_len,
+                    ..
+                } => {
+                    f(dst);
+                    slice = Some(ArgSlice {
+                        off: *args_off,
+                        len: *args_len,
+                    });
+                }
+                DecodedInstr::Call {
+                    dst,
+                    args_off,
+                    args_len,
+                    ..
+                } => {
+                    f(dst);
+                    slice = Some(ArgSlice {
+                        off: *args_off,
+                        len: *args_len,
+                    });
+                }
+                DecodedInstr::TailCall {
+                    args_off, args_len, ..
+                } => {
+                    slice = Some(ArgSlice {
+                        off: *args_off,
+                        len: *args_len,
+                    });
+                }
+                DecodedInstr::PapExtend {
+                    dst, closure, args, ..
+                } => {
+                    f(dst);
+                    f(closure);
+                    slice = Some(*args);
+                }
+                DecodedInstr::CallBuiltin { dst, args, .. } => {
+                    f(dst);
+                    slice = Some(*args);
+                }
+                DecodedInstr::CallBuiltinRet { args, .. }
+                | DecodedInstr::ConstructRet { args, .. } => slice = Some(*args),
+                DecodedInstr::Inc { src }
+                | DecodedInstr::Dec { src }
+                | DecodedInstr::Ret { src }
+                | DecodedInstr::MovRet { src }
+                | DecodedInstr::GlobalStore { src, .. } => f(src),
+                DecodedInstr::Jump { .. } | DecodedInstr::Trap | DecodedInstr::ConstRet { .. } => {}
+                DecodedInstr::Branch { cond, .. } => f(cond),
+                DecodedInstr::Switch { idx, .. } | DecodedInstr::SwitchDense { idx, .. } => f(idx),
+                DecodedInstr::Bin { dst, a, b, .. } | DecodedInstr::Cmp { dst, a, b, .. } => {
+                    f(dst);
+                    f(a);
+                    f(b);
+                }
+                DecodedInstr::Select { dst, c, a, b } => {
+                    f(dst);
+                    f(c);
+                    f(a);
+                    f(b);
+                }
+                DecodedInstr::BinRet { a, b, .. } | DecodedInstr::CmpBr { a, b, .. } => {
+                    f(a);
+                    f(b);
+                }
+                DecodedInstr::ConstCmpBr { a, .. } => f(a),
+                DecodedInstr::Dec2 { a, b } => {
+                    f(a);
+                    f(b);
+                }
+                DecodedInstr::ProjInc2 {
+                    dst1,
+                    src1,
+                    dst2,
+                    src2,
+                    ..
+                } => {
+                    f(dst1);
+                    f(src1);
+                    f(dst2);
+                    f(src2);
+                }
+            }
+            self.code[i] = instr;
+            if let Some(s) = slice {
+                for r in &mut self.args[s.range()] {
+                    f(r);
+                }
+            }
+        }
+    }
+
+    /// Decode-time register renumbering: compacts the registers this
+    /// function actually references onto a dense prefix (parameters keep
+    /// `0..arity` — the frame-pool calling convention depends on it),
+    /// shrinking the pooled frame's register file. Post-fusion streams
+    /// profit most: every register whose only read was swallowed by a
+    /// superinstruction stops occupying a frame word.
+    fn renumber(&mut self) -> RenumberStats {
+        let n = self.n_regs as usize;
+        let mut stats = RenumberStats {
+            regs_before: n as u64,
+            regs_after: n as u64,
+            fns_compacted: 0,
+        };
+        let mut used = vec![false; n];
+        let mut out_of_range = false;
+        self.for_each_reg_mut(|r| match used.get_mut(r.0 as usize) {
+            Some(u) => *u = true,
+            None => out_of_range = true,
+        });
+        // Malformed code may reference registers beyond `n_regs` — a
+        // recoverable runtime error if executed. Renumbering would
+        // silently legalise such an access, so leave the function alone.
+        if out_of_range {
+            return stats;
+        }
+        // Parameters are live on entry whether or not the body reads them
+        // (`decode` asserts `arity <= n_regs`).
+        for u in used.iter_mut().take(self.arity as usize) {
+            *u = true;
+        }
+        let live = used.iter().filter(|&&u| u).count();
+        if live == n {
+            return stats;
+        }
+        let mut map = vec![Reg(0); n];
+        let mut next: u16 = 0;
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                map[i] = Reg(next);
+                next += 1;
+            }
+        }
+        self.for_each_reg_mut(|r| *r = map[r.0 as usize]);
+        self.n_regs = next;
+        stats.regs_after = u64::from(next);
+        stats.fns_compacted = 1;
+        stats
+    }
+
+    /// Assigns function-local inline-cache slot ids to the call-shaped
+    /// cells ([`DecodedInstr::Call`]/[`DecodedInstr::TailCall`]/
+    /// [`DecodedInstr::PapExtend`]). Sites past `u16::MAX - 1` keep the
+    /// [`NO_CACHE`] sentinel and execute uncached.
+    fn assign_cache_slots(&mut self) {
+        let mut next: u32 = 0;
+        for instr in &mut self.code {
+            if let DecodedInstr::Call { cache, .. }
+            | DecodedInstr::TailCall { cache, .. }
+            | DecodedInstr::PapExtend { cache, .. } = instr
+            {
+                *cache = if next < u32::from(NO_CACHE) {
+                    next as u16
+                } else {
+                    NO_CACHE
+                };
+                next = next.saturating_add(1);
+            }
+        }
+        self.cache_sites = next.min(u32::from(NO_CACHE)) as u16;
+    }
+
     fn intern_args(&mut self, regs: &[Reg]) -> ArgSlice {
         let off = u32::try_from(self.args.len()).expect("argument pool exhausted");
         let len = u16::try_from(regs.len()).expect("argument list too long");
@@ -1106,6 +1496,7 @@ impl DecodedFn {
                 dst,
                 closure,
                 args: self.intern_args(args),
+                cache: NO_CACHE,
             },
             Instr::Inc { src } => DecodedInstr::Inc { src },
             Instr::Dec { src } => DecodedInstr::Dec { src },
@@ -1113,11 +1504,16 @@ impl DecodedFn {
                 dst,
                 func,
                 ref args,
-            } => DecodedInstr::Call {
-                dst,
-                func,
-                args: self.intern_args(args),
-            },
+            } => {
+                let s = self.intern_args(args);
+                DecodedInstr::Call {
+                    dst,
+                    func,
+                    args_off: s.off,
+                    args_len: s.len,
+                    cache: NO_CACHE,
+                }
+            }
             Instr::CallBuiltin {
                 dst,
                 builtin,
@@ -1127,10 +1523,15 @@ impl DecodedFn {
                 builtin,
                 args: self.intern_args(args),
             },
-            Instr::TailCall { func, ref args } => DecodedInstr::TailCall {
-                func,
-                args: self.intern_args(args),
-            },
+            Instr::TailCall { func, ref args } => {
+                let s = self.intern_args(args);
+                DecodedInstr::TailCall {
+                    func,
+                    args_off: s.off,
+                    args_len: s.len,
+                    cache: NO_CACHE,
+                }
+            }
             Instr::Ret { src } => DecodedInstr::Ret { src },
             Instr::Jump { target } => DecodedInstr::Jump {
                 target: t32(target),
@@ -1205,26 +1606,45 @@ impl DecodedFn {
                     len: args_len,
                 }),
             },
-            DecodedInstr::PapExtend { dst, closure, args } => Instr::PapExtend {
+            DecodedInstr::PapExtend {
+                dst, closure, args, ..
+            } => Instr::PapExtend {
                 dst,
                 closure,
                 args: regs(args),
             },
             DecodedInstr::Inc { src } => Instr::Inc { src },
             DecodedInstr::Dec { src } => Instr::Dec { src },
-            DecodedInstr::Call { dst, func, args } => Instr::Call {
+            DecodedInstr::Call {
                 dst,
                 func,
-                args: regs(args),
+                args_off,
+                args_len,
+                ..
+            } => Instr::Call {
+                dst,
+                func,
+                args: regs(ArgSlice {
+                    off: args_off,
+                    len: args_len,
+                }),
             },
             DecodedInstr::CallBuiltin { dst, builtin, args } => Instr::CallBuiltin {
                 dst,
                 builtin,
                 args: regs(args),
             },
-            DecodedInstr::TailCall { func, args } => Instr::TailCall {
+            DecodedInstr::TailCall {
                 func,
-                args: regs(args),
+                args_off,
+                args_len,
+                ..
+            } => Instr::TailCall {
+                func,
+                args: regs(ArgSlice {
+                    off: args_off,
+                    len: args_len,
+                }),
             },
             DecodedInstr::Ret { src } => Instr::Ret { src },
             DecodedInstr::Jump { target } => Instr::Jump {
@@ -1268,7 +1688,9 @@ impl DecodedFn {
             | DecodedInstr::ProjInc { .. }
             | DecodedInstr::CallBuiltinRet { .. }
             | DecodedInstr::ConstructRet { .. }
-            | DecodedInstr::SwitchDense { .. } => panic!(
+            | DecodedInstr::SwitchDense { .. }
+            | DecodedInstr::Dec2 { .. }
+            | DecodedInstr::ProjInc2 { .. } => panic!(
                 "cannot encode superinstruction {:?}; decode with fusion disabled",
                 self.code[i]
             ),
@@ -1292,6 +1714,12 @@ pub struct DecodedProgram {
     /// What the fusion pass did, summed over all functions (all zeros for
     /// an unfused decode).
     pub fusion: FusionStats,
+    /// What the register-renumbering pass did, summed over all functions
+    /// (all zeros when [`DecodeOptions::renumber`] is off).
+    pub renumber: RenumberStats,
+    /// Total inline-cache slots across all functions (sizes the VM's
+    /// per-instance cache pool).
+    pub cache_slots: u32,
 }
 
 impl DecodedProgram {
@@ -1307,6 +1735,8 @@ impl DecodedProgram {
 /// entry point).
 pub fn decode_program_with(program: &CompiledProgram, opts: DecodeOptions) -> DecodedProgram {
     let mut fusion = FusionStats::default();
+    let mut renumber = RenumberStats::default();
+    let mut cache_slots: u32 = 0;
     let fns = program
         .fns
         .iter()
@@ -1315,6 +1745,15 @@ pub fn decode_program_with(program: &CompiledProgram, opts: DecodeOptions) -> De
             if opts.fuse {
                 fusion.absorb(&d.fuse());
             }
+            if opts.renumber {
+                renumber.absorb(&d.renumber());
+            }
+            d.assign_cache_slots();
+            d.cache_base = cache_slots;
+            cache_slots = cache_slots
+                .checked_add(u32::from(d.cache_sites))
+                .expect("inline-cache pool exhausted");
+            d.classes = d.code.iter().map(|i| i.class() as u8).collect();
             d
         })
         .collect();
@@ -1324,6 +1763,8 @@ pub fn decode_program_with(program: &CompiledProgram, opts: DecodeOptions) -> De
         str_pool: program.str_pool.clone(),
         globals: program.globals.clone(),
         fusion,
+        renumber,
+        cache_slots,
     }
 }
 
@@ -1369,10 +1810,19 @@ mod tests {
             panic!("expected construct");
         };
         assert_eq!(d.arg_regs(args), &[Reg(0), Reg(1)]);
-        let DecodedInstr::Call { args, .. } = d.code[1] else {
+        let DecodedInstr::Call {
+            args_off, args_len, ..
+        } = d.code[1]
+        else {
             panic!("expected call");
         };
-        assert_eq!(d.arg_regs(args), &[Reg(2), Reg(3), Reg(0)]);
+        assert_eq!(
+            d.arg_regs(ArgSlice {
+                off: args_off,
+                len: args_len
+            }),
+            &[Reg(2), Reg(3), Reg(0)]
+        );
     }
 
     #[test]
@@ -1424,7 +1874,9 @@ mod tests {
             }],
             ..CompiledProgram::default()
         };
-        let d = decode_program_with(&p, DecodeOptions::fused());
+        // Renumbering off: these tests pin the *fusion* output shapes, and
+        // literal register expectations must not shift under compaction.
+        let d = decode_program_with(&p, DecodeOptions::fused().with_renumber(false));
         (d.fns.into_iter().next().unwrap(), d.fusion)
     }
 
@@ -1791,6 +2243,120 @@ mod tests {
             }
         );
         assert!(matches!(f.code[1], DecodedInstr::Ret { src: Reg(1) }));
+    }
+
+    #[test]
+    fn fuses_dec_dec_pairs() {
+        let (f, stats) = fuse_one(
+            2,
+            3,
+            vec![
+                Instr::Dec { src: Reg(0) },
+                Instr::Dec { src: Reg(1) },
+                Instr::LpInt { dst: Reg(2), v: 7 },
+                Instr::Ret { src: Reg(2) },
+            ],
+        );
+        assert_eq!(stats.dec2, 1);
+        assert_eq!(
+            f.code[0],
+            DecodedInstr::Dec2 {
+                a: Reg(0),
+                b: Reg(1)
+            }
+        );
+        assert!(matches!(f.code[1], DecodedInstr::ConstRet { v: 7 }));
+    }
+
+    #[test]
+    fn fuses_proj_inc_quad() {
+        // Two adjacent project-and-retain groups collapse to one quad
+        // cell; four original cells become one.
+        let (f, stats) = fuse_one(
+            1,
+            3,
+            vec![
+                Instr::Project {
+                    dst: Reg(1),
+                    src: Reg(0),
+                    idx: 0,
+                },
+                Instr::Inc { src: Reg(1) },
+                Instr::Project {
+                    dst: Reg(2),
+                    src: Reg(0),
+                    idx: 1,
+                },
+                Instr::Inc { src: Reg(2) },
+                Instr::Ret { src: Reg(1) },
+            ],
+        );
+        assert_eq!(stats.proj_inc2, 1);
+        assert_eq!(stats.proj_inc, 0);
+        assert_eq!(
+            f.code[0],
+            DecodedInstr::ProjInc2 {
+                dst1: Reg(1),
+                src1: Reg(0),
+                idx1: 0,
+                dst2: Reg(2),
+                src2: Reg(0),
+                idx2: 1,
+            }
+        );
+        assert!(matches!(f.code[1], DecodedInstr::Ret { src: Reg(1) }));
+    }
+
+    #[test]
+    fn proj_inc_quad_bails_to_pairs_on_wide_index_or_jump_target() {
+        // A field index beyond u16 cannot ride in the quad cell: the two
+        // groups fuse as independent ProjInc pairs instead.
+        let (f, stats) = fuse_one(
+            1,
+            3,
+            vec![
+                Instr::Project {
+                    dst: Reg(1),
+                    src: Reg(0),
+                    idx: 1 << 20,
+                },
+                Instr::Inc { src: Reg(1) },
+                Instr::Project {
+                    dst: Reg(2),
+                    src: Reg(0),
+                    idx: 1,
+                },
+                Instr::Inc { src: Reg(2) },
+                Instr::Ret { src: Reg(1) },
+            ],
+        );
+        assert_eq!((stats.proj_inc2, stats.proj_inc), (0, 2));
+        assert!(matches!(f.code[0], DecodedInstr::ProjInc { .. }));
+        assert!(matches!(f.code[1], DecodedInstr::ProjInc { .. }));
+        // A jump target at the second group's head likewise splits the
+        // quad: control may enter there, so the groups must stay separate
+        // cells.
+        let (f, stats) = fuse_one(
+            1,
+            3,
+            vec![
+                Instr::Project {
+                    dst: Reg(1),
+                    src: Reg(0),
+                    idx: 0,
+                },
+                Instr::Inc { src: Reg(1) },
+                Instr::Project {
+                    dst: Reg(2),
+                    src: Reg(0),
+                    idx: 1,
+                },
+                Instr::Inc { src: Reg(2) },
+                Instr::Jump { target: 2 },
+            ],
+        );
+        assert_eq!((stats.proj_inc2, stats.proj_inc), (0, 2));
+        assert!(matches!(f.code[2], DecodedInstr::Jump { target: 1 }));
     }
 
     #[test]

@@ -16,12 +16,144 @@
 //!   ([`VmStatistics`], the run-side analogue of `lssa-ir`'s per-pass
 //!   `PassStatistics`), giving a deterministic performance metric alongside
 //!   wall-clock time.
+//!
+//! ## Dispatch modes
+//!
+//! Two interpreter loops execute the same decoded stream and are required
+//! to be observably identical (results, statistics, error messages — the
+//! dispatch differential matrix pins this):
+//!
+//! - [`DispatchMode::Match`] — the single big `match` loop, kept verbatim
+//!   as the measurable baseline;
+//! - [`DispatchMode::Threaded`] (default) — a threaded loop that caches the
+//!   program counter and the current frame in locals for the lifetime of an
+//!   *activation* (the stretch of instructions between frame transitions),
+//!   keeps the hot opcodes — arithmetic, branches, constants, moves, the
+//!   loop-header/tail superinstructions, calls and returns — on an inlined
+//!   fast path, and dispatches the cold classes (allocation, globals, rare
+//!   arithmetic) through a function-pointer table indexed by the decoded
+//!   opcode-class byte ([`crate::decode::DecodedFn::classes`]), one
+//!   `#[inline(never)]` handler per cold class.
+//!
+//! On top of either loop, **inline caches** ([`ExecOptions::inline_cache`])
+//! give every `Call`/`TailCall`/`PapExtend` site a [`CacheSlot`]: the first
+//! successful execution proves the target's function index and arity, and
+//! repeat executions skip the function lookup, the arity re-check and — for
+//! `PapExtend` at exact saturation of an unapplied closure — the whole
+//! closure unpack and argument `Vec` build. Monomorphic hit/miss counters
+//! land in [`VmStatistics`].
 
 use crate::bytecode::{CompiledProgram, Reg};
-use crate::decode::{DecodeOptions, DecodedInstr, DecodedProgram, OpClass};
-use lssa_rt::{pap_extend, pap_new, ApplyOutcome, FuncId, Heap, HeapStats, Int, ObjRef};
+use crate::decode::{
+    ArgSlice, DecodeOptions, DecodedFn, DecodedInstr, DecodedProgram, OpClass, NO_CACHE,
+};
+use lssa_rt::object::{MAX_SMALL_INT, MAX_SMALL_NAT, MIN_SMALL_INT};
+use lssa_rt::{
+    pap_extend, pap_new, ApplyOutcome, Builtin, FuncId, Heap, HeapStats, Int, ObjData, ObjRef,
+};
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Which interpreter loop executes the decoded stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// The single big `match` loop (the PR 5 baseline).
+    Match,
+    /// The threaded loop: per-activation locals, hot ops inlined, cold
+    /// classes through the handler table (the default).
+    #[default]
+    Threaded,
+}
+
+impl DispatchMode {
+    /// Parses a `--dispatch` argument value.
+    pub fn parse(s: &str) -> Option<DispatchMode> {
+        match s {
+            "match" => Some(DispatchMode::Match),
+            "threaded" => Some(DispatchMode::Threaded),
+            _ => None,
+        }
+    }
+
+    /// Stable display name (the `--dispatch` argument values).
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchMode::Match => "match",
+            DispatchMode::Threaded => "threaded",
+        }
+    }
+}
+
+/// Execution-time options (the run-side sibling of
+/// [`crate::decode::DecodeOptions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Which interpreter loop to run.
+    pub dispatch: DispatchMode,
+    /// Use the per-call-site inline caches (default on; `--no-inline-cache`
+    /// disables them for ablation).
+    pub inline_cache: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            dispatch: DispatchMode::Threaded,
+            inline_cache: true,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Same options with the dispatch mode replaced.
+    pub fn with_dispatch(self, dispatch: DispatchMode) -> ExecOptions {
+        ExecOptions { dispatch, ..self }
+    }
+
+    /// Same options with the inline caches toggled.
+    pub fn with_inline_cache(self, inline_cache: bool) -> ExecOptions {
+        ExecOptions {
+            inline_cache,
+            ..self
+        }
+    }
+}
+
+/// Inline-cache slot states (see [`CacheSlot::state`]).
+const SLOT_COLD: u8 = 0;
+const SLOT_CALL: u8 = 1;
+const SLOT_PAP: u8 = 2;
+
+/// One per-call-site inline cache cell. Slots live in a per-[`Vm`] pool
+/// (sized by [`DecodedProgram::cache_slots`]) so the shared, memoized
+/// decoded program stays immutable.
+///
+/// A `Call`/`TailCall` site caches the proof that its (static) target
+/// index and argument count validated, plus the callee's register-file
+/// size; a `PapExtend` site caches the function id and arity of the last
+/// unapplied closure invoked at exact saturation.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheSlot {
+    /// Cached target function (VM index). Meaningful for `SLOT_PAP`.
+    func: u32,
+    /// Cached target arity.
+    arity: u16,
+    /// Cached target register-file size (what the frame resize needs).
+    n_regs: u16,
+    /// `SLOT_COLD` until the first successful execution.
+    state: u8,
+}
+
+impl Default for CacheSlot {
+    fn default() -> CacheSlot {
+        CacheSlot {
+            func: 0,
+            arity: 0,
+            n_regs: 0,
+            state: SLOT_COLD,
+        }
+    }
+}
 
 /// A runtime failure (trap, stack/step limits, type confusion).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +214,20 @@ pub struct VmStatistics {
     /// Superinstruction cells in the decoded stream (static count; 0 when
     /// decoded with `--no-fuse`).
     pub fused_cells: u64,
+    /// Inline-cache monomorphic hits (call sites that skipped the target
+    /// lookup / closure unpack; 0 with `--no-inline-cache`).
+    pub cache_hits: u64,
+    /// Inline-cache misses (cold or megamorphic sites that took the full
+    /// validation path).
+    pub cache_misses: u64,
+    /// Widest register file wired to any frame (post-renumbering width).
+    pub max_frame_width: u64,
+    /// Bytes retained by the frame pool's register files at the end of the
+    /// run (capacity, not length — what the pool actually holds onto).
+    pub frame_pool_bytes: u64,
+    /// Register-file words eliminated by decode-time renumbering (static
+    /// count over the whole program; 0 with `--no-renumber`).
+    pub regs_saved: u64,
     /// Wall time spent executing.
     pub duration: Duration,
     /// Heap statistics at the end of the run.
@@ -133,8 +279,23 @@ impl VmStatistics {
         self.frame_reuses += other.frame_reuses;
         self.tail_frame_reuses += other.tail_frame_reuses;
         self.fused_cells += other.fused_cells;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.max_frame_width = self.max_frame_width.max(other.max_frame_width);
+        self.frame_pool_bytes = self.frame_pool_bytes.max(other.frame_pool_bytes);
+        self.regs_saved += other.regs_saved;
         self.duration += other.duration;
         self.heap.absorb(&other.heap);
+    }
+
+    /// Inline-cache hit rate over all probed call sites (0..=1).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
     }
 
     /// Renders the per-opcode-class table (the payload behind
@@ -182,6 +343,18 @@ impl VmStatistics {
         );
         let _ = writeln!(
             out,
+            "  frame pool: {} bytes retained, widest frame {} regs, {} register slots saved by renumbering",
+            self.frame_pool_bytes, self.max_frame_width, self.regs_saved,
+        );
+        let _ = writeln!(
+            out,
+            "  caches: {} monomorphic hits, {} misses ({:.1}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+        );
+        let _ = writeln!(
+            out,
             "  fused: {} superinstruction cells decoded, {:.1}% of executed cells were fused",
             self.fused_cells,
             self.fused_share() * 100.0,
@@ -214,7 +387,13 @@ pub struct RunOutcome {
 }
 
 /// One pooled frame. The register file and the over-application buffer are
-/// retained across reuses, so a recycled frame costs no allocation.
+/// retained across reuses, so a recycled frame allocates only when it is
+/// wired to a function *wider* than any it has held before — steady-state
+/// loops (same functions over and over) make zero heap allocations per
+/// iteration, under either dispatch mode. Register renumbering
+/// ([`crate::decode::DecodeOptions::renumber`]) shrinks those widths to the
+/// referenced-register count, so the pool both grows less often and
+/// retains less.
 #[derive(Debug, Default)]
 struct Frame {
     func: u32,
@@ -225,6 +404,88 @@ struct Frame {
     /// Arguments still to be applied to the returned closure
     /// (over-saturated `papextend`).
     after_ret: Vec<ObjRef>,
+}
+
+/// Wires a (possibly recycled) frame's register file: arguments copied
+/// from `scratch`, the remaining registers zeroed. Growth is *exact*,
+/// never amortized — a frame reallocates only when wired wider than ever
+/// before (a cold event), so the pool's retained footprint
+/// ([`VmStatistics::frame_pool_bytes`]) equals each frame's widest-ever
+/// wiring. `Vec`'s doubling policy would instead let a recycled frame
+/// jump to twice a stale capacity, making a *narrower* renumbered
+/// program retain a *larger* pool than the un-renumbered one.
+/// Scalar-scalar fast path for the hottest two-argument builtins: when
+/// both operands are scalars and the result provably fits a scalar, the
+/// whole builtin collapses to register arithmetic — no argument staging,
+/// no `Nat`/`Int` round trip through the runtime. Returns the result
+/// bits, or `None` when the generic [`Builtin::call`] must run (boxed
+/// operands, possible overflow into a bignum, or a builtin without a
+/// fast shape). On `Some` the caller still owes the runtime's
+/// consume-both convention: one `dec` per operand (statistics-only on
+/// scalars), keeping the heap counters bit-identical to the generic
+/// path.
+#[inline]
+fn builtin_fast2(builtin: Builtin, a: u64, b: u64) -> Option<u64> {
+    if a & b & 1 != 1 {
+        return None;
+    }
+    let scalar = |v: u64| (v << 1) | 1;
+    // Nat builtins: payloads are non-negative by typing; bail to the
+    // generic path (and its diagnostics) if one is not.
+    let nat_args = || ((a as i64) >= 0 && (b as i64) >= 0).then_some((a >> 1, b >> 1));
+    // Int builtins: payloads are arithmetic (sign-extending) shifts.
+    let (ia, ib) = ((a as i64) >> 1, (b as i64) >> 1);
+    let int_fits = |v: i64| (MIN_SMALL_INT..=MAX_SMALL_INT).contains(&v);
+    match builtin {
+        // Both operands < 2^62, so the u64 sum cannot wrap.
+        Builtin::NatAdd => nat_args().and_then(|(x, y)| {
+            let s = x + y;
+            (s <= MAX_SMALL_NAT).then(|| scalar(s))
+        }),
+        Builtin::NatSub => nat_args().map(|(x, y)| scalar(x.saturating_sub(y))),
+        Builtin::NatMul => nat_args()
+            .and_then(|(x, y)| x.checked_mul(y).filter(|&s| s <= MAX_SMALL_NAT).map(scalar)),
+        Builtin::NatDiv => nat_args().map(|(x, y)| scalar(x.checked_div(y).unwrap_or(0))),
+        Builtin::NatMod => nat_args().map(|(x, y)| scalar(x.checked_rem(y).unwrap_or(x))),
+        Builtin::NatDecEq => nat_args().map(|(x, y)| scalar(u64::from(x == y))),
+        Builtin::NatDecLt => nat_args().map(|(x, y)| scalar(u64::from(x < y))),
+        Builtin::NatDecLe => nat_args().map(|(x, y)| scalar(u64::from(x <= y))),
+        Builtin::IntAdd => ia
+            .checked_add(ib)
+            .filter(|&v| int_fits(v))
+            .map(|v| scalar(v as u64)),
+        Builtin::IntSub => ia
+            .checked_sub(ib)
+            .filter(|&v| int_fits(v))
+            .map(|v| scalar(v as u64)),
+        Builtin::IntMul => ia
+            .checked_mul(ib)
+            .filter(|&v| int_fits(v))
+            .map(|v| scalar(v as u64)),
+        // Truncated division with `x / 0 = 0`; small-int payloads can't
+        // overflow i64, so `checked_div` is `None` only on a zero divisor.
+        // One non-fitting case remains: MIN_SMALL_INT / -1 lands one past
+        // MAX_SMALL_INT.
+        Builtin::IntDiv => Some(ia.checked_div(ib).unwrap_or(0))
+            .filter(|&v| int_fits(v))
+            .map(|v| scalar(v as u64)),
+        Builtin::IntMod => Some(scalar(ia.checked_rem(ib).unwrap_or(ia) as u64)),
+        Builtin::IntDecEq => Some(scalar(u64::from(ia == ib))),
+        Builtin::IntDecLt => Some(scalar(u64::from(ia < ib))),
+        Builtin::IntDecLe => Some(scalar(u64::from(ia <= ib))),
+        _ => None,
+    }
+}
+
+#[inline]
+fn wire_regs(regs: &mut Vec<u64>, scratch: &[u64], n_regs: u16) {
+    regs.clear();
+    let want = (n_regs as usize).max(scratch.len());
+    if regs.capacity() < want {
+        regs.reserve_exact(want);
+    }
+    regs.extend_from_slice(scratch);
+    regs.resize(n_regs as usize, 0);
 }
 
 /// The virtual machine: executes a [`DecodedProgram`] over a pooled frame
@@ -244,6 +505,9 @@ pub struct Vm<'p> {
     frame_allocs: u64,
     frame_reuses: u64,
     tail_frame_reuses: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    max_frame_width: u64,
     exec_time: Duration,
     /// Frame pool; `stack` holds indices into it, `free` the recyclable ones.
     pool: Vec<Frame>,
@@ -253,11 +517,21 @@ pub struct Vm<'p> {
     scratch: Vec<u64>,
     /// Object-argument staging buffer for builtin calls, reused likewise.
     scratch_objs: Vec<ObjRef>,
+    /// Inline-cache pool, one [`CacheSlot`] per cached call site
+    /// (program-wide indexing via [`DecodedFn::cache_base`]).
+    caches: Vec<CacheSlot>,
+    opts: ExecOptions,
 }
 
 impl<'p> Vm<'p> {
-    /// Creates a VM for a decoded `program` with a step budget.
+    /// Creates a VM for a decoded `program` with a step budget, under the
+    /// default execution options (threaded dispatch, inline caches on).
     pub fn new(program: &'p DecodedProgram, max_steps: u64) -> Vm<'p> {
+        Vm::with_options(program, max_steps, ExecOptions::default())
+    }
+
+    /// Creates a VM with explicit [`ExecOptions`].
+    pub fn with_options(program: &'p DecodedProgram, max_steps: u64, opts: ExecOptions) -> Vm<'p> {
         Vm {
             program,
             heap: Heap::new(),
@@ -271,12 +545,17 @@ impl<'p> Vm<'p> {
             frame_allocs: 0,
             frame_reuses: 0,
             tail_frame_reuses: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            max_frame_width: 0,
             exec_time: Duration::ZERO,
             pool: Vec::new(),
             free: Vec::new(),
             stack: Vec::new(),
             scratch: Vec::new(),
             scratch_objs: Vec::new(),
+            caches: vec![CacheSlot::default(); program.cache_slots as usize],
+            opts,
         }
     }
 
@@ -300,20 +579,41 @@ impl<'p> Vm<'p> {
     /// See [`Vm::run`].
     pub fn call(&mut self, idx: usize, args: Vec<ObjRef>) -> Result<ObjRef, VmError> {
         let start = Instant::now();
-        let result = self.run_loop(idx, args);
+        let result = match self.opts.dispatch {
+            DispatchMode::Match => self.run_match(idx, args),
+            DispatchMode::Threaded => self.run_threaded(idx, args),
+        };
         self.exec_time += start.elapsed();
         result
     }
 
-    fn run_loop(&mut self, idx: usize, args: Vec<ObjRef>) -> Result<ObjRef, VmError> {
-        // Return any residue of a previous errored run to the free list.
+    /// Returns any residue of a previous errored run to the free list,
+    /// then stages and pushes the entry frame (shared run prologue).
+    fn enter(&mut self, idx: usize, args: &[ObjRef]) -> Result<(), VmError> {
         while let Some(fi) = self.stack.pop() {
             self.pool[fi as usize].after_ret.clear();
             self.free.push(fi);
         }
-        self.stage_objs(&args);
+        self.stage_objs(args);
         let fi = self.alloc_frame(idx, Reg(0))?;
         self.stack.push(fi);
+        Ok(())
+    }
+
+    /// The program-wide inline-cache slot of a call site, or `None` when
+    /// the site has no slot or caching is disabled.
+    #[inline]
+    fn cache_slot(opts: ExecOptions, f: &DecodedFn, cache: u16) -> Option<usize> {
+        if opts.inline_cache && cache != NO_CACHE {
+            Some(f.cache_base as usize + cache as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The single big `match` interpreter loop ([`DispatchMode::Match`]).
+    fn run_match(&mut self, idx: usize, args: Vec<ObjRef>) -> Result<ObjRef, VmError> {
+        self.enter(idx, &args)?;
         let prog = self.program;
         loop {
             self.max_depth = self.max_depth.max(self.stack.len() as u64);
@@ -384,10 +684,70 @@ impl<'p> Vm<'p> {
                     self.class_allocs[OpClass::Closure as usize] += self.heap.alloc_count() - a0;
                     self.apply(dst, outcome)?;
                 }
-                DecodedInstr::PapExtend { dst, closure, args } => {
+                DecodedInstr::PapExtend {
+                    dst,
+                    closure,
+                    args,
+                    cache,
+                } => {
                     let c = ObjRef::from_bits(frame.regs[closure.0 as usize]);
-                    if !matches!(self.heap.data(c), lssa_rt::ObjData::Closure { .. }) {
-                        return Err(err("papextend of a non-closure value"));
+                    // One unpack serves the type check, the cache probe and
+                    // the fill: an *unapplied* closure is the cacheable shape.
+                    let probe = match *self.heap.data(c) {
+                        ObjData::Closure {
+                            func,
+                            arity,
+                            args: ref applied,
+                        } => {
+                            if applied.is_empty() {
+                                Some((func, arity))
+                            } else {
+                                None
+                            }
+                        }
+                        _ => return Err(err("papextend of a non-closure value")),
+                    };
+                    let slot = Self::cache_slot(self.opts, f, cache);
+                    if let (Some(g), Some((func, arity))) = (slot, probe) {
+                        let s = self.caches[g];
+                        if s.state == SLOT_PAP
+                            && s.func == func.0
+                            && s.arity == arity
+                            && arity == args.len
+                        {
+                            // Monomorphic hit at exact saturation: the
+                            // semantics collapse to "release the closure,
+                            // call the target" — skip the argument `Vec`
+                            // build and the runtime's unpack/re-check.
+                            self.cache_hits += 1;
+                            let scratch = &mut self.scratch;
+                            scratch.clear();
+                            scratch
+                                .extend(f.arg_regs(args).iter().map(|&r| frame.regs[r.0 as usize]));
+                            self.heap.dec(c);
+                            let nfi = self.push_frame_fast(s.func, s.n_regs, dst);
+                            self.stack.push(nfi);
+                            continue;
+                        }
+                    }
+                    if let Some(g) = slot {
+                        self.cache_misses += 1;
+                        // Remember the shape (validated against the target)
+                        // before `pap_extend` consumes the closure.
+                        if let Some((func, arity)) = probe {
+                            if arity == args.len {
+                                if let Some(t) = self.program.fns.get(func.0 as usize) {
+                                    if t.arity == arity {
+                                        self.caches[g] = CacheSlot {
+                                            func: func.0,
+                                            arity,
+                                            n_regs: t.n_regs,
+                                            state: SLOT_PAP,
+                                        };
+                                    }
+                                }
+                            }
+                        }
                     }
                     let vals: Vec<ObjRef> = f
                         .arg_regs(args)
@@ -407,11 +767,49 @@ impl<'p> Vm<'p> {
                     let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
                     self.heap.dec(o);
                 }
-                DecodedInstr::Call { dst, func, args } => {
+                DecodedInstr::Call {
+                    dst,
+                    func,
+                    args_off,
+                    args_len,
+                    cache,
+                } => {
                     let scratch = &mut self.scratch;
                     scratch.clear();
-                    scratch.extend(f.arg_regs(args).iter().map(|&r| frame.regs[r.0 as usize]));
-                    let nfi = self.alloc_frame(func as usize, dst)?;
+                    scratch.extend(
+                        f.arg_regs(ArgSlice {
+                            off: args_off,
+                            len: args_len,
+                        })
+                        .iter()
+                        .map(|&r| frame.regs[r.0 as usize]),
+                    );
+                    // The target index and argument count are static, so
+                    // one successful validation proves the site forever.
+                    let slot = Self::cache_slot(self.opts, f, cache);
+                    let nfi = match slot {
+                        Some(g) if self.caches[g].state == SLOT_CALL => {
+                            self.cache_hits += 1;
+                            let n_regs = self.caches[g].n_regs;
+                            self.push_frame_fast(func, n_regs, dst)
+                        }
+                        _ => {
+                            if let Some(g) = slot {
+                                self.cache_misses += 1;
+                                let nfi = self.alloc_frame(func as usize, dst)?;
+                                let t = &self.program.fns[func as usize];
+                                self.caches[g] = CacheSlot {
+                                    func,
+                                    arity: t.arity,
+                                    n_regs: t.n_regs,
+                                    state: SLOT_CALL,
+                                };
+                                nfi
+                            } else {
+                                self.alloc_frame(func as usize, dst)?
+                            }
+                        }
+                    };
                     self.stack.push(nfi);
                 }
                 DecodedInstr::CallBuiltin { dst, builtin, args } => {
@@ -431,17 +829,47 @@ impl<'p> Vm<'p> {
                         self.heap.alloc_count() - a0;
                     self.pool[fi].regs[dst.0 as usize] = out.to_bits();
                 }
-                DecodedInstr::TailCall { func, args } => {
-                    let target = prog
-                        .fns
-                        .get(func as usize)
-                        .ok_or_else(|| err(format!("bad function index {func}")))?;
-                    if args.len as usize != target.arity as usize {
-                        return Err(err(format!(
-                            "@{} called with {} args (arity {})",
-                            target.name, args.len, target.arity
-                        )));
-                    }
+                DecodedInstr::TailCall {
+                    func,
+                    args_off,
+                    args_len,
+                    cache,
+                } => {
+                    let args = ArgSlice {
+                        off: args_off,
+                        len: args_len,
+                    };
+                    let slot = Self::cache_slot(self.opts, f, cache);
+                    let n_regs = match slot {
+                        Some(g) if self.caches[g].state == SLOT_CALL => {
+                            self.cache_hits += 1;
+                            self.caches[g].n_regs
+                        }
+                        _ => {
+                            if slot.is_some() {
+                                self.cache_misses += 1;
+                            }
+                            let target = prog
+                                .fns
+                                .get(func as usize)
+                                .ok_or_else(|| err(format!("bad function index {func}")))?;
+                            if args.len as usize != target.arity as usize {
+                                return Err(err(format!(
+                                    "@{} called with {} args (arity {})",
+                                    target.name, args.len, target.arity
+                                )));
+                            }
+                            if let Some(g) = slot {
+                                self.caches[g] = CacheSlot {
+                                    func,
+                                    arity: target.arity,
+                                    n_regs: target.n_regs,
+                                    state: SLOT_CALL,
+                                };
+                            }
+                            target.n_regs
+                        }
+                    };
                     self.calls += 1;
                     self.tail_frame_reuses += 1;
                     // Copy the outgoing arguments aside, then reuse the
@@ -450,11 +878,10 @@ impl<'p> Vm<'p> {
                     let scratch = &mut self.scratch;
                     scratch.clear();
                     scratch.extend(f.arg_regs(args).iter().map(|&r| frame.regs[r.0 as usize]));
-                    frame.regs.clear();
-                    frame.regs.extend_from_slice(scratch);
-                    frame.regs.resize(target.n_regs as usize, 0);
+                    wire_regs(&mut frame.regs, scratch, n_regs);
                     frame.func = func;
                     frame.pc = 0;
+                    self.max_frame_width = self.max_frame_width.max(u64::from(n_regs));
                     // `ret_dst` and `after_ret` carry over unchanged.
                 }
                 DecodedInstr::Ret { src } => {
@@ -589,6 +1016,31 @@ impl<'p> Vm<'p> {
                     self.heap.inc(field);
                     frame.regs[dst.0 as usize] = field.to_bits();
                 }
+                DecodedInstr::Dec2 { a, b } => {
+                    let oa = ObjRef::from_bits(frame.regs[a.0 as usize]);
+                    self.heap.dec(oa);
+                    let ob = ObjRef::from_bits(frame.regs[b.0 as usize]);
+                    self.heap.dec(ob);
+                }
+                DecodedInstr::ProjInc2 {
+                    dst1,
+                    src1,
+                    idx1,
+                    dst2,
+                    src2,
+                    idx2,
+                } => {
+                    // In-order: the first group's write lands before the
+                    // second's read (src2 may name dst1).
+                    let o1 = ObjRef::from_bits(frame.regs[src1.0 as usize]);
+                    let f1 = self.heap.ctor_field(o1, idx1 as usize);
+                    self.heap.inc(f1);
+                    frame.regs[dst1.0 as usize] = f1.to_bits();
+                    let o2 = ObjRef::from_bits(frame.regs[src2.0 as usize]);
+                    let f2 = self.heap.ctor_field(o2, idx2 as usize);
+                    self.heap.inc(f2);
+                    frame.regs[dst2.0 as usize] = f2.to_bits();
+                }
                 DecodedInstr::CallBuiltinRet { builtin, args } => {
                     let vals = &mut self.scratch_objs;
                     vals.clear();
@@ -633,6 +1085,645 @@ impl<'p> Vm<'p> {
                         _ => default,
                     };
                 }
+            }
+        }
+    }
+
+    /// The threaded interpreter loop ([`DispatchMode::Threaded`]).
+    ///
+    /// One outer iteration per *activation* — the stretch of instructions a
+    /// single frame executes between frame transitions. The inner loop
+    /// keeps the program counter and the current frame in locals (no
+    /// per-instruction `stack.last()` / pool / function indexing), handles
+    /// the hot opcodes inline, and routes the cold classes through
+    /// [`COLD_HANDLERS`], indexed by the decoded opcode-class byte. Frame
+    /// transitions exit the inner loop with a [`Transfer`] so the
+    /// whole-`self` bookkeeping (frame push/pop, closure application) runs
+    /// after the per-activation borrows are released — everything stays
+    /// inside `#![forbid(unsafe_code)]`.
+    ///
+    /// Observable behaviour (results, statistics, error messages) is
+    /// required to be identical to [`Vm::run_match`]; the dispatch
+    /// differential matrix pins this.
+    fn run_threaded(&mut self, idx: usize, args: Vec<ObjRef>) -> Result<ObjRef, VmError> {
+        self.enter(idx, &args)?;
+        let prog = self.program;
+        loop {
+            // The stack only changes between activations, so sampling the
+            // depth here sees every height the match loop would.
+            self.max_depth = self.max_depth.max(self.stack.len() as u64);
+            let mut fi = *self.stack.last().expect("empty stack") as usize;
+            // The step counter lives in a register for the whole
+            // activation (`self.steps` is only re-synced below): the
+            // per-cell budget check is then a two-register compare
+            // instead of two loads and a read-modify-write.
+            let max_steps = self.max_steps;
+            let mut steps = self.steps;
+            let transfer = 'act: {
+                // Field-disjoint borrows for the whole activation.
+                let Vm {
+                    heap,
+                    globals,
+                    calls,
+                    executed,
+                    class_allocs,
+                    frame_reuses,
+                    tail_frame_reuses,
+                    cache_hits,
+                    cache_misses,
+                    max_depth,
+                    max_frame_width,
+                    pool,
+                    stack,
+                    free,
+                    scratch,
+                    scratch_objs,
+                    caches,
+                    opts,
+                    ..
+                } = self;
+                let use_cache = opts.inline_cache;
+                let mut frame = &mut pool[fi];
+                let mut f = &prog.fns[frame.func as usize];
+                let mut pc = frame.pc as usize;
+
+                // Inline call: enter the callee without leaving the
+                // activation loop — the outer-loop round trip (dropping and
+                // re-establishing every borrow above) is the dominant cost
+                // of call-heavy programs. Takes the fast path only when a
+                // recycled frame is available (the steady state after the
+                // first few calls); growing the pool stays in
+                // [`Vm::push_frame_fast`] behind [`Transfer::Push`].
+                // Arguments are expected staged in `scratch`, validation
+                // already done — exactly the `Transfer::Push` contract.
+                macro_rules! inline_call {
+                    ($func:expr, $n_regs:expr, $dst:expr) => {{
+                        let (func, n_regs, dst) = ($func, $n_regs, $dst);
+                        frame.pc = pc as u32;
+                        match free.pop() {
+                            Some(nfi) => {
+                                *calls += 1;
+                                *frame_reuses += 1;
+                                let callee = &mut pool[nfi as usize];
+                                debug_assert!(
+                                    callee.after_ret.is_empty(),
+                                    "recycled frame carries state"
+                                );
+                                wire_regs(&mut callee.regs, scratch, n_regs);
+                                callee.func = func;
+                                callee.pc = 0;
+                                callee.ret_dst = dst;
+                                *max_frame_width = (*max_frame_width).max(u64::from(n_regs));
+                                stack.push(nfi);
+                                *max_depth = (*max_depth).max(stack.len() as u64);
+                                fi = nfi as usize;
+                                frame = callee;
+                                f = &prog.fns[func as usize];
+                                pc = 0;
+                            }
+                            None => break 'act Transfer::Push { func, n_regs, dst },
+                        }
+                    }};
+                }
+
+                // Inline return: pop back into the caller without leaving
+                // the activation loop. Bails to [`Transfer::Ret`] (which
+                // routes through [`Vm::do_ret`]) for the slow cases: a
+                // pending over-saturated application, or returning the
+                // whole-program result from the entry frame.
+                macro_rules! inline_ret {
+                    ($bits:expr) => {{
+                        let bits: u64 = $bits;
+                        if frame.after_ret.is_empty() && stack.len() > 1 {
+                            let dst = frame.ret_dst;
+                            let done = stack.pop().expect("checked non-empty");
+                            free.push(done);
+                            let cfi = *stack.last().expect("checked len > 1") as usize;
+                            let caller = &mut pool[cfi];
+                            caller.regs[dst.0 as usize] = bits;
+                            fi = cfi;
+                            frame = caller;
+                            f = &prog.fns[frame.func as usize];
+                            pc = frame.pc as usize;
+                        } else {
+                            frame.pc = pc as u32;
+                            break 'act Transfer::Ret { bits };
+                        }
+                    }};
+                }
+                loop {
+                    if steps >= max_steps {
+                        frame.pc = pc as u32;
+                        break 'act Transfer::Error(err(
+                            "step budget exhausted (likely non-termination)",
+                        ));
+                    }
+                    steps += 1;
+                    let Some(&instr) = f.code.get(pc) else {
+                        frame.pc = pc as u32;
+                        break 'act Transfer::Error(err(format!("pc out of range in @{}", f.name)));
+                    };
+                    let class = f.classes[pc];
+                    executed[class as usize] += 1;
+                    pc += 1;
+                    match instr {
+                        DecodedInstr::ConstInt { dst, v } => frame.regs[dst.0 as usize] = v as u64,
+                        DecodedInstr::LpInt { dst, v } => {
+                            frame.regs[dst.0 as usize] = ObjRef::scalar(v).to_bits();
+                        }
+                        DecodedInstr::GetLabel { dst, src } => {
+                            let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                            frame.regs[dst.0 as usize] = heap.ctor_tag(o) as u64;
+                        }
+                        DecodedInstr::Project { dst, src, idx } => {
+                            let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                            frame.regs[dst.0 as usize] = heap.ctor_field(o, idx as usize).to_bits();
+                        }
+                        DecodedInstr::Pap {
+                            dst,
+                            func,
+                            arity,
+                            args_off,
+                            args_len,
+                        } => {
+                            let vals: Vec<ObjRef> = f
+                                .arg_regs(ArgSlice {
+                                    off: args_off,
+                                    len: args_len,
+                                })
+                                .iter()
+                                .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
+                                .collect();
+                            let a0 = heap.alloc_count();
+                            let outcome = pap_new(heap, FuncId(func), arity, vals);
+                            class_allocs[OpClass::Closure as usize] += heap.alloc_count() - a0;
+                            match outcome {
+                                ApplyOutcome::Partial(c) => {
+                                    frame.regs[dst.0 as usize] = c.to_bits();
+                                }
+                                other => {
+                                    frame.pc = pc as u32;
+                                    break 'act Transfer::Apply {
+                                        dst,
+                                        outcome: other,
+                                    };
+                                }
+                            }
+                        }
+                        DecodedInstr::PapExtend {
+                            dst,
+                            closure,
+                            args,
+                            cache,
+                        } => {
+                            let c = ObjRef::from_bits(frame.regs[closure.0 as usize]);
+                            let probe = match *heap.data(c) {
+                                ObjData::Closure {
+                                    func,
+                                    arity,
+                                    args: ref applied,
+                                } => {
+                                    if applied.is_empty() {
+                                        Some((func, arity))
+                                    } else {
+                                        None
+                                    }
+                                }
+                                _ => {
+                                    frame.pc = pc as u32;
+                                    break 'act Transfer::Error(err(
+                                        "papextend of a non-closure value",
+                                    ));
+                                }
+                            };
+                            let slot = if use_cache && cache != NO_CACHE {
+                                Some(f.cache_base as usize + cache as usize)
+                            } else {
+                                None
+                            };
+                            if let (Some(g), Some((func, arity))) = (slot, probe) {
+                                let s = caches[g];
+                                if s.state == SLOT_PAP
+                                    && s.func == func.0
+                                    && s.arity == arity
+                                    && arity == args.len
+                                {
+                                    *cache_hits += 1;
+                                    scratch.clear();
+                                    scratch.extend(
+                                        f.arg_regs(args).iter().map(|&r| frame.regs[r.0 as usize]),
+                                    );
+                                    heap.dec(c);
+                                    inline_call!(s.func, s.n_regs, dst);
+                                    continue;
+                                }
+                            }
+                            if let Some(g) = slot {
+                                *cache_misses += 1;
+                                if let Some((func, arity)) = probe {
+                                    if arity == args.len {
+                                        if let Some(t) = prog.fns.get(func.0 as usize) {
+                                            if t.arity == arity {
+                                                caches[g] = CacheSlot {
+                                                    func: func.0,
+                                                    arity,
+                                                    n_regs: t.n_regs,
+                                                    state: SLOT_PAP,
+                                                };
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            let vals: Vec<ObjRef> = f
+                                .arg_regs(args)
+                                .iter()
+                                .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
+                                .collect();
+                            let a0 = heap.alloc_count();
+                            let outcome = pap_extend(heap, c, vals);
+                            class_allocs[OpClass::Closure as usize] += heap.alloc_count() - a0;
+                            match outcome {
+                                ApplyOutcome::Partial(cc) => {
+                                    frame.regs[dst.0 as usize] = cc.to_bits();
+                                }
+                                other => {
+                                    frame.pc = pc as u32;
+                                    break 'act Transfer::Apply {
+                                        dst,
+                                        outcome: other,
+                                    };
+                                }
+                            }
+                        }
+                        DecodedInstr::Inc { src } => {
+                            let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                            heap.inc(o);
+                        }
+                        DecodedInstr::Dec { src } => {
+                            let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                            heap.dec(o);
+                        }
+                        DecodedInstr::Call {
+                            dst,
+                            func,
+                            args_off,
+                            args_len,
+                            cache,
+                        } => {
+                            scratch.clear();
+                            scratch.extend(
+                                f.arg_regs(ArgSlice {
+                                    off: args_off,
+                                    len: args_len,
+                                })
+                                .iter()
+                                .map(|&r| frame.regs[r.0 as usize]),
+                            );
+                            let slot = if use_cache && cache != NO_CACHE {
+                                Some(f.cache_base as usize + cache as usize)
+                            } else {
+                                None
+                            };
+                            let n_regs = match slot {
+                                Some(g) if caches[g].state == SLOT_CALL => {
+                                    *cache_hits += 1;
+                                    caches[g].n_regs
+                                }
+                                _ => {
+                                    if slot.is_some() {
+                                        *cache_misses += 1;
+                                    }
+                                    let Some(target) = prog.fns.get(func as usize) else {
+                                        frame.pc = pc as u32;
+                                        break 'act Transfer::Error(err(format!(
+                                            "bad function index {func}"
+                                        )));
+                                    };
+                                    if scratch.len() != target.arity as usize {
+                                        frame.pc = pc as u32;
+                                        break 'act Transfer::Error(err(format!(
+                                            "@{} called with {} args (arity {})",
+                                            target.name,
+                                            scratch.len(),
+                                            target.arity
+                                        )));
+                                    }
+                                    if let Some(g) = slot {
+                                        caches[g] = CacheSlot {
+                                            func,
+                                            arity: target.arity,
+                                            n_regs: target.n_regs,
+                                            state: SLOT_CALL,
+                                        };
+                                    }
+                                    target.n_regs
+                                }
+                            };
+                            inline_call!(func, n_regs, dst);
+                        }
+                        DecodedInstr::CallBuiltin { dst, builtin, args } => {
+                            if let [ra, rb] = f.arg_regs(args) {
+                                let a = frame.regs[ra.0 as usize];
+                                let b = frame.regs[rb.0 as usize];
+                                if let Some(bits) = builtin_fast2(builtin, a, b) {
+                                    *calls += 1;
+                                    // Consume both operands (statistics
+                                    // only: both are scalars here).
+                                    heap.dec(ObjRef::from_bits(a));
+                                    heap.dec(ObjRef::from_bits(b));
+                                    frame.regs[dst.0 as usize] = bits;
+                                    continue;
+                                }
+                            }
+                            scratch_objs.clear();
+                            scratch_objs.extend(
+                                f.arg_regs(args)
+                                    .iter()
+                                    .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize])),
+                            );
+                            *calls += 1;
+                            let a0 = heap.alloc_count();
+                            let out = builtin.call(heap, &*scratch_objs);
+                            class_allocs[OpClass::CallBuiltin as usize] += heap.alloc_count() - a0;
+                            frame.regs[dst.0 as usize] = out.to_bits();
+                        }
+                        DecodedInstr::TailCall {
+                            func,
+                            args_off,
+                            args_len,
+                            cache,
+                        } => {
+                            let args = ArgSlice {
+                                off: args_off,
+                                len: args_len,
+                            };
+                            let slot = if use_cache && cache != NO_CACHE {
+                                Some(f.cache_base as usize + cache as usize)
+                            } else {
+                                None
+                            };
+                            let n_regs = match slot {
+                                Some(g) if caches[g].state == SLOT_CALL => {
+                                    *cache_hits += 1;
+                                    caches[g].n_regs
+                                }
+                                _ => {
+                                    if slot.is_some() {
+                                        *cache_misses += 1;
+                                    }
+                                    let Some(target) = prog.fns.get(func as usize) else {
+                                        frame.pc = pc as u32;
+                                        break 'act Transfer::Error(err(format!(
+                                            "bad function index {func}"
+                                        )));
+                                    };
+                                    if args.len as usize != target.arity as usize {
+                                        frame.pc = pc as u32;
+                                        break 'act Transfer::Error(err(format!(
+                                            "@{} called with {} args (arity {})",
+                                            target.name, args.len, target.arity
+                                        )));
+                                    }
+                                    if let Some(g) = slot {
+                                        caches[g] = CacheSlot {
+                                            func,
+                                            arity: target.arity,
+                                            n_regs: target.n_regs,
+                                            state: SLOT_CALL,
+                                        };
+                                    }
+                                    target.n_regs
+                                }
+                            };
+                            *calls += 1;
+                            *tail_frame_reuses += 1;
+                            scratch.clear();
+                            scratch
+                                .extend(f.arg_regs(args).iter().map(|&r| frame.regs[r.0 as usize]));
+                            wire_regs(&mut frame.regs, scratch, n_regs);
+                            frame.func = func;
+                            *max_frame_width = (*max_frame_width).max(u64::from(n_regs));
+                            // The activation continues in the callee:
+                            // `ret_dst`/`after_ret` carry over, the stack is
+                            // untouched, and no outer-loop round trip is paid.
+                            f = &prog.fns[func as usize];
+                            pc = 0;
+                        }
+                        DecodedInstr::Ret { src } => {
+                            inline_ret!(frame.regs[src.0 as usize]);
+                        }
+                        DecodedInstr::Jump { target } => pc = target as usize,
+                        DecodedInstr::Branch {
+                            cond,
+                            then_t,
+                            else_t,
+                        } => {
+                            pc = if frame.regs[cond.0 as usize] != 0 {
+                                then_t as usize
+                            } else {
+                                else_t as usize
+                            };
+                        }
+                        DecodedInstr::Bin { op, dst, a, b } => {
+                            let x = frame.regs[a.0 as usize] as i64;
+                            let y = frame.regs[b.0 as usize] as i64;
+                            let Some(v) = op.eval(x, y) else {
+                                frame.pc = pc as u32;
+                                break 'act Transfer::Error(err("integer division by zero"));
+                            };
+                            frame.regs[dst.0 as usize] = v as u64;
+                        }
+                        DecodedInstr::Cmp { pred, dst, a, b } => {
+                            let x = frame.regs[a.0 as usize] as i64;
+                            let y = frame.regs[b.0 as usize] as i64;
+                            frame.regs[dst.0 as usize] = pred.eval(x, y) as u64;
+                        }
+                        DecodedInstr::Move { dst, src } => {
+                            frame.regs[dst.0 as usize] = frame.regs[src.0 as usize];
+                        }
+                        DecodedInstr::Trap => {
+                            frame.pc = pc as u32;
+                            break 'act Transfer::Error(err(format!(
+                                "reached unreachable code in @{}",
+                                f.name
+                            )));
+                        }
+                        DecodedInstr::CmpBr {
+                            pred,
+                            a,
+                            b,
+                            then_t,
+                            else_t,
+                        } => {
+                            let x = frame.regs[a.0 as usize] as i64;
+                            let y = frame.regs[b.0 as usize] as i64;
+                            pc = if pred.eval(x, y) {
+                                then_t as usize
+                            } else {
+                                else_t as usize
+                            };
+                        }
+                        DecodedInstr::ConstCmpBr {
+                            pred,
+                            a,
+                            imm,
+                            then_t,
+                            else_t,
+                        } => {
+                            let x = frame.regs[a.0 as usize] as i64;
+                            pc = if pred.eval(x, i64::from(imm)) {
+                                then_t as usize
+                            } else {
+                                else_t as usize
+                            };
+                        }
+                        DecodedInstr::ConstBin {
+                            op,
+                            imm_rhs,
+                            dst,
+                            src,
+                            imm,
+                        } => {
+                            let s = frame.regs[src.0 as usize] as i64;
+                            let (x, y) = if imm_rhs { (s, imm) } else { (imm, s) };
+                            let Some(v) = op.eval(x, y) else {
+                                frame.pc = pc as u32;
+                                break 'act Transfer::Error(err("integer division by zero"));
+                            };
+                            frame.regs[dst.0 as usize] = v as u64;
+                        }
+                        DecodedInstr::BinRet { op, a, b } => {
+                            let x = frame.regs[a.0 as usize] as i64;
+                            let y = frame.regs[b.0 as usize] as i64;
+                            let Some(v) = op.eval(x, y) else {
+                                frame.pc = pc as u32;
+                                break 'act Transfer::Error(err("integer division by zero"));
+                            };
+                            inline_ret!(v as u64);
+                        }
+                        DecodedInstr::MovRet { src } => {
+                            inline_ret!(frame.regs[src.0 as usize]);
+                        }
+                        DecodedInstr::ConstRet { v } => {
+                            inline_ret!(ObjRef::scalar(v).to_bits());
+                        }
+                        DecodedInstr::ProjInc { dst, src, idx } => {
+                            let o = ObjRef::from_bits(frame.regs[src.0 as usize]);
+                            let field = heap.ctor_field(o, idx as usize);
+                            heap.inc(field);
+                            frame.regs[dst.0 as usize] = field.to_bits();
+                        }
+                        DecodedInstr::Dec2 { a, b } => {
+                            let oa = ObjRef::from_bits(frame.regs[a.0 as usize]);
+                            heap.dec(oa);
+                            let ob = ObjRef::from_bits(frame.regs[b.0 as usize]);
+                            heap.dec(ob);
+                        }
+                        DecodedInstr::ProjInc2 {
+                            dst1,
+                            src1,
+                            idx1,
+                            dst2,
+                            src2,
+                            idx2,
+                        } => {
+                            // In-order: the first group's write lands
+                            // before the second's read (src2 may name dst1).
+                            let o1 = ObjRef::from_bits(frame.regs[src1.0 as usize]);
+                            let f1 = heap.ctor_field(o1, idx1 as usize);
+                            heap.inc(f1);
+                            frame.regs[dst1.0 as usize] = f1.to_bits();
+                            let o2 = ObjRef::from_bits(frame.regs[src2.0 as usize]);
+                            let f2 = heap.ctor_field(o2, idx2 as usize);
+                            heap.inc(f2);
+                            frame.regs[dst2.0 as usize] = f2.to_bits();
+                        }
+                        DecodedInstr::CallBuiltinRet { builtin, args } => {
+                            if let [ra, rb] = f.arg_regs(args) {
+                                let a = frame.regs[ra.0 as usize];
+                                let b = frame.regs[rb.0 as usize];
+                                if let Some(bits) = builtin_fast2(builtin, a, b) {
+                                    *calls += 1;
+                                    heap.dec(ObjRef::from_bits(a));
+                                    heap.dec(ObjRef::from_bits(b));
+                                    inline_ret!(bits);
+                                    continue;
+                                }
+                            }
+                            scratch_objs.clear();
+                            scratch_objs.extend(
+                                f.arg_regs(args)
+                                    .iter()
+                                    .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize])),
+                            );
+                            *calls += 1;
+                            let a0 = heap.alloc_count();
+                            let out = builtin.call(heap, &*scratch_objs);
+                            class_allocs[OpClass::FusedCallBuiltinRet as usize] +=
+                                heap.alloc_count() - a0;
+                            inline_ret!(out.to_bits());
+                        }
+                        DecodedInstr::ConstructRet { tag, args } => {
+                            let fields: Vec<ObjRef> = f
+                                .arg_regs(args)
+                                .iter()
+                                .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
+                                .collect();
+                            let obj = heap.alloc_ctor(tag, fields);
+                            class_allocs[OpClass::FusedConstructRet as usize] += 1;
+                            inline_ret!(obj.to_bits());
+                        }
+                        DecodedInstr::SwitchDense {
+                            idx,
+                            cases,
+                            default,
+                        } => {
+                            let v = frame.regs[idx.0 as usize] as i64;
+                            let run = &f.cases[cases.range()];
+                            pc = match v.checked_sub(run[0].0) {
+                                Some(p) if (p as u64) < run.len() as u64 => {
+                                    run[p as usize].1 as usize
+                                }
+                                _ => default as usize,
+                            };
+                        }
+                        // Cold classes: allocation, globals, rare arithmetic,
+                        // sparse switches — one `#[inline(never)]` handler per
+                        // class, dispatched on the decoded opcode-class byte.
+                        // (No wildcard: a new variant must pick a side.)
+                        DecodedInstr::LpBig { .. }
+                        | DecodedInstr::LpStr { .. }
+                        | DecodedInstr::Construct { .. }
+                        | DecodedInstr::Switch { .. }
+                        | DecodedInstr::Select { .. }
+                        | DecodedInstr::Mask { .. }
+                        | DecodedInstr::GlobalLoad { .. }
+                        | DecodedInstr::GlobalStore { .. } => {
+                            let mut ctx = ColdCtx {
+                                heap: &mut *heap,
+                                globals: &mut *globals,
+                                class_allocs: &mut *class_allocs,
+                                prog,
+                            };
+                            COLD_HANDLERS[class as usize](&mut ctx, f, frame, &mut pc, instr);
+                        }
+                    }
+                }
+            };
+            self.steps = steps;
+            match transfer {
+                Transfer::Push { func, n_regs, dst } => {
+                    let nfi = self.push_frame_fast(func, n_regs, dst);
+                    self.stack.push(nfi);
+                }
+                Transfer::Ret { bits } => {
+                    if let Some(value) = self.do_ret(fi, bits)? {
+                        return Ok(value);
+                    }
+                }
+                Transfer::Apply { dst, outcome } => self.apply(dst, outcome)?,
+                Transfer::Error(e) => return Err(e),
             }
         }
     }
@@ -684,9 +1775,9 @@ impl<'p> Vm<'p> {
         self.scratch.extend(args.iter().map(|a| a.to_bits()));
     }
 
-    /// Takes a frame from the free list (or grows the pool), wires it to
-    /// `func` with the staged arguments, and returns its pool index. The
-    /// caller pushes the index onto the stack.
+    /// Validates `func` against the staged arguments, then takes a frame
+    /// from the free list (or grows the pool), wires it up, and returns its
+    /// pool index. The caller pushes the index onto the stack.
     fn alloc_frame(&mut self, func: usize, ret_dst: Reg) -> Result<u32, VmError> {
         let f = self
             .program
@@ -701,6 +1792,15 @@ impl<'p> Vm<'p> {
                 f.arity
             )));
         }
+        let n_regs = f.n_regs;
+        Ok(self.push_frame_fast(func as u32, n_regs, ret_dst))
+    }
+
+    /// The validated tail of [`Vm::alloc_frame`]: wires a pooled frame to
+    /// `func` with the staged arguments, skipping the function lookup and
+    /// the arity check — the inline caches take this path directly on a
+    /// monomorphic hit (the site proved both on its first execution).
+    fn push_frame_fast(&mut self, func: u32, n_regs: u16, ret_dst: Reg) -> u32 {
         self.calls += 1;
         let fi = match self.free.pop() {
             Some(fi) => {
@@ -714,14 +1814,13 @@ impl<'p> Vm<'p> {
             }
         };
         let frame = &mut self.pool[fi as usize];
-        frame.func = func as u32;
+        frame.func = func;
         frame.pc = 0;
         frame.ret_dst = ret_dst;
         debug_assert!(frame.after_ret.is_empty(), "recycled frame carries state");
-        frame.regs.clear();
-        frame.regs.extend_from_slice(&self.scratch);
-        frame.regs.resize(f.n_regs as usize, 0);
-        Ok(fi)
+        wire_regs(&mut frame.regs, &self.scratch, n_regs);
+        self.max_frame_width = self.max_frame_width.max(u64::from(n_regs));
+        fi
     }
 
     /// Handles a pap/papextend outcome: either a value, or a frame to push.
@@ -770,6 +1869,15 @@ impl<'p> Vm<'p> {
             frame_reuses: self.frame_reuses,
             tail_frame_reuses: self.tail_frame_reuses,
             fused_cells: self.program.fusion.superinstructions(),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            max_frame_width: self.max_frame_width,
+            frame_pool_bytes: self
+                .pool
+                .iter()
+                .map(|fr| (fr.regs.capacity() * std::mem::size_of::<u64>()) as u64)
+                .sum(),
+            regs_saved: self.program.renumber.regs_saved(),
             duration: self.exec_time,
             heap: self.heap.stats(),
         }
@@ -781,7 +1889,216 @@ impl<'p> Vm<'p> {
     }
 }
 
-/// Runs `entry` of a pre-decoded program and renders the result.
+/// What a threaded activation ended with: the frame transition (or failure)
+/// the outer loop performs once the per-activation borrows are released.
+enum Transfer {
+    /// Push a frame for `func` — arguments staged in scratch, validation
+    /// already done (`n_regs` is the callee's register-file size).
+    Push { func: u32, n_regs: u16, dst: Reg },
+    /// Return `bits` from the current frame.
+    Ret { bits: u64 },
+    /// Apply a closure outcome to `dst` (may push a frame).
+    Apply { dst: Reg, outcome: ApplyOutcome },
+    /// The run failed.
+    Error(VmError),
+}
+
+/// The VM state a cold handler can touch: everything *except* the frame
+/// pool and stack (cold opcodes never transfer frames — the current frame
+/// is passed in by reborrow).
+struct ColdCtx<'a> {
+    heap: &'a mut Heap,
+    globals: &'a mut Vec<ObjRef>,
+    class_allocs: &'a mut [u64; OpClass::COUNT],
+    prog: &'a DecodedProgram,
+}
+
+/// One cold-class handler: `(ctx, fn, frame, pc, instr)`. The pc is in/out
+/// so sparse switches can jump. Cold opcodes cannot fail — failures are
+/// hot-loop concerns (arithmetic traps, call validation).
+type ColdHandler = fn(&mut ColdCtx<'_>, &DecodedFn, &mut Frame, &mut usize, DecodedInstr);
+
+/// A hot opcode was routed to the cold table: the inline arms and this
+/// table disagree about the class partition — a VM bug, not a program bug.
+#[cold]
+fn cold_mismatch() -> ! {
+    unreachable!("hot opcode class routed to a cold handler")
+}
+
+/// Heap-allocating data constructors (`LpBig`, `LpStr`, `Construct`).
+#[inline(never)]
+fn cold_alloc(
+    ctx: &mut ColdCtx<'_>,
+    f: &DecodedFn,
+    frame: &mut Frame,
+    _pc: &mut usize,
+    instr: DecodedInstr,
+) {
+    match instr {
+        DecodedInstr::LpBig { dst, idx } => {
+            let a0 = ctx.heap.alloc_count();
+            let n = ctx.prog.big_pool[idx as usize].clone();
+            frame.regs[dst.0 as usize] = ctx.heap.mk_nat(n).to_bits();
+            ctx.class_allocs[OpClass::Alloc as usize] += ctx.heap.alloc_count() - a0;
+        }
+        DecodedInstr::LpStr { dst, idx } => {
+            let s = ctx.prog.str_pool[idx as usize].clone();
+            frame.regs[dst.0 as usize] = ctx.heap.alloc_str(s).to_bits();
+            ctx.class_allocs[OpClass::Alloc as usize] += 1;
+        }
+        DecodedInstr::Construct { dst, tag, args } => {
+            let fields: Vec<ObjRef> = f
+                .arg_regs(args)
+                .iter()
+                .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize]))
+                .collect();
+            frame.regs[dst.0 as usize] = ctx.heap.alloc_ctor(tag, fields).to_bits();
+            ctx.class_allocs[OpClass::Alloc as usize] += 1;
+        }
+        _ => cold_mismatch(),
+    }
+}
+
+/// Sparse jump tables (`Switch`; the class's `Jump`/`Branch` stay inline).
+#[inline(never)]
+fn cold_branch(
+    _ctx: &mut ColdCtx<'_>,
+    f: &DecodedFn,
+    frame: &mut Frame,
+    pc: &mut usize,
+    instr: DecodedInstr,
+) {
+    match instr {
+        DecodedInstr::Switch {
+            idx,
+            cases,
+            default,
+        } => {
+            let v = frame.regs[idx.0 as usize] as i64;
+            *pc = f.cases[cases.range()]
+                .iter()
+                .find(|&&(c, _)| c == v)
+                .map(|&(_, t)| t)
+                .unwrap_or(default) as usize;
+        }
+        _ => cold_mismatch(),
+    }
+}
+
+/// Rare word arithmetic (`Select`, `Mask`; `Bin`/`Cmp` stay inline).
+#[inline(never)]
+fn cold_arith(
+    _ctx: &mut ColdCtx<'_>,
+    _f: &DecodedFn,
+    frame: &mut Frame,
+    _pc: &mut usize,
+    instr: DecodedInstr,
+) {
+    match instr {
+        DecodedInstr::Select { dst, c, a, b } => {
+            let v = if frame.regs[c.0 as usize] != 0 {
+                frame.regs[a.0 as usize]
+            } else {
+                frame.regs[b.0 as usize]
+            };
+            frame.regs[dst.0 as usize] = v;
+        }
+        DecodedInstr::Mask { dst, src, mask } => {
+            frame.regs[dst.0 as usize] = frame.regs[src.0 as usize] & mask;
+        }
+        _ => cold_mismatch(),
+    }
+}
+
+/// Module-global loads and stores.
+#[inline(never)]
+fn cold_global(
+    ctx: &mut ColdCtx<'_>,
+    _f: &DecodedFn,
+    frame: &mut Frame,
+    _pc: &mut usize,
+    instr: DecodedInstr,
+) {
+    match instr {
+        DecodedInstr::GlobalLoad { dst, idx } => {
+            frame.regs[dst.0 as usize] = ctx.globals[idx as usize].to_bits();
+        }
+        DecodedInstr::GlobalStore { idx, src } => {
+            ctx.globals[idx as usize] = ObjRef::from_bits(frame.regs[src.0 as usize]);
+        }
+        _ => cold_mismatch(),
+    }
+}
+
+/// Filler for classes the inline arms fully handle.
+fn cold_never(
+    _ctx: &mut ColdCtx<'_>,
+    _f: &DecodedFn,
+    _frame: &mut Frame,
+    _pc: &mut usize,
+    _instr: DecodedInstr,
+) {
+    cold_mismatch()
+}
+
+/// The cold-dispatch function-pointer table, indexed by the decoded
+/// opcode-class byte ([`DecodedFn::classes`], i.e. [`OpClass`]
+/// discriminants). Hot classes are fillers — their instructions never reach
+/// the table.
+static COLD_HANDLERS: [ColdHandler; OpClass::COUNT] = [
+    cold_never,  // Const
+    cold_alloc,  // Alloc
+    cold_never,  // Project
+    cold_never,  // Closure
+    cold_never,  // Rc
+    cold_never,  // Call
+    cold_never,  // CallBuiltin
+    cold_never,  // TailCall
+    cold_never,  // Ret
+    cold_branch, // Branch (only sparse Switch routes here)
+    cold_arith,  // Arith (only Select/Mask route here)
+    cold_never,  // Move
+    cold_global, // Global
+    cold_never,  // Trap
+    cold_never,  // FusedCmpBr
+    cold_never,  // FusedConstCmpBr
+    cold_never,  // FusedConstBin
+    cold_never,  // FusedBinRet
+    cold_never,  // FusedMovRet
+    cold_never,  // FusedConstRet
+    cold_never,  // FusedProjInc
+    cold_never,  // FusedCallBuiltinRet
+    cold_never,  // FusedConstructRet
+    cold_never,  // FusedSwitchDense
+    cold_never,  // FusedDec2
+    cold_never,  // FusedProjInc2
+];
+
+/// Runs `entry` of a pre-decoded program under explicit [`ExecOptions`]
+/// and renders the result.
+///
+/// # Errors
+///
+/// See [`Vm::run`].
+pub fn run_decoded_with(
+    program: &DecodedProgram,
+    entry: &str,
+    max_steps: u64,
+    exec: ExecOptions,
+) -> Result<RunOutcome, VmError> {
+    let mut vm = Vm::with_options(program, max_steps, exec);
+    let result = vm.run(entry)?;
+    let rendered = vm.heap.render(result);
+    vm.heap.dec(result);
+    Ok(RunOutcome {
+        rendered,
+        stats: vm.stats(),
+        vm_stats: vm.statistics(),
+    })
+}
+
+/// Runs `entry` of a pre-decoded program and renders the result (default
+/// execution options: threaded dispatch, inline caches on).
 ///
 /// # Errors
 ///
@@ -791,15 +2108,25 @@ pub fn run_decoded(
     entry: &str,
     max_steps: u64,
 ) -> Result<RunOutcome, VmError> {
-    let mut vm = Vm::new(program, max_steps);
-    let result = vm.run(entry)?;
-    let rendered = vm.heap.render(result);
-    vm.heap.dec(result);
-    Ok(RunOutcome {
-        rendered,
-        stats: vm.stats(),
-        vm_stats: vm.statistics(),
-    })
+    run_decoded_with(program, entry, max_steps, ExecOptions::default())
+}
+
+/// Decodes `program` under `decode` (memoized per program, see
+/// [`CompiledProgram::decoded`]), then runs `entry` under `exec` and
+/// renders the result — the fully-parameterized entry point behind the
+/// `--dispatch`/`--no-inline-cache`/`--no-renumber`/`--no-fuse` knobs.
+///
+/// # Errors
+///
+/// See [`Vm::run`].
+pub fn run_program_opts(
+    program: &CompiledProgram,
+    entry: &str,
+    max_steps: u64,
+    decode: DecodeOptions,
+    exec: ExecOptions,
+) -> Result<RunOutcome, VmError> {
+    run_decoded_with(&program.decoded(decode), entry, max_steps, exec)
 }
 
 /// Decodes `program` under `opts` (memoized per program, see
@@ -814,7 +2141,7 @@ pub fn run_program_with(
     max_steps: u64,
     opts: DecodeOptions,
 ) -> Result<RunOutcome, VmError> {
-    run_decoded(&program.decoded(opts), entry, max_steps)
+    run_program_opts(program, entry, max_steps, opts, ExecOptions::default())
 }
 
 /// [`run_program_with`] under the default decode options (fusion on).
@@ -1039,6 +2366,145 @@ mod tests {
         let out = run_program(&p, "main", 1000).unwrap();
         assert_eq!(out.rendered, "42");
         assert!(out.vm_stats.allocs_of(OpClass::Closure) >= 1);
+    }
+
+    #[test]
+    fn inline_caches_hit_on_monomorphic_sites() {
+        // The tail loop's call sites each bind one target, so after the
+        // first-execution miss every iteration must hit — and switching
+        // the caches off must change the counters and nothing else.
+        let p = tail_loop(1_000);
+        let run = |cache: bool| {
+            run_program_opts(
+                &p,
+                "main",
+                1_000_000,
+                DecodeOptions::default(),
+                ExecOptions::default().with_inline_cache(cache),
+            )
+            .unwrap()
+        };
+        let cached = run(true);
+        let uncached = run(false);
+        assert_eq!(cached.rendered, "7");
+        assert_eq!(cached.rendered, uncached.rendered);
+        assert_eq!(cached.stats.instructions, uncached.stats.instructions);
+        assert_eq!(uncached.vm_stats.cache_hits, 0);
+        assert_eq!(uncached.vm_stats.cache_misses, 0);
+        assert!(
+            cached.vm_stats.cache_hits >= 999,
+            "the monomorphic tail site must hit on all but its first iteration (got {})",
+            cached.vm_stats.cache_hits
+        );
+        assert!(
+            cached.vm_stats.cache_misses <= 3,
+            "only first executions may miss (got {})",
+            cached.vm_stats.cache_misses
+        );
+    }
+
+    /// `apply5(c) = papextend c [5]`, called with closures over `twice`
+    /// and optionally `inc` — one papextend site, one or two targets.
+    fn papextend_site(second_target: u32) -> CompiledProgram {
+        CompiledProgram {
+            fns: vec![
+                CompiledFn {
+                    name: "main".into(),
+                    arity: 0,
+                    n_regs: 3,
+                    code: vec![
+                        Instr::Pap {
+                            dst: Reg(0),
+                            func: 2,
+                            arity: 1,
+                            args: vec![],
+                        },
+                        Instr::Call {
+                            dst: Reg(1),
+                            func: 1,
+                            args: vec![Reg(0)],
+                        },
+                        Instr::Pap {
+                            dst: Reg(0),
+                            func: second_target,
+                            arity: 1,
+                            args: vec![],
+                        },
+                        Instr::Call {
+                            dst: Reg(2),
+                            func: 1,
+                            args: vec![Reg(0)],
+                        },
+                        Instr::CallBuiltin {
+                            dst: Reg(0),
+                            builtin: lssa_rt::Builtin::NatAdd,
+                            args: vec![Reg(1), Reg(2)],
+                        },
+                        Instr::Ret { src: Reg(0) },
+                    ],
+                },
+                CompiledFn {
+                    name: "apply5".into(),
+                    arity: 1,
+                    n_regs: 3,
+                    code: vec![
+                        Instr::LpInt { dst: Reg(1), v: 5 },
+                        Instr::PapExtend {
+                            dst: Reg(2),
+                            closure: Reg(0),
+                            args: vec![Reg(1)],
+                        },
+                        Instr::Ret { src: Reg(2) },
+                    ],
+                },
+                CompiledFn {
+                    name: "twice".into(),
+                    arity: 1,
+                    n_regs: 2,
+                    code: vec![
+                        Instr::CallBuiltin {
+                            dst: Reg(1),
+                            builtin: lssa_rt::Builtin::NatAdd,
+                            args: vec![Reg(0), Reg(0)],
+                        },
+                        Instr::Ret { src: Reg(1) },
+                    ],
+                },
+                CompiledFn {
+                    name: "inc".into(),
+                    arity: 1,
+                    n_regs: 3,
+                    code: vec![
+                        Instr::LpInt { dst: Reg(1), v: 1 },
+                        Instr::CallBuiltin {
+                            dst: Reg(2),
+                            builtin: lssa_rt::Builtin::NatAdd,
+                            args: vec![Reg(0), Reg(1)],
+                        },
+                        Instr::Ret { src: Reg(2) },
+                    ],
+                },
+            ],
+            ..CompiledProgram::default()
+        }
+    }
+
+    #[test]
+    fn papextend_cache_distinguishes_mono_from_polymorphic_sites() {
+        // Same closure shape twice: the papextend site misses once, then
+        // hits. Cache sites executed: main's two `Call`s (one miss each)
+        // and the papextend (miss + hit).
+        let mono = run_program(&papextend_site(2), "main", 1000).unwrap();
+        assert_eq!(mono.rendered, "20");
+        assert_eq!(mono.vm_stats.cache_hits, 1);
+        assert_eq!(mono.vm_stats.cache_misses, 3);
+        // Two different targets through the one site: the second probe
+        // sees a different function and must fall back to the runtime's
+        // generic path — no stale-target call, one extra miss.
+        let poly = run_program(&papextend_site(3), "main", 1000).unwrap();
+        assert_eq!(poly.rendered, "16");
+        assert_eq!(poly.vm_stats.cache_hits, 0);
+        assert_eq!(poly.vm_stats.cache_misses, 4);
     }
 
     #[test]

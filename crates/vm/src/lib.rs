@@ -30,8 +30,9 @@ pub use bytecode::{CompiledFn, CompiledProgram, DecodeCache, Instr, Reg};
 pub use compile::{compile_module, CompileError};
 pub use decode::{
     decode_program, decode_program_with, DecodeOptions, DecodedFn, DecodedInstr, DecodedProgram,
-    FusionStats, OpClass,
+    FusionStats, OpClass, RenumberStats,
 };
 pub use exec::{
-    run_decoded, run_program, run_program_with, ExecStats, RunOutcome, Vm, VmError, VmStatistics,
+    run_decoded, run_decoded_with, run_program, run_program_opts, run_program_with, DispatchMode,
+    ExecOptions, ExecStats, RunOutcome, Vm, VmError, VmStatistics,
 };

@@ -1,66 +1,115 @@
-//! Fused vs `--no-fuse` differential suite: the superinstruction pass must
-//! be a pure dispatch optimization. For every workload (under every
-//! compiler configuration) and every conformance case, the two decode
-//! modes must produce byte-identical results and identical heap/allocation
-//! counters — only the executed-cell counts may differ (fused runs fewer).
+//! Dispatch-matrix differential suite: every VM execution strategy must be
+//! a pure dispatch optimization. For every workload (under every compiler
+//! configuration) and every conformance case, the full matrix of
+//! {match, threaded} dispatch × {fused, unfused} decode × {inline caches
+//! on, off} must produce byte-identical results and identical
+//! heap/allocation counters — only the executed-cell counts may differ
+//! across decode modes (fused runs fewer), and only the cache counters may
+//! differ across cache modes.
 //!
 //! Runtime errors count too: a program that traps must trap with the same
-//! message in both modes.
+//! message under every strategy.
 
 use lambda_ssa::driver::conformance::handwritten;
 use lambda_ssa::driver::pipelines::{compile, CompilerConfig};
 use lambda_ssa::driver::workloads::{all, Scale};
 use lambda_ssa::driver::{diff, par};
-use lambda_ssa::vm::{run_program_with, DecodeOptions};
+use lambda_ssa::vm::{run_program_opts, DecodeOptions, DispatchMode, ExecOptions};
 
 const MAX_STEPS: u64 = 500_000_000;
 
-/// Runs one compiled program in both decode modes and checks equivalence.
-/// Returns the fused outcome's rendering (for checksum asserts).
-fn assert_modes_agree(label: &str, program: &lambda_ssa::vm::CompiledProgram) -> Option<String> {
-    let fused = run_program_with(program, "main", MAX_STEPS, DecodeOptions::fused());
-    let unfused = run_program_with(program, "main", MAX_STEPS, DecodeOptions::no_fuse());
-    match (fused, unfused) {
-        (Ok(f), Ok(u)) => {
-            assert_eq!(f.rendered, u.rendered, "{label}: checksum diverged");
-            assert_eq!(
-                f.vm_stats.heap, u.vm_stats.heap,
-                "{label}: heap counters diverged"
-            );
-            assert_eq!(
-                f.vm_stats.max_depth, u.vm_stats.max_depth,
-                "{label}: frame depth diverged"
-            );
-            assert_eq!(
-                f.vm_stats.frame_allocs, u.vm_stats.frame_allocs,
-                "{label}: frame allocation diverged"
-            );
-            assert!(
-                f.stats.instructions <= u.stats.instructions,
-                "{label}: fused dispatch must never execute more cells"
-            );
-            Some(f.rendered)
+/// The execution strategies under test: every combination of dispatch
+/// mode, decode mode, and inline caching. The first entry (threaded,
+/// fused, cached) is the default and serves as the reference.
+fn matrix() -> Vec<(String, DecodeOptions, ExecOptions)> {
+    let mut combos = Vec::new();
+    for dispatch in [DispatchMode::Threaded, DispatchMode::Match] {
+        for (dl, decode) in [
+            ("fused", DecodeOptions::fused()),
+            ("no-fuse", DecodeOptions::no_fuse()),
+        ] {
+            for cache in [true, false] {
+                combos.push((
+                    format!(
+                        "{}/{dl}/{}",
+                        dispatch.name(),
+                        if cache { "cache" } else { "no-cache" }
+                    ),
+                    decode,
+                    ExecOptions::default()
+                        .with_dispatch(dispatch)
+                        .with_inline_cache(cache),
+                ));
+            }
         }
-        (Err(fe), Err(ue)) => {
-            assert_eq!(fe.message, ue.message, "{label}: error message diverged");
-            None
-        }
-        (f, u) => panic!(
-            "{label}: one mode failed, the other did not (fused: {:?}, unfused: {:?})",
-            f.map(|o| o.rendered),
-            u.map(|o| o.rendered)
-        ),
     }
+    combos
+}
+
+/// Runs one compiled program under the whole matrix and checks that every
+/// strategy agrees with the first (the default). Returns the default's
+/// rendering (for checksum asserts), or `None` if the program traps.
+fn assert_matrix_agrees(label: &str, program: &lambda_ssa::vm::CompiledProgram) -> Option<String> {
+    let combos = matrix();
+    let reference = run_program_opts(program, "main", MAX_STEPS, combos[0].1, combos[0].2);
+    for (name, decode, exec) in &combos[1..] {
+        let got = run_program_opts(program, "main", MAX_STEPS, *decode, *exec);
+        match (&reference, &got) {
+            (Ok(r), Ok(g)) => {
+                assert_eq!(
+                    r.rendered, g.rendered,
+                    "{label} [{name}]: checksum diverged"
+                );
+                assert_eq!(
+                    r.vm_stats.heap, g.vm_stats.heap,
+                    "{label} [{name}]: heap counters diverged"
+                );
+                assert_eq!(
+                    r.vm_stats.max_depth, g.vm_stats.max_depth,
+                    "{label} [{name}]: frame depth diverged"
+                );
+                assert_eq!(
+                    r.vm_stats.frame_allocs, g.vm_stats.frame_allocs,
+                    "{label} [{name}]: frame allocation diverged"
+                );
+                assert!(
+                    r.stats.instructions <= g.stats.instructions,
+                    "{label} [{name}]: fused dispatch must never execute more cells"
+                );
+                // Same decode mode ⇒ byte-identical cell counts; dispatch
+                // and caching may not change what executes at all.
+                if *decode == combos[0].1 {
+                    assert_eq!(
+                        r.stats.instructions, g.stats.instructions,
+                        "{label} [{name}]: dispatch/caching changed the cell count"
+                    );
+                }
+            }
+            (Err(re), Err(ge)) => {
+                assert_eq!(
+                    re.message, ge.message,
+                    "{label} [{name}]: error message diverged"
+                );
+            }
+            (r, g) => panic!(
+                "{label} [{name}]: one strategy failed, the other did not \
+                 (reference: {:?}, {name}: {:?})",
+                r.as_ref().map(|o| &o.rendered),
+                g.as_ref().map(|o| &o.rendered)
+            ),
+        }
+    }
+    reference.ok().map(|o| o.rendered)
 }
 
 #[test]
-fn workloads_agree_fused_vs_unfused_across_all_pipelines() {
+fn workloads_agree_across_dispatch_matrix_and_all_pipelines() {
     let workloads = all(Scale::Test);
     par::par_map(&workloads, |w| {
         for config in diff::configs() {
             let label = format!("{} [{}]", w.name, config.label());
             let program = compile(&w.src, config).unwrap_or_else(|e| panic!("{label}: {e}"));
-            let rendered = assert_modes_agree(&label, &program)
+            let rendered = assert_matrix_agrees(&label, &program)
                 .unwrap_or_else(|| panic!("{label}: workload must not trap"));
             assert_eq!(rendered, w.expected_test, "{label}");
         }
@@ -68,10 +117,10 @@ fn workloads_agree_fused_vs_unfused_across_all_pipelines() {
 }
 
 #[test]
-fn conformance_cases_agree_fused_vs_unfused() {
+fn conformance_cases_agree_across_dispatch_matrix() {
     // The hand-written corpus covers every language construct and the
     // runtime-error edges (div-by-zero and friends) — exactly the places a
-    // fusion bug would hide.
+    // dispatch or fusion bug would hide.
     let cases = handwritten();
     par::par_map(&cases, |case| {
         let program = match compile(&case.src, CompilerConfig::mlir()) {
@@ -79,6 +128,6 @@ fn conformance_cases_agree_fused_vs_unfused() {
             // Compile-time failures never reach the decoder.
             Err(_) => return,
         };
-        assert_modes_agree(&case.name, &program);
+        assert_matrix_agrees(&case.name, &program);
     });
 }

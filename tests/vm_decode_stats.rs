@@ -11,7 +11,10 @@
 
 use lambda_ssa::driver::pipelines::{compile, CompilerConfig};
 use lambda_ssa::driver::workloads::{all, Scale};
-use lambda_ssa::vm::{decode_program, decode_program_with, run_decoded, DecodeOptions, OpClass};
+use lambda_ssa::vm::{
+    decode_program, decode_program_with, run_decoded, run_decoded_with, DecodeOptions,
+    DispatchMode, ExecOptions, OpClass,
+};
 
 const MAX_STEPS: u64 = 500_000_000;
 
@@ -68,41 +71,99 @@ fn decode_round_trips_compiled_workloads() {
 fn compiled_tail_recursion_runs_in_constant_frames() {
     // A tail-recursive countdown over raw machine arithmetic: after TCO the
     // loop body is pure arith + tail call, so the steady state must not
-    // allocate at all.
+    // allocate at all — under either dispatch mode.
     let src_for = |n: u64| {
         format!(
             "def loop(n, acc) := if n == 0 then acc else loop(n - 1, acc + n)\n\
              def main() := loop({n}, 0)"
         )
     };
-    let run = |n: u64| {
-        let program = compile(&src_for(n), CompilerConfig::mlir()).expect("compile");
-        let decoded = decode_program(&program);
-        run_decoded(&decoded, "main", MAX_STEPS).expect("run")
-    };
-    let shallow = run(1_000);
-    let deep = run(100_000);
-    assert_eq!(deep.rendered, "5000050000");
-    for out in [&shallow, &deep] {
-        assert!(
-            out.vm_stats.executed_of(OpClass::TailCall) > 0,
-            "the pipeline must compile the recursion to tail calls"
+    for dispatch in [DispatchMode::Threaded, DispatchMode::Match] {
+        let exec = ExecOptions::default().with_dispatch(dispatch);
+        let run = |n: u64| {
+            let program = compile(&src_for(n), CompilerConfig::mlir()).expect("compile");
+            let decoded = decode_program(&program);
+            run_decoded_with(&decoded, "main", MAX_STEPS, exec).expect("run")
+        };
+        let shallow = run(1_000);
+        let deep = run(100_000);
+        assert_eq!(deep.rendered, "5000050000");
+        for out in [&shallow, &deep] {
+            assert!(
+                out.vm_stats.executed_of(OpClass::TailCall) > 0,
+                "the pipeline must compile the recursion to tail calls"
+            );
+            assert!(
+                out.vm_stats.max_depth <= 3,
+                "frame-pool high-water mark must not grow with depth (got {})",
+                out.vm_stats.max_depth
+            );
+            assert_eq!(
+                out.vm_stats.frame_allocs, out.vm_stats.max_depth,
+                "only the high-water mark's worth of frames is ever allocated"
+            );
+        }
+        // Zero steady-state allocations of any kind ({dispatch:?}): 100x
+        // the iterations, identical heap-allocation count, identical
+        // frame-pool footprint. A recycled frame re-allocates only when
+        // wired wider than ever before, so the pool's retained bytes must
+        // not grow with depth either.
+        assert_eq!(
+            deep.vm_stats.heap.allocs, shallow.vm_stats.heap.allocs,
+            "tail-call fast path must not allocate per iteration ({dispatch:?})"
         );
-        assert!(
-            out.vm_stats.max_depth <= 3,
-            "frame-pool high-water mark must not grow with depth (got {})",
-            out.vm_stats.max_depth
+        assert_eq!(deep.vm_stats.allocs_of(OpClass::TailCall), 0);
+        assert_eq!(
+            deep.vm_stats.frame_pool_bytes, shallow.vm_stats.frame_pool_bytes,
+            "frame-pool footprint must not grow with loop depth ({dispatch:?})"
         );
         assert_eq!(
-            out.vm_stats.frame_allocs, out.vm_stats.max_depth,
-            "only the high-water mark's worth of frames is ever allocated"
+            deep.vm_stats.max_frame_width, shallow.vm_stats.max_frame_width,
+            "widest frame must not grow with loop depth ({dispatch:?})"
+        );
+        assert!(
+            deep.vm_stats.tail_frame_reuses > shallow.vm_stats.tail_frame_reuses,
+            "the deep loop must reuse its frame in place ({dispatch:?})"
         );
     }
-    // Zero heap allocations per iteration: 100x the iterations, identical
-    // allocation count.
-    assert_eq!(
-        deep.vm_stats.heap.allocs, shallow.vm_stats.heap.allocs,
-        "tail-call fast path must not allocate per iteration"
-    );
-    assert_eq!(deep.vm_stats.allocs_of(OpClass::TailCall), 0);
+}
+
+#[test]
+fn renumbering_shrinks_frames_without_changing_results() {
+    // Real pipeline output: fusion swallows intermediates, renumbering
+    // then compacts the register file. The compacted program must execute
+    // identically with a strictly smaller (never larger) frame pool.
+    for w in all(Scale::Test) {
+        let program =
+            compile(&w.src, CompilerConfig::mlir()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let plain = decode_program_with(&program, DecodeOptions::fused().with_renumber(false));
+        let compact = decode_program_with(&program, DecodeOptions::fused());
+        assert!(
+            compact.renumber.regs_after <= compact.renumber.regs_before,
+            "{}: renumbering grew a register file",
+            w.name
+        );
+        for (p, c) in plain.fns.iter().zip(&compact.fns) {
+            assert!(c.n_regs <= p.n_regs, "{}/@{}", w.name, p.name);
+        }
+        let plain_out = run_decoded(&plain, "main", MAX_STEPS).expect("plain run");
+        let compact_out = run_decoded(&compact, "main", MAX_STEPS).expect("compact run");
+        assert_eq!(plain_out.rendered, compact_out.rendered, "{}", w.name);
+        assert_eq!(
+            plain_out.stats.instructions, compact_out.stats.instructions,
+            "{}: renumbering must not change what executes",
+            w.name
+        );
+        assert!(
+            compact_out.vm_stats.frame_pool_bytes <= plain_out.vm_stats.frame_pool_bytes,
+            "{}: compaction must never retain a larger frame pool",
+            w.name
+        );
+        assert_eq!(
+            compact_out.vm_stats.regs_saved,
+            compact.renumber.regs_saved(),
+            "{}",
+            w.name
+        );
+    }
 }
