@@ -3,6 +3,9 @@
 //! - region optimizations (§IV-B) on/off,
 //! - generic CFG-level passes on/off,
 //! - guaranteed vs heuristic tail calls (§III-E),
+//! - the reference-count optimization (§III) on/off (the `-rc-opt` knob
+//!   compiles without inc/dec pair elision and dec sinking, so its
+//!   instruction-count delta against `full` is the rc-opt win),
 //! - decode-time superinstruction fusion on/off (the `-fusion` knob runs
 //!   the full compile pipeline but executes the unfused stream, so the
 //!   fused rows of the VM tables quantify exactly what fusion buys),
@@ -68,6 +71,15 @@ fn main() {
             "-guaranteed-tco",
             PipelineOptions {
                 guaranteed_tco: false,
+                ..PipelineOptions::full()
+            },
+            fused,
+            exec,
+        ),
+        (
+            "-rc-opt",
+            PipelineOptions {
+                rc_opt: false,
                 ..PipelineOptions::full()
             },
             fused,

@@ -10,10 +10,13 @@
 //!   CFG simplification, inlining) that Figure 11 credits to the ecosystem.
 //! - `guaranteed_tco` — `musttail` semantics (§III-E); the heuristic
 //!   alternative models the C backend.
+//! - `rc_opt` — the §III reference-count optimization (borrow-driven
+//!   inc/dec pair elision and dec sinking) as a CFG-level pass.
 //!
 //! The phases are expressed as *named pipelines* on the instrumented
-//! [`PassManager`] engine — `rgn-opt`, `lower-cfg`, `generic-opt`, `tco`,
-//! `cleanup` — each driven to a fixpoint where iteration matters.
+//! [`PassManager`] engine — `rgn-opt`, `lower-cfg`, `generic-opt`,
+//! `rc-opt`, `tco`, `cleanup` — each driven to a fixpoint where iteration
+//! matters.
 //! [`compile_with_report`] returns the collected [`PipelineReport`] so
 //! drivers (the `lssa` CLI's `--pass-stats`, the `ablation` binary) can
 //! show per-pass statistics, and `print_ir_after_all` streams the module
@@ -23,7 +26,7 @@ use crate::lp::from_lambda;
 use crate::rgn::{self, GrnPass, RgnToCfgPass, TcoPass};
 use lssa_ir::module::Module;
 use lssa_ir::pass::{PassManager, PipelineRunReport};
-use lssa_ir::passes::{CanonicalizePass, CsePass, DcePass, InlinePass, SimplifyCfgPass};
+use lssa_ir::passes::{CanonicalizePass, CsePass, DcePass, InlinePass, RcOptPass, SimplifyCfgPass};
 use lssa_lambda::ast::Program;
 
 /// Fixpoint bound for the `rgn-opt` pipeline (GRN can expose new folds and
@@ -45,6 +48,9 @@ pub struct PipelineOptions {
     pub generic_opts: bool,
     /// Guarantee all tail calls (vs. self-recursion only).
     pub guaranteed_tco: bool,
+    /// Run the reference-count optimization (§III): borrow-driven
+    /// `lp.inc`/`lp.dec` pair elision and dec sinking.
+    pub rc_opt: bool,
     /// Verify the module between phases (slow; meant for tests).
     pub verify: bool,
     /// Dump the module to stderr after every pass (the CLI's
@@ -65,6 +71,7 @@ impl PipelineOptions {
             region_opts: true,
             generic_opts: true,
             guaranteed_tco: true,
+            rc_opt: true,
             verify: false,
             print_ir_after_all: false,
         }
@@ -75,6 +82,7 @@ impl PipelineOptions {
         PipelineOptions {
             region_opts: false,
             generic_opts: false,
+            rc_opt: false,
             ..PipelineOptions::full()
         }
     }
@@ -174,6 +182,18 @@ pub fn generic_opt_pipeline(opts: PipelineOptions) -> PassManager {
     )
 }
 
+/// The `rc-opt` pipeline: the §III reference-count optimization. A single
+/// sweep — the pass drives each block to its own fixpoint internally, so
+/// one sweep is already idempotent.
+pub fn rc_opt_pipeline(opts: PipelineOptions) -> PassManager {
+    with_dump(
+        PassManager::named("rc-opt")
+            .verify_each(opts.verify)
+            .add(RcOptPass::default()),
+        opts,
+    )
+}
+
 /// The `cleanup` pipeline: the inliner-free subset of the generic passes,
 /// safe to fixpoint after TCO (none of them can grow the module).
 pub fn cleanup_pipeline(opts: PipelineOptions) -> PassManager {
@@ -237,6 +257,12 @@ pub fn compile_with_report(program: &Program, opts: PipelineOptions) -> (Module,
         report
             .phases
             .push(generic_opt_pipeline(opts).run(&mut module));
+    }
+    // Reference-count optimization (§III): after generic-opt (whose
+    // CSE/DCE/inlining expose same-block pairs), before tco, with the
+    // trailing cleanup still running behind it.
+    if opts.rc_opt {
+        report.phases.push(rc_opt_pipeline(opts).run(&mut module));
     }
     // Tail calls (§III-E).
     report.phases.push(
@@ -394,7 +420,14 @@ def main() := ap42(k(10))
         let names: Vec<&str> = report.phases.iter().map(|p| p.pipeline.as_str()).collect();
         assert_eq!(
             names,
-            vec!["rgn-opt", "lower-cfg", "generic-opt", "tco", "cleanup"]
+            vec![
+                "rgn-opt",
+                "lower-cfg",
+                "generic-opt",
+                "rc-opt",
+                "tco",
+                "cleanup"
+            ]
         );
         // Every phase recorded per-pass rows with sensible op counts.
         for phase in &report.phases {
@@ -419,7 +452,14 @@ def main() := ap42(k(10))
         let names: Vec<&str> = report.phases.iter().map(|p| p.pipeline.as_str()).collect();
         assert_eq!(
             names,
-            vec!["rgn-opt", "lower-cfg", "generic-opt", "tco", "cleanup"]
+            vec![
+                "rgn-opt",
+                "lower-cfg",
+                "generic-opt",
+                "rc-opt",
+                "tco",
+                "cleanup"
+            ]
         );
         let (_, single) = compile_with_report(&a, PipelineOptions::full());
         let batch_lower = report

@@ -10,18 +10,24 @@
 //! best observed run is the least-noise estimate of a deterministic
 //! program's true cost. The ladder:
 //!
-//! | config           | dispatch | inline cache | renumber | fusion |
-//! |------------------|----------|--------------|----------|--------|
-//! | `base`           | match    | off          | off      | on     |
-//! | `threaded`       | threaded | off          | off      | on     |
-//! | `threaded_cache` | threaded | on           | off      | on     |
-//! | `full`           | threaded | on           | on       | on     |
-//! | `full_nofuse`    | threaded | on           | on       | off    |
+//! | config           | dispatch | inline cache | renumber | fusion | rc-opt |
+//! |------------------|----------|--------------|----------|--------|--------|
+//! | `base`           | match    | off          | off      | on     | on     |
+//! | `threaded`       | threaded | off          | off      | on     | on     |
+//! | `threaded_cache` | threaded | on           | off      | on     | on     |
+//! | `full`           | threaded | on           | on       | on     | on     |
+//! | `full_nofuse`    | threaded | on           | on       | off    | on     |
+//! | `full_norc`      | threaded | on           | on       | on     | off    |
 //!
 //! `base` is the PR 5 interpreter (match dispatch over fused cells), so
 //! each record's `speedup` — `base` wall over `full` wall — tracks the
 //! aggregate win of this PR's three optimisations, and consecutive rows
-//! isolate each knob's contribution. The records serialize to
+//! isolate each knob's contribution. `full_norc` is the only rung that
+//! recompiles: it drops the compile-time reference-count optimization
+//! pass (everything else reuses one compilation), so `full` vs
+//! `full_norc` isolates the rc-opt win — watch the `rc_cells` column
+//! (executed plain `inc`/`dec` cells plus fused `dec+dec` cells) drop.
+//! The records serialize to
 //! `BENCH_<scale>.json`: commit the file, diff it later, and
 //! [`check_against`] a committed baseline to catch regressions in CI
 //! (instruction counts must match exactly; wall time within a tolerance).
@@ -30,13 +36,15 @@
 //! a perf baseline does not justify a serde dependency. The parser only
 //! accepts the shape [`render_json`] emits.
 
-use crate::pipelines::{compile, CompilerConfig};
+use crate::pipelines::{compile, Backend, CompilerConfig};
 use crate::workloads::Workload;
-use lssa_vm::{DecodeOptions, DispatchMode, ExecOptions};
+use lssa_core::PipelineOptions;
+use lssa_vm::{DecodeOptions, DispatchMode, ExecOptions, OpClass};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One knob configuration: a label plus the decode/exec option pair.
+/// One knob configuration: a label plus the decode/exec option pair and
+/// the compile-side rc-opt switch.
 #[derive(Debug, Clone, Copy)]
 pub struct KnobConfig {
     /// Stable row label (a JSON key, so `[a-z_]+`).
@@ -45,10 +53,13 @@ pub struct KnobConfig {
     pub decode: DecodeOptions,
     /// Execution options (dispatch mode, inline caches).
     pub exec: ExecOptions,
+    /// Whether the compile pipeline runs the reference-count
+    /// optimization pass (`false` only on the `full_norc` rung).
+    pub rc_opt: bool,
 }
 
 /// The measured ladder, in ablation order (see the module docs).
-pub fn knob_configs() -> [KnobConfig; 5] {
+pub fn knob_configs() -> [KnobConfig; 6] {
     let match_nc = ExecOptions::default()
         .with_dispatch(DispatchMode::Match)
         .with_inline_cache(false);
@@ -59,26 +70,37 @@ pub fn knob_configs() -> [KnobConfig; 5] {
             label: "base",
             decode: DecodeOptions::fused().with_renumber(false),
             exec: match_nc,
+            rc_opt: true,
         },
         KnobConfig {
             label: "threaded",
             decode: DecodeOptions::fused().with_renumber(false),
             exec: threaded_nc,
+            rc_opt: true,
         },
         KnobConfig {
             label: "threaded_cache",
             decode: DecodeOptions::fused().with_renumber(false),
             exec: threaded_c,
+            rc_opt: true,
         },
         KnobConfig {
             label: "full",
             decode: DecodeOptions::fused(),
             exec: threaded_c,
+            rc_opt: true,
         },
         KnobConfig {
             label: "full_nofuse",
             decode: DecodeOptions::no_fuse().with_renumber(true),
             exec: threaded_c,
+            rc_opt: true,
+        },
+        KnobConfig {
+            label: "full_norc",
+            decode: DecodeOptions::fused(),
+            exec: threaded_c,
+            rc_opt: false,
         },
     ]
 }
@@ -102,6 +124,10 @@ pub struct KnobResult {
     pub cache_hits: u64,
     /// Inline-cache misses (0 when caching is off).
     pub cache_misses: u64,
+    /// Executed reference-count cells: plain `inc`/`dec` plus the fused
+    /// `dec+dec` / `dec x4` superinstructions (the traffic rc-opt
+    /// removes).
+    pub rc_cells: u64,
 }
 
 /// All knob rows for one workload.
@@ -140,11 +166,12 @@ pub fn geomean_speedup(records: &[BenchRecord]) -> f64 {
     (log_sum / records.len() as f64).exp()
 }
 
-/// Measures one workload under every knob configuration (compiling it
-/// once with the full MLIR pipeline). The configs run in interleaved
-/// rounds — base, threaded, …, then the whole ladder again — and each
-/// row keeps its best time, so system-wide slow phases cannot bias one
-/// config against another.
+/// Measures one workload under every knob configuration. The workload
+/// compiles twice — once with the full MLIR pipeline, once with rc-opt
+/// disabled for the `full_norc` rung — then the configs run in
+/// interleaved rounds — base, threaded, …, then the whole ladder again —
+/// and each row keeps its best time, so system-wide slow phases cannot
+/// bias one config against another.
 ///
 /// # Panics
 ///
@@ -154,10 +181,19 @@ pub fn measure_workload(w: &Workload, runs: usize, max_steps: u64) -> BenchRecor
     assert!(runs >= 1);
     let program =
         compile(&w.src, CompilerConfig::mlir()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let norc_config = CompilerConfig {
+        backend: Backend::Mlir(PipelineOptions {
+            rc_opt: false,
+            ..PipelineOptions::full()
+        }),
+        ..CompilerConfig::mlir()
+    };
+    let program_norc = compile(&w.src, norc_config).unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let configs = knob_configs();
     let mut best: Vec<Option<KnobResult>> = vec![None; configs.len()];
     for _ in 0..runs {
         for (slot, cfg) in best.iter_mut().zip(&configs) {
+            let program = if cfg.rc_opt { &program } else { &program_norc };
             let decoded = program.decoded(cfg.decode);
             let start = Instant::now();
             let out = lssa_vm::run_decoded_with(&decoded, "main", max_steps, cfg.exec)
@@ -175,6 +211,9 @@ pub fn measure_workload(w: &Workload, runs: usize, max_steps: u64) -> BenchRecor
                     heap_allocs: stats.heap.allocs,
                     cache_hits: stats.cache_hits,
                     cache_misses: stats.cache_misses,
+                    rc_cells: stats.executed_of(OpClass::Rc)
+                        + stats.executed_of(OpClass::FusedDec2)
+                        + stats.executed_of(OpClass::FusedDec4),
                 });
             }
         }
@@ -220,7 +259,7 @@ fn row_json(out: &mut String, m: &KnobResult) {
         out,
         "      \"{}\": {{ \"wall_ms\": {:.3}, \"instructions\": {}, \
          \"fused_cells\": {}, \"fused_share\": {:.4}, \"heap_allocs\": {}, \
-         \"cache_hits\": {}, \"cache_misses\": {} }}",
+         \"cache_hits\": {}, \"cache_misses\": {}, \"rc_cells\": {} }}",
         m.config,
         m.wall_ms,
         m.instructions,
@@ -228,7 +267,8 @@ fn row_json(out: &mut String, m: &KnobResult) {
         m.fused_share,
         m.heap_allocs,
         m.cache_hits,
-        m.cache_misses
+        m.cache_misses,
+        m.rc_cells
     );
 }
 
@@ -276,6 +316,9 @@ pub struct BaselineRow {
     pub wall_ms: f64,
     /// Recorded deterministic instruction count.
     pub instructions: u64,
+    /// Recorded executed rc-cell count (`None` in baselines written
+    /// before the counter existed).
+    pub rc_cells: Option<u64>,
 }
 
 fn field_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -317,6 +360,7 @@ pub fn parse_baseline(json: &str) -> Result<Vec<BaselineRow>, String> {
             let instructions = field_after(t, "instructions")
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| format!("bad instructions in: {t}"))?;
+            let rc_cells = field_after(t, "rc_cells").and_then(|v| v.parse().ok());
             rows.push(BaselineRow {
                 name: name
                     .clone()
@@ -324,6 +368,7 @@ pub fn parse_baseline(json: &str) -> Result<Vec<BaselineRow>, String> {
                 config,
                 wall_ms,
                 instructions,
+                rc_cells,
             });
         }
     }
@@ -387,6 +432,92 @@ pub fn check_against(
     CheckOutcome { compared, failures }
 }
 
+/// Noise floor for wall-time deltas in [`render_diff`]: changes within
+/// ±this percentage are annotated as noise rather than wins/regressions.
+pub const DIFF_NOISE_PCT: f64 = 5.0;
+
+/// Formats a signed delta between two counter values: `=` when equal,
+/// otherwise `+N`/`-N` with the percentage change.
+fn counter_delta(old: u64, new: u64) -> String {
+    if old == new {
+        return "=".to_string();
+    }
+    let delta = new as i64 - old as i64;
+    let pct = if old == 0 {
+        f64::INFINITY
+    } else {
+        delta as f64 * 100.0 / old as f64
+    };
+    format!("{delta:+} ({pct:+.1}%)")
+}
+
+/// Renders the per-workload, per-config delta table between two baseline
+/// files (`lssa bench --diff old.json new.json`). Wall-time deltas
+/// within ±[`DIFF_NOISE_PCT`] percent are annotated `~noise` — wall
+/// times are the only noisy column; the instruction and rc-cell counters
+/// are deterministic, so any delta there is a real compiler/VM change.
+/// Rows present on only one side are called out instead of silently
+/// dropped.
+pub fn render_diff(old: &[BaselineRow], new: &[BaselineRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:<15} {:>9} {:>9} {:>8}  {:>16}  {:>16}  note",
+        "workload", "config", "old ms", "new ms", "wall", "instructions", "rc_cells"
+    );
+    for n in new {
+        let Some(o) = old
+            .iter()
+            .find(|o| o.name == n.name && o.config == n.config)
+        else {
+            let _ = writeln!(
+                out,
+                "{:<16} {:<15} {:>9} {:>9.3} {:>8}  {:>16}  {:>16}  added (no old row)",
+                n.name, n.config, "-", n.wall_ms, "-", n.instructions, "-"
+            );
+            continue;
+        };
+        let wall_pct = if o.wall_ms > 0.0 {
+            (n.wall_ms - o.wall_ms) * 100.0 / o.wall_ms
+        } else {
+            0.0
+        };
+        let note = if wall_pct.abs() <= DIFF_NOISE_PCT {
+            "~noise"
+        } else if wall_pct < 0.0 {
+            "faster"
+        } else {
+            "slower"
+        };
+        let rc = match (o.rc_cells, n.rc_cells) {
+            (Some(a), Some(b)) => counter_delta(a, b),
+            _ => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:<15} {:>9.3} {:>9.3} {:>+7.1}%  {:>16}  {:>16}  {}",
+            n.name,
+            n.config,
+            o.wall_ms,
+            n.wall_ms,
+            wall_pct,
+            counter_delta(o.instructions, n.instructions),
+            rc,
+            note
+        );
+    }
+    for o in old {
+        if !new.iter().any(|n| n.name == o.name && n.config == o.config) {
+            let _ = writeln!(
+                out,
+                "{:<16} {:<15} {:>9.3} {:>9} {:>8}  {:>16}  {:>16}  removed (no new row)",
+                o.name, o.config, o.wall_ms, "-", "-", o.instructions, "-"
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,11 +530,22 @@ mod tests {
         let base = r.row("base").unwrap();
         let full = r.row("full").unwrap();
         let nofuse = r.row("full_nofuse").unwrap();
+        let norc = r.row("full_norc").unwrap();
         assert_eq!(base.heap_allocs, full.heap_allocs, "same program");
         assert!(full.instructions < nofuse.instructions, "fusion cuts cells");
         assert_eq!(
             base.instructions, full.instructions,
             "dispatch/caches/renumbering must not change the cell count"
+        );
+        assert!(
+            full.rc_cells < norc.rc_cells,
+            "rc-opt must cut executed rc cells ({} vs {})",
+            full.rc_cells,
+            norc.rc_cells
+        );
+        assert!(
+            full.instructions <= norc.instructions,
+            "rc-opt only removes cells"
         );
         assert!(full.fused_cells > 0);
         assert_eq!(nofuse.fused_cells, 0);
@@ -432,12 +574,13 @@ mod tests {
         assert_eq!(rows[0].name, "filter");
         assert_eq!(rows[0].config, "base");
         assert_eq!(rows[0].instructions, base.instructions);
+        assert_eq!(rows[0].rc_cells, Some(base.rc_cells));
         assert!((rows[0].wall_ms - base.wall_ms).abs() < 0.001);
         // And checking fresh-vs-own-baseline passes. The JSON rounds walls
         // to 3 decimals, so the parsed baseline can sit up to 0.0005ms
-        // below the in-memory value — a few percent of a sub-0.1ms quick
-        // wall; the tolerance must cover that slack.
-        let outcome = check_against(&rows, std::slice::from_ref(&r), 5.0);
+        // below the in-memory value — several percent of a sub-0.01ms
+        // quick wall; the tolerance must cover that slack.
+        let outcome = check_against(&rows, std::slice::from_ref(&r), 25.0);
         assert_eq!(outcome.compared, rows.len());
         assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
     }
@@ -455,6 +598,7 @@ mod tests {
                 heap_allocs: 0,
                 cache_hits: 0,
                 cache_misses: 0,
+                rc_cells: 0,
             }],
         };
         let baseline = vec![
@@ -463,12 +607,14 @@ mod tests {
                 config: "full".into(),
                 wall_ms: 1.0,
                 instructions: 99,
+                rc_cells: None,
             },
             BaselineRow {
                 name: "gone".into(),
                 config: "full".into(),
                 wall_ms: 1.0,
                 instructions: 1,
+                rc_cells: None,
             },
         ];
         let out = check_against(&baseline, std::slice::from_ref(&fresh), 10.0);
@@ -480,6 +626,36 @@ mod tests {
         // Generous tolerance forgives the wall slip but not the counter.
         let out = check_against(&baseline[..1], std::slice::from_ref(&fresh), 200.0);
         assert_eq!(out.failures.len(), 1);
+    }
+
+    #[test]
+    fn diff_annotates_noise_and_counters() {
+        let row = |name: &str, config: &str, wall, instructions, rc| BaselineRow {
+            name: name.into(),
+            config: config.into(),
+            wall_ms: wall,
+            instructions,
+            rc_cells: rc,
+        };
+        let old = vec![
+            row("qsort", "full", 10.0, 1000, Some(300)),
+            row("qsort", "full_norc", 12.0, 1200, Some(900)),
+            row("gone", "full", 1.0, 10, None),
+        ];
+        let new = vec![
+            row("qsort", "full", 10.2, 1000, Some(300)),
+            row("qsort", "full_norc", 9.0, 1100, Some(700)),
+            row("fresh", "full", 2.0, 20, Some(5)),
+        ];
+        let table = render_diff(&old, &new);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[1].contains("~noise"), "{table}");
+        assert!(lines[1].contains('='), "unchanged counters: {table}");
+        assert!(lines[2].contains("faster"), "{table}");
+        assert!(lines[2].contains("-100 (-8.3%)"), "{table}");
+        assert!(lines[2].contains("-200 (-22.2%)"), "{table}");
+        assert!(lines[3].contains("added"), "{table}");
+        assert!(lines[4].contains("removed"), "{table}");
     }
 
     #[test]

@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats]
-//!                 [--no-fuse] [--no-renumber] [--no-inline-cache] [--dispatch match|threaded]
-//!                 [--print-ir-after-all]
+//!                 [--no-fuse] [--no-renumber] [--no-inline-cache] [--no-rc-opt]
+//!                 [--dispatch match|threaded] [--print-ir-after-all]
 //! lssa check <file>... [--format human|json]
 //! lssa fmt <file>... [--write | --check]
 //! lssa dump <file> [--stage lp|rgn|opt|cfg]
 //! lssa diff <file>
 //! lssa bench <name>|all|<file.lssa> [--scale quick|test|bench|stress] [--no-fuse] [--json]
 //!                 [--check] [--tolerance PCT] [--out FILE]
+//! lssa bench --diff <old.json> <new.json>
 //! ```
 //!
 //! Files ending in `.lssa` are parsed by the S-expression text frontend
@@ -34,7 +35,8 @@
 //! including the fused-superinstruction rows. `--no-fuse` disables the
 //! decode-time superinstruction fusion pass, `--no-renumber` the
 //! decode-time register compaction, `--no-inline-cache` the per-call-site
-//! target caches, and `--dispatch match` falls back from the threaded
+//! target caches, `--no-rc-opt` the compile-time reference-count
+//! optimization pass, and `--dispatch match` falls back from the threaded
 //! function-pointer dispatch loop to the classic match loop — one flag per
 //! knob, for ablation measurements. `--print-ir-after-all` dumps the
 //! module to stderr after every pass, MLIR-style.
@@ -46,7 +48,11 @@
 //! and compares against that committed file instead of overwriting it:
 //! instruction counts must match exactly, wall time may regress by at
 //! most `--tolerance PCT` (default 20), and any regression exits
-//! non-zero.
+//! non-zero. `bench --diff <old.json> <new.json>` measures nothing: it
+//! prints the per-workload, per-config delta table between two baseline
+//! files, annotating wall-time changes inside a ±5% noise floor as
+//! `~noise` (the counter columns are deterministic, so any delta there
+//! is a real change).
 
 use lssa_driver::pipelines::{
     compile_and_run_ast_vm, compile_and_run_with_report_vm, compile_ast_with_report, frontend,
@@ -68,7 +74,7 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!(
-                "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--no-renumber] [--no-inline-cache] [--dispatch match|threaded] [--print-ir-after-all]"
+                "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--no-renumber] [--no-inline-cache] [--no-rc-opt] [--dispatch match|threaded] [--print-ir-after-all]"
             );
             eprintln!("  lssa check <file>... [--format human|json]");
             eprintln!("  lssa fmt <file>... [--write | --check]");
@@ -77,6 +83,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "  lssa bench <name>|all|<file.lssa> [--scale quick|test|bench|stress] [--no-fuse] [--json] [--check] [--tolerance PCT] [--runs N] [--out FILE]"
             );
+            eprintln!("  lssa bench --diff <old.json> <new.json>");
             ExitCode::FAILURE
         }
     }
@@ -182,6 +189,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         return Err(
                             "--print-ir-after-all requires an MLIR-style backend (not leanc)"
                                 .to_string(),
+                        )
+                    }
+                }
+            }
+            if has_flag(args, "--no-rc-opt") {
+                match config.backend {
+                    Backend::Mlir(mut opts) => {
+                        opts.rc_opt = false;
+                        config.backend = Backend::Mlir(opts);
+                    }
+                    Backend::Baseline => {
+                        return Err(
+                            "--no-rc-opt requires an MLIR-style backend (not leanc)".to_string()
                         )
                     }
                 }
@@ -362,6 +382,29 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
         }
         "bench" => {
+            if let Some(i) = args.iter().position(|a| a == "--diff") {
+                // `bench --diff old.json new.json`: no measuring, just the
+                // delta table between two committed baseline files.
+                let old_path = args
+                    .get(i + 1)
+                    .ok_or("--diff needs <old.json> <new.json>")?;
+                let new_path = args
+                    .get(i + 2)
+                    .ok_or("--diff needs <old.json> <new.json>")?;
+                let mut rows = Vec::new();
+                for path in [old_path, new_path] {
+                    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                    rows.push(
+                        lssa_driver::benchjson::parse_baseline(&text)
+                            .map_err(|e| format!("{path}: {e}"))?,
+                    );
+                }
+                print!(
+                    "{}",
+                    lssa_driver::benchjson::render_diff(&rows[0], &rows[1])
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
             let name = args.get(1).ok_or("missing benchmark name")?;
             if is_lssa(name) {
                 // A `.lssa` file: time it across all configurations, like a

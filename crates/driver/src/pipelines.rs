@@ -85,9 +85,10 @@ impl CompilerConfig {
             Backend::Mlir(o) if o == PipelineOptions::no_opt() => "mlir",
             Backend::Mlir(o) => {
                 return Cow::Owned(format!(
-                    "{front}/mlir{}{}",
+                    "{front}/mlir{}{}{}",
                     if o.region_opts { "+rgn" } else { "" },
-                    if o.generic_opts { "+generic" } else { "" }
+                    if o.generic_opts { "+generic" } else { "" },
+                    if o.rc_opt { "" } else { "-rc" }
                 ))
             }
         };

@@ -188,6 +188,11 @@ pub enum AttrKey {
     Global,
     /// Callee arity (`lp.pap` — how many parameters the callee has).
     Arity,
+    /// Borrowed argument positions of a `func.call` to an extern builtin
+    /// (bitmask, bit *i* = operand *i*). Set by the rc-opt pass when it
+    /// folds an `lp.inc` of the argument into the call: the VM retains
+    /// the marked arguments as part of the call instruction itself.
+    BorrowMask,
 }
 
 impl AttrKey {
@@ -203,6 +208,7 @@ impl AttrKey {
             AttrKey::Label => "label",
             AttrKey::Global => "global",
             AttrKey::Arity => "arity",
+            AttrKey::BorrowMask => "borrow_mask",
         }
     }
 
@@ -217,6 +223,7 @@ impl AttrKey {
         AttrKey::Label,
         AttrKey::Global,
         AttrKey::Arity,
+        AttrKey::BorrowMask,
     ];
 }
 

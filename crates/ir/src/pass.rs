@@ -44,7 +44,16 @@ pub trait Pass {
     /// Runs the pass with instrumentation: live-op counts before and after,
     /// wall time, and the change flag, packaged as [`PassStatistics`].
     fn run(&self, module: &mut Module) -> PassStatistics {
-        instrumented_run(|m| self.run_on(m), module, self.name())
+        let mut stats = instrumented_run(|m| self.run_on(m), module, self.name());
+        stats.extra = self.stat_counters();
+        stats
+    }
+
+    /// Pass-specific named counters for the last [`Pass::run_on`] execution
+    /// (e.g. rc-opt's elided-pair count), folded into
+    /// [`PassStatistics::extra`]. The default is no counters.
+    fn stat_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
     }
 }
 
@@ -63,6 +72,7 @@ fn instrumented_run(
         ops_before,
         ops_after: module.live_op_count(),
         duration: start.elapsed(),
+        extra: Vec::new(),
     }
 }
 
@@ -81,6 +91,9 @@ pub struct PassStatistics {
     pub ops_after: usize,
     /// Total wall time across executions.
     pub duration: Duration,
+    /// Pass-specific named counters (see [`Pass::stat_counters`]), summed
+    /// across merged executions.
+    pub extra: Vec<(&'static str, u64)>,
 }
 
 impl PassStatistics {
@@ -91,6 +104,7 @@ impl PassStatistics {
         self.changed |= later.changed;
         self.ops_after = later.ops_after;
         self.duration += later.duration;
+        self.absorb_extra(&later.extra);
     }
 
     /// Folds the same pass from an *independent compilation* into this
@@ -102,6 +116,16 @@ impl PassStatistics {
         self.ops_before += other.ops_before;
         self.ops_after += other.ops_after;
         self.duration += other.duration;
+        self.absorb_extra(&other.extra);
+    }
+
+    fn absorb_extra(&mut self, other: &[(&'static str, u64)]) {
+        for &(key, n) in other {
+            match self.extra.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, total)) => *total += n,
+                None => self.extra.push((key, n)),
+            }
+        }
     }
 }
 
@@ -191,9 +215,10 @@ impl PipelineRunReport {
         );
         for s in &self.passes {
             let time = format!("{:.3}ms", s.duration.as_secs_f64() * 1e3);
+            let extra: String = s.extra.iter().map(|(k, n)| format!("  {k}={n}")).collect();
             let _ = writeln!(
                 out,
-                "  {:<28} {:>5} {:>8} {:>10} {:>10} {:>10}",
+                "  {:<28} {:>5} {:>8} {:>10} {:>10} {:>10}{extra}",
                 s.pass,
                 s.runs,
                 if s.changed { "yes" } else { "no" },
@@ -432,6 +457,7 @@ impl PassManager {
                         ops_before,
                         ops_after: *op_count,
                         duration,
+                        extra: pass.stat_counters(),
                     };
                     changed |= s.changed;
                     merge_stat(stats, s);

@@ -6,12 +6,14 @@ pub mod canonicalize;
 pub mod cse;
 pub mod dce;
 pub mod inline;
+pub mod rc_opt;
 pub mod simplify_cfg;
 
 pub use canonicalize::{canonicalization_patterns, CanonicalizePass};
 pub use cse::CsePass;
 pub use dce::DcePass;
 pub use inline::InlinePass;
+pub use rc_opt::RcOptPass;
 pub use simplify_cfg::SimplifyCfgPass;
 
 use crate::body::Body;

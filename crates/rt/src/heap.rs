@@ -391,6 +391,18 @@ impl Heap {
 
     // ---- arrays ------------------------------------------------------------
 
+    /// Array length, or `None` when `r` is not a heap array — the cheap
+    /// guard the VM's array fast paths branch on before touching elements.
+    pub fn try_array_len(&self, r: ObjRef) -> Option<usize> {
+        if !r.is_heap() {
+            return None;
+        }
+        match self.data(r) {
+            ObjData::Array(v) => Some(v.len()),
+            _ => None,
+        }
+    }
+
     /// Array length.
     pub fn array_len(&self, r: ObjRef) -> usize {
         match self.data(r) {

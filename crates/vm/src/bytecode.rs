@@ -166,6 +166,10 @@ pub enum Instr {
         builtin: Builtin,
         /// Arguments.
         args: Vec<Reg>,
+        /// Borrowed argument positions (bit *i* = `args[i]`): the VM
+        /// retains these as the first step of the call, standing in for
+        /// an `lp.inc` the rc-opt pass folded away.
+        mask: u8,
     },
     /// Guaranteed tail call: replaces the current frame.
     TailCall {

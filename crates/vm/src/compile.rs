@@ -328,12 +328,17 @@ impl FnCompiler<'_> {
                     let builtin: Builtin = name
                         .parse()
                         .map_err(|_| err(format!("call to unknown extern @{name}")))?;
+                    let mask = self.body.ops[op.index()]
+                        .attr(AttrKey::BorrowMask)
+                        .and_then(|a| a.as_int())
+                        .unwrap_or(0) as u8;
                     if opcode == Call {
                         let dst = self.reg(result.unwrap());
                         code.push(Instr::CallBuiltin {
                             dst,
                             builtin,
                             args: srcs,
+                            mask,
                         });
                     } else {
                         let dst = self.fresh_reg();
@@ -341,6 +346,7 @@ impl FnCompiler<'_> {
                             dst,
                             builtin,
                             args: srcs,
+                            mask,
                         });
                         code.push(Instr::Ret { src: dst });
                     }

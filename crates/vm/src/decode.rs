@@ -43,12 +43,18 @@
 //! | [`DecodedInstr::SwitchDense`] | `Switch` (contiguous keys) | scan → O(1) |
 //! | [`DecodedInstr::Dec2`] | `Dec` + `Dec` | 1 |
 //! | [`DecodedInstr::ProjInc2`] | `Project` + `Inc` + `Project` + `Inc` | 3 |
+//! | [`DecodedInstr::Dec4`] | `Dec` × 4 | 3 |
+//! | [`DecodedInstr::ProjInc2Dec`] | `Project` + `Inc` + `Project` + `Inc` + `Dec` | 4 |
 //!
-//! The last two came out of the `--pairs` histogram in
+//! `Dec2` and `ProjInc2` came out of the `--pairs` histogram in
 //! `examples/dump_decoded.rs`: `dec+dec` and `projinc+projinc` were the
 //! two most frequent fusible adjacencies left in the fused streams of the
 //! benchmark suite (RC-heavy constructor code releases fields in bursts,
-//! and pattern matches project-and-retain consecutive fields).
+//! and pattern matches project-and-retain consecutive fields). A later
+//! round of the same mining found `dec2+dec2` and `projinc2+dec` on top —
+//! the rc-opt pass's dec sinking stacks releases even deeper, and a
+//! pattern match that peels two fields immediately releases the
+//! scrutinee — hence `Dec4` and `ProjInc2Dec`.
 //!
 //! Fusion **bails** conservatively: a pair is only combined when the
 //! swallowed instruction is not a jump target (control never enters the
@@ -199,11 +205,15 @@ pub enum OpClass {
     FusedDec2,
     /// Fused `Project` + `Inc` + `Project` + `Inc`.
     FusedProjInc2,
+    /// Fused `Dec` × 4.
+    FusedDec4,
+    /// Fused `Project` + `Inc` + `Project` + `Inc` + `Dec`.
+    FusedProjInc2Dec,
 }
 
 impl OpClass {
     /// Number of classes (sizes the statistics arrays).
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 28;
 
     /// All classes in display order.
     pub const ALL: [OpClass; OpClass::COUNT] = [
@@ -233,6 +243,8 @@ impl OpClass {
         OpClass::FusedSwitchDense,
         OpClass::FusedDec2,
         OpClass::FusedProjInc2,
+        OpClass::FusedDec4,
+        OpClass::FusedProjInc2Dec,
     ];
 
     /// Stable display name.
@@ -264,6 +276,8 @@ impl OpClass {
             OpClass::FusedSwitchDense => "fused switch-dense",
             OpClass::FusedDec2 => "fused dec+dec",
             OpClass::FusedProjInc2 => "fused proj+inc x2",
+            OpClass::FusedDec4 => "fused dec x4",
+            OpClass::FusedProjInc2Dec => "fused proj+inc x2+dec",
         }
     }
 
@@ -392,6 +406,9 @@ pub enum DecodedInstr {
         builtin: Builtin,
         /// Arguments (pool slice).
         args: ArgSlice,
+        /// Borrowed argument positions (bit *i* = argument *i*): retained
+        /// as the first step of the call (a folded `lp.inc`).
+        mask: u8,
     },
     /// Guaranteed tail call: reuses the current frame in place. Flattened
     /// argument slice, as in [`DecodedInstr::Call`].
@@ -577,6 +594,8 @@ pub enum DecodedInstr {
         builtin: Builtin,
         /// Arguments (pool slice).
         args: ArgSlice,
+        /// Borrowed argument positions, as in [`DecodedInstr::CallBuiltin`].
+        mask: u8,
     },
     /// Fused `Construct` + `Ret`: return `ctor{tag}(args…)`.
     ConstructRet {
@@ -623,6 +642,42 @@ pub enum DecodedInstr {
         /// Second field index.
         idx2: u16,
     },
+    /// Fused `Dec` × 4: four releases in one dispatch. The rc-opt pass's
+    /// dec sinking stacks a block's releases back to back, so runs of
+    /// four and more are common ([`DecodedInstr::Dec2`] pairs showed up
+    /// adjacent in the `--pairs` histogram more often than any other
+    /// fused/rc mix).
+    Dec4 {
+        /// First object released.
+        a: Reg,
+        /// Second object released.
+        b: Reg,
+        /// Third object released.
+        c: Reg,
+        /// Fourth object released.
+        d: Reg,
+    },
+    /// Fused `Project` + `Inc` + `Project` + `Inc` + `Dec`: a pattern
+    /// match peeling two constructor fields and immediately releasing the
+    /// scrutinee (the `Cons(h, t)` arm's canonical shape). Field order as
+    /// in [`DecodedInstr::ProjInc2`]; the release runs last, so `dec` may
+    /// name `src1`/`src2` but not `dst1`/`dst2` in well-formed streams.
+    ProjInc2Dec {
+        /// First destination.
+        dst1: Reg,
+        /// First source object.
+        src1: Reg,
+        /// First field index.
+        idx1: u16,
+        /// Second destination.
+        dst2: Reg,
+        /// Second source object.
+        src2: Reg,
+        /// Second field index.
+        idx2: u16,
+        /// Object released after both projections.
+        dec: Reg,
+    },
 }
 
 // The whole point of the decoded form: every instruction is one compact,
@@ -666,6 +721,8 @@ impl DecodedInstr {
             DecodedInstr::SwitchDense { .. } => OpClass::FusedSwitchDense,
             DecodedInstr::Dec2 { .. } => OpClass::FusedDec2,
             DecodedInstr::ProjInc2 { .. } => OpClass::FusedProjInc2,
+            DecodedInstr::Dec4 { .. } => OpClass::FusedDec4,
+            DecodedInstr::ProjInc2Dec { .. } => OpClass::FusedProjInc2Dec,
         }
     }
 }
@@ -698,6 +755,10 @@ pub struct FusionStats {
     pub dec2: u32,
     /// `Project`+`Inc`+`Project`+`Inc` quads fused.
     pub proj_inc2: u32,
+    /// `Dec` quad runs fused.
+    pub dec4: u32,
+    /// `Project`+`Inc`+`Project`+`Inc`+`Dec` groups fused.
+    pub proj_inc2_dec: u32,
     /// Original cells eliminated by fusion (static code shrink).
     pub cells_saved: u32,
 }
@@ -717,6 +778,8 @@ impl FusionStats {
             + u64::from(self.switch_dense)
             + u64::from(self.dec2)
             + u64::from(self.proj_inc2)
+            + u64::from(self.dec4)
+            + u64::from(self.proj_inc2_dec)
     }
 
     /// Folds another function's statistics into this record.
@@ -733,6 +796,8 @@ impl FusionStats {
         self.switch_dense += other.switch_dense;
         self.dec2 += other.dec2;
         self.proj_inc2 += other.proj_inc2;
+        self.dec4 += other.dec4;
+        self.proj_inc2_dec += other.proj_inc2_dec;
         self.cells_saved += other.cells_saved;
     }
 }
@@ -840,7 +905,7 @@ impl DecodedFn {
     fn count_reads(&self) -> Vec<u32> {
         let mut reads = vec![0u32; self.n_regs as usize];
         for instr in &self.code {
-            let mut singles: [Option<Reg>; 3] = [None, None, None];
+            let mut singles: [Option<Reg>; 4] = [None, None, None, None];
             let mut slice: Option<ArgSlice> = None;
             match *instr {
                 DecodedInstr::ConstInt { .. }
@@ -896,7 +961,7 @@ impl DecodedFn {
                 }
                 DecodedInstr::ConstCmpBr { a, .. } => singles[0] = Some(a),
                 DecodedInstr::ConstBin { src, .. } => singles[0] = Some(src),
-                DecodedInstr::Select { c, a, b, .. } => singles = [Some(c), Some(a), Some(b)],
+                DecodedInstr::Select { c, a, b, .. } => singles = [Some(c), Some(a), Some(b), None],
                 DecodedInstr::Dec2 { a, b } => {
                     singles[0] = Some(a);
                     singles[1] = Some(b);
@@ -904,6 +969,16 @@ impl DecodedFn {
                 DecodedInstr::ProjInc2 { src1, src2, .. } => {
                     singles[0] = Some(src1);
                     singles[1] = Some(src2);
+                }
+                DecodedInstr::Dec4 { a, b, c, d } => {
+                    singles = [Some(a), Some(b), Some(c), Some(d)];
+                }
+                DecodedInstr::ProjInc2Dec {
+                    src1, src2, dec, ..
+                } => {
+                    singles[0] = Some(src1);
+                    singles[1] = Some(src2);
+                    singles[2] = Some(dec);
                 }
             }
             // Malformed code may reference registers beyond `n_regs`
@@ -1014,6 +1089,8 @@ impl DecodedFn {
                 DecodedInstr::SwitchDense { .. } => stats.switch_dense += 1,
                 DecodedInstr::Dec2 { .. } => stats.dec2 += 1,
                 DecodedInstr::ProjInc2 { .. } => stats.proj_inc2 += 1,
+                DecodedInstr::Dec4 { .. } => stats.dec4 += 1,
+                DecodedInstr::ProjInc2Dec { .. } => stats.proj_inc2_dec += 1,
                 _ => {}
             }
             stats.cells_saved += consumed as u32 - 1;
@@ -1180,6 +1257,25 @@ impl DecodedFn {
                                 if let (Ok(idx1), Ok(idx2)) =
                                     (u16::try_from(idx), u16::try_from(idx2))
                                 {
+                                    // A trailing release (the scrutinee of
+                                    // the match whose fields were just
+                                    // peeled) rides along in the same cell.
+                                    if i + 4 < old.len() && !targets[i + 4] {
+                                        if let DecodedInstr::Dec { src: rel } = old[i + 4] {
+                                            return Some((
+                                                DecodedInstr::ProjInc2Dec {
+                                                    dst1: dst,
+                                                    src1: src,
+                                                    idx1,
+                                                    dst2,
+                                                    src2,
+                                                    idx2,
+                                                    dec: rel,
+                                                },
+                                                5,
+                                            ));
+                                        }
+                                    }
                                     return Some((
                                         DecodedInstr::ProjInc2 {
                                             dst1: dst,
@@ -1199,17 +1295,37 @@ impl DecodedFn {
                 }
                 _ => None,
             },
-            // Two releases in one dispatch; pure effects, no liveness
+            // Releases in one dispatch; pure effects, no liveness
             // concerns. RC-heavy code drops a constructor's fields in
-            // bursts, making this the most frequent leftover adjacency.
+            // bursts (and rc-opt's dec sinking stacks them deeper), so
+            // fuse runs of four when the whole run is fusible, else two.
             DecodedInstr::Dec { src: a } if next_free => match next {
-                Some(DecodedInstr::Dec { src: b }) => Some((DecodedInstr::Dec2 { a, b }, 2)),
+                Some(DecodedInstr::Dec { src: b }) => {
+                    if i + 3 < old.len() && !targets[i + 2] && !targets[i + 3] {
+                        if let (DecodedInstr::Dec { src: c }, DecodedInstr::Dec { src: d }) =
+                            (old[i + 2], old[i + 3])
+                        {
+                            return Some((DecodedInstr::Dec4 { a, b, c, d }, 4));
+                        }
+                    }
+                    Some((DecodedInstr::Dec2 { a, b }, 2))
+                }
                 _ => None,
             },
-            DecodedInstr::CallBuiltin { dst, builtin, args } if next_free => match next {
-                Some(DecodedInstr::Ret { src }) if src == dst => {
-                    Some((DecodedInstr::CallBuiltinRet { builtin, args }, 2))
-                }
+            DecodedInstr::CallBuiltin {
+                dst,
+                builtin,
+                args,
+                mask,
+            } if next_free => match next {
+                Some(DecodedInstr::Ret { src }) if src == dst => Some((
+                    DecodedInstr::CallBuiltinRet {
+                        builtin,
+                        args,
+                        mask,
+                    },
+                    2,
+                )),
                 _ => None,
             },
             DecodedInstr::Construct { dst, tag, args } if next_free => match next {
@@ -1371,6 +1487,26 @@ impl DecodedFn {
                     f(dst2);
                     f(src2);
                 }
+                DecodedInstr::Dec4 { a, b, c, d } => {
+                    f(a);
+                    f(b);
+                    f(c);
+                    f(d);
+                }
+                DecodedInstr::ProjInc2Dec {
+                    dst1,
+                    src1,
+                    dst2,
+                    src2,
+                    dec,
+                    ..
+                } => {
+                    f(dst1);
+                    f(src1);
+                    f(dst2);
+                    f(src2);
+                    f(dec);
+                }
             }
             self.code[i] = instr;
             if let Some(s) = slice {
@@ -1431,15 +1567,19 @@ impl DecodedFn {
     }
 
     /// Assigns function-local inline-cache slot ids to the call-shaped
-    /// cells ([`DecodedInstr::Call`]/[`DecodedInstr::TailCall`]/
-    /// [`DecodedInstr::PapExtend`]). Sites past `u16::MAX - 1` keep the
-    /// [`NO_CACHE`] sentinel and execute uncached.
+    /// cells ([`DecodedInstr::Call`]/[`DecodedInstr::PapExtend`]).
+    /// Tail-call cells are deliberately left at [`NO_CACHE`]: a
+    /// `TailCall`'s target is a static function index, so all a hit ever
+    /// bought was skipping one bounds-checked `fns` lookup and an arity
+    /// compare — on `binarytrees` the tail sites hit 94% of the time for
+    /// zero measurable payoff, leaving the probe itself as pure overhead
+    /// (and each skipped site also saves a pool slot per VM instance).
+    /// Sites past `u16::MAX - 1` keep the [`NO_CACHE`] sentinel and
+    /// execute uncached.
     fn assign_cache_slots(&mut self) {
         let mut next: u32 = 0;
         for instr in &mut self.code {
-            if let DecodedInstr::Call { cache, .. }
-            | DecodedInstr::TailCall { cache, .. }
-            | DecodedInstr::PapExtend { cache, .. } = instr
+            if let DecodedInstr::Call { cache, .. } | DecodedInstr::PapExtend { cache, .. } = instr
             {
                 *cache = if next < u32::from(NO_CACHE) {
                     next as u16
@@ -1518,10 +1658,12 @@ impl DecodedFn {
                 dst,
                 builtin,
                 ref args,
+                mask,
             } => DecodedInstr::CallBuiltin {
                 dst,
                 builtin,
                 args: self.intern_args(args),
+                mask,
             },
             Instr::TailCall { func, ref args } => {
                 let s = self.intern_args(args);
@@ -1629,10 +1771,16 @@ impl DecodedFn {
                     len: args_len,
                 }),
             },
-            DecodedInstr::CallBuiltin { dst, builtin, args } => Instr::CallBuiltin {
+            DecodedInstr::CallBuiltin {
+                dst,
+                builtin,
+                args,
+                mask,
+            } => Instr::CallBuiltin {
                 dst,
                 builtin,
                 args: regs(args),
+                mask,
             },
             DecodedInstr::TailCall {
                 func,
@@ -1690,7 +1838,9 @@ impl DecodedFn {
             | DecodedInstr::ConstructRet { .. }
             | DecodedInstr::SwitchDense { .. }
             | DecodedInstr::Dec2 { .. }
-            | DecodedInstr::ProjInc2 { .. } => panic!(
+            | DecodedInstr::ProjInc2 { .. }
+            | DecodedInstr::Dec4 { .. }
+            | DecodedInstr::ProjInc2Dec { .. } => panic!(
                 "cannot encode superinstruction {:?}; decode with fusion disabled",
                 self.code[i]
             ),
@@ -1860,6 +2010,52 @@ mod tests {
         for c in OpClass::ALL {
             assert_eq!(c.is_fused(), c as usize >= first_fused, "{}", c.name());
         }
+    }
+
+    #[test]
+    fn tail_call_cells_get_no_cache_slot() {
+        // Only `Call`/`PapExtend` sites earn inline-cache slots; tail
+        // calls keep the sentinel and consume no pool space.
+        let p = CompiledProgram {
+            fns: vec![CompiledFn {
+                name: "f".into(),
+                arity: 1,
+                n_regs: 3,
+                code: vec![
+                    Instr::Call {
+                        dst: Reg(1),
+                        func: 0,
+                        args: vec![Reg(0)],
+                    },
+                    Instr::PapExtend {
+                        dst: Reg(2),
+                        closure: Reg(1),
+                        args: vec![Reg(0)],
+                    },
+                    Instr::TailCall {
+                        func: 0,
+                        args: vec![Reg(2)],
+                    },
+                ],
+            }],
+            ..CompiledProgram::default()
+        };
+        let d = decode_program_with(&p, DecodeOptions::fused());
+        let f = &d.fns[0];
+        let (mut call, mut pap, mut tail) = (None, None, None);
+        for i in &f.code {
+            match *i {
+                DecodedInstr::Call { cache, .. } => call = Some(cache),
+                DecodedInstr::PapExtend { cache, .. } => pap = Some(cache),
+                DecodedInstr::TailCall { cache, .. } => tail = Some(cache),
+                _ => {}
+            }
+        }
+        assert_eq!(call, Some(0));
+        assert_eq!(pap, Some(1));
+        assert_eq!(tail, Some(NO_CACHE), "tail sites must keep the sentinel");
+        assert_eq!(f.cache_sites, 2, "tail site must not consume a pool slot");
+        assert_eq!(d.cache_slots, 2);
     }
 
     // ---- fusion pass ----
@@ -2185,6 +2381,7 @@ mod tests {
                     dst: Reg(2),
                     builtin: Builtin::NatAdd,
                     args: vec![Reg(0), Reg(1)],
+                    mask: 0,
                 },
                 Instr::Ret { src: Reg(2) },
             ],

@@ -314,7 +314,7 @@ impl VmStatistics {
         );
         let _ = writeln!(
             out,
-            "  {:<19} {:>14} {:>12} {:>7}",
+            "  {:<21} {:>14} {:>12} {:>7}",
             "opcode class", "executed", "heap-allocs", "share"
         );
         for class in OpClass::ALL {
@@ -329,7 +329,7 @@ impl VmStatistics {
             };
             let _ = writeln!(
                 out,
-                "  {:<19} {:>14} {:>12} {:>6.1}%",
+                "  {:<21} {:>14} {:>12} {:>6.1}%",
                 class.name(),
                 executed,
                 self.allocs_of(class),
@@ -812,7 +812,12 @@ impl<'p> Vm<'p> {
                     };
                     self.stack.push(nfi);
                 }
-                DecodedInstr::CallBuiltin { dst, builtin, args } => {
+                DecodedInstr::CallBuiltin {
+                    dst,
+                    builtin,
+                    args,
+                    mask,
+                } => {
                     // Builtins take a slice, so the arguments stage through
                     // a reused buffer — no allocation per call.
                     let vals = &mut self.scratch_objs;
@@ -822,6 +827,15 @@ impl<'p> Vm<'p> {
                             .iter()
                             .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize])),
                     );
+                    // Folded retains (rc-opt borrow mask) come first, as
+                    // the elided `lp.inc`s would have.
+                    if mask != 0 {
+                        for (i, &v) in self.scratch_objs.iter().enumerate() {
+                            if mask & (1 << i) != 0 {
+                                self.heap.inc(v);
+                            }
+                        }
+                    }
                     self.calls += 1;
                     let a0 = self.heap.alloc_count();
                     let out = builtin.call(&mut self.heap, &self.scratch_objs);
@@ -1041,7 +1055,40 @@ impl<'p> Vm<'p> {
                     self.heap.inc(f2);
                     frame.regs[dst2.0 as usize] = f2.to_bits();
                 }
-                DecodedInstr::CallBuiltinRet { builtin, args } => {
+                DecodedInstr::Dec4 { a, b, c, d } => {
+                    for r in [a, b, c, d] {
+                        let o = ObjRef::from_bits(frame.regs[r.0 as usize]);
+                        self.heap.dec(o);
+                    }
+                }
+                DecodedInstr::ProjInc2Dec {
+                    dst1,
+                    src1,
+                    idx1,
+                    dst2,
+                    src2,
+                    idx2,
+                    dec,
+                } => {
+                    // Same ordering as ProjInc2; the release runs last, so
+                    // the projected fields are already retained when the
+                    // scrutinee (often `dec`'s target) drops.
+                    let o1 = ObjRef::from_bits(frame.regs[src1.0 as usize]);
+                    let f1 = self.heap.ctor_field(o1, idx1 as usize);
+                    self.heap.inc(f1);
+                    frame.regs[dst1.0 as usize] = f1.to_bits();
+                    let o2 = ObjRef::from_bits(frame.regs[src2.0 as usize]);
+                    let f2 = self.heap.ctor_field(o2, idx2 as usize);
+                    self.heap.inc(f2);
+                    frame.regs[dst2.0 as usize] = f2.to_bits();
+                    let rel = ObjRef::from_bits(frame.regs[dec.0 as usize]);
+                    self.heap.dec(rel);
+                }
+                DecodedInstr::CallBuiltinRet {
+                    builtin,
+                    args,
+                    mask,
+                } => {
                     let vals = &mut self.scratch_objs;
                     vals.clear();
                     vals.extend(
@@ -1049,6 +1096,13 @@ impl<'p> Vm<'p> {
                             .iter()
                             .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize])),
                     );
+                    if mask != 0 {
+                        for (i, &v) in self.scratch_objs.iter().enumerate() {
+                            if mask & (1 << i) != 0 {
+                                self.heap.inc(v);
+                            }
+                        }
+                    }
                     self.calls += 1;
                     let a0 = self.heap.alloc_count();
                     let out = builtin.call(&mut self.heap, &self.scratch_objs);
@@ -1335,6 +1389,32 @@ impl<'p> Vm<'p> {
                                     }
                                 }
                             }
+                            // Saturation fast path: extending an empty
+                            // closure with exactly its arity is a direct
+                            // call — same counter effects as the generic
+                            // `pap_extend` (no captured args to retain,
+                            // release the closure, no allocation), minus
+                            // the staging `Vec` and `ApplyOutcome` round
+                            // trip. Covers the cache-cold and cache-off
+                            // runs; arity mismatches keep the generic
+                            // path's error behaviour.
+                            if let Some((func, arity)) = probe {
+                                if arity == args.len {
+                                    if let Some(t) = prog.fns.get(func.0 as usize) {
+                                        if t.arity == arity {
+                                            scratch.clear();
+                                            scratch.extend(
+                                                f.arg_regs(args)
+                                                    .iter()
+                                                    .map(|&r| frame.regs[r.0 as usize]),
+                                            );
+                                            heap.dec(c);
+                                            inline_call!(func.0, t.n_regs, dst);
+                                            continue;
+                                        }
+                                    }
+                                }
+                            }
                             let vals: Vec<ObjRef> = f
                                 .arg_regs(args)
                                 .iter()
@@ -1422,14 +1502,113 @@ impl<'p> Vm<'p> {
                             };
                             inline_call!(func, n_regs, dst);
                         }
-                        DecodedInstr::CallBuiltin { dst, builtin, args } => {
+                        DecodedInstr::CallBuiltin {
+                            dst,
+                            builtin,
+                            args,
+                            mask,
+                        } => {
+                            // Array fast paths: a scalar nat index into a
+                            // real heap array skips the staging buffer and
+                            // the generic `Builtin::call` dispatch for a
+                            // direct (bounds-checked) heap access with the
+                            // exact same counter effects. Anything else —
+                            // boxed index, out of bounds, non-array —
+                            // falls through to the generic call below and
+                            // keeps its diagnostics.
+                            match builtin {
+                                Builtin::ArrayGet => {
+                                    if let [ra, ri] = f.arg_regs(args) {
+                                        let arr = ObjRef::from_bits(frame.regs[ra.0 as usize]);
+                                        let idx = ObjRef::from_bits(frame.regs[ri.0 as usize]);
+                                        if let (Some(i), Some(len)) = (
+                                            idx.as_scalar().filter(|&v| v >= 0),
+                                            heap.try_array_len(arr),
+                                        ) {
+                                            if (i as usize) < len {
+                                                if mask & 1 != 0 {
+                                                    heap.inc(arr);
+                                                }
+                                                if mask & 2 != 0 {
+                                                    heap.inc(idx);
+                                                }
+                                                *calls += 1;
+                                                let v = heap.array_get(arr, i as usize);
+                                                heap.inc(v);
+                                                heap.dec(arr);
+                                                frame.regs[dst.0 as usize] = v.to_bits();
+                                                continue;
+                                            }
+                                        }
+                                    }
+                                }
+                                Builtin::ArraySet => {
+                                    if let [ra, ri, rv] = f.arg_regs(args) {
+                                        let arr = ObjRef::from_bits(frame.regs[ra.0 as usize]);
+                                        let idx = ObjRef::from_bits(frame.regs[ri.0 as usize]);
+                                        let v = ObjRef::from_bits(frame.regs[rv.0 as usize]);
+                                        if let (Some(i), Some(len)) = (
+                                            idx.as_scalar().filter(|&v| v >= 0),
+                                            heap.try_array_len(arr),
+                                        ) {
+                                            if (i as usize) < len {
+                                                if mask & 1 != 0 {
+                                                    heap.inc(arr);
+                                                }
+                                                if mask & 2 != 0 {
+                                                    heap.inc(idx);
+                                                }
+                                                if mask & 4 != 0 {
+                                                    heap.inc(v);
+                                                }
+                                                *calls += 1;
+                                                let a0 = heap.alloc_count();
+                                                let out = heap.array_set(arr, i as usize, v);
+                                                class_allocs[OpClass::CallBuiltin as usize] +=
+                                                    heap.alloc_count() - a0;
+                                                frame.regs[dst.0 as usize] = out.to_bits();
+                                                continue;
+                                            }
+                                        }
+                                    }
+                                }
+                                Builtin::ArrayPush => {
+                                    if let [ra, rv] = f.arg_regs(args) {
+                                        let arr = ObjRef::from_bits(frame.regs[ra.0 as usize]);
+                                        let v = ObjRef::from_bits(frame.regs[rv.0 as usize]);
+                                        if heap.try_array_len(arr).is_some() {
+                                            if mask & 1 != 0 {
+                                                heap.inc(arr);
+                                            }
+                                            if mask & 2 != 0 {
+                                                heap.inc(v);
+                                            }
+                                            *calls += 1;
+                                            let a0 = heap.alloc_count();
+                                            let out = heap.array_push(arr, v);
+                                            class_allocs[OpClass::CallBuiltin as usize] +=
+                                                heap.alloc_count() - a0;
+                                            frame.regs[dst.0 as usize] = out.to_bits();
+                                            continue;
+                                        }
+                                    }
+                                }
+                                _ => {}
+                            }
                             if let [ra, rb] = f.arg_regs(args) {
                                 let a = frame.regs[ra.0 as usize];
                                 let b = frame.regs[rb.0 as usize];
                                 if let Some(bits) = builtin_fast2(builtin, a, b) {
                                     *calls += 1;
-                                    // Consume both operands (statistics
-                                    // only: both are scalars here).
+                                    // Folded retains, then consume both
+                                    // operands (statistics only: all are
+                                    // scalars here).
+                                    if mask & 1 != 0 {
+                                        heap.inc(ObjRef::from_bits(a));
+                                    }
+                                    if mask & 2 != 0 {
+                                        heap.inc(ObjRef::from_bits(b));
+                                    }
                                     heap.dec(ObjRef::from_bits(a));
                                     heap.dec(ObjRef::from_bits(b));
                                     frame.regs[dst.0 as usize] = bits;
@@ -1442,6 +1621,13 @@ impl<'p> Vm<'p> {
                                     .iter()
                                     .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize])),
                             );
+                            if mask != 0 {
+                                for (i, &v) in scratch_objs.iter().enumerate() {
+                                    if mask & (1 << i) != 0 {
+                                        heap.inc(v);
+                                    }
+                                }
+                            }
                             *calls += 1;
                             let a0 = heap.alloc_count();
                             let out = builtin.call(heap, &*scratch_objs);
@@ -1639,12 +1825,51 @@ impl<'p> Vm<'p> {
                             heap.inc(f2);
                             frame.regs[dst2.0 as usize] = f2.to_bits();
                         }
-                        DecodedInstr::CallBuiltinRet { builtin, args } => {
+                        DecodedInstr::Dec4 { a, b, c, d } => {
+                            for r in [a, b, c, d] {
+                                let o = ObjRef::from_bits(frame.regs[r.0 as usize]);
+                                heap.dec(o);
+                            }
+                        }
+                        DecodedInstr::ProjInc2Dec {
+                            dst1,
+                            src1,
+                            idx1,
+                            dst2,
+                            src2,
+                            idx2,
+                            dec,
+                        } => {
+                            // Same ordering as ProjInc2; the release runs
+                            // last, so the projected fields are already
+                            // retained when the scrutinee drops.
+                            let o1 = ObjRef::from_bits(frame.regs[src1.0 as usize]);
+                            let f1 = heap.ctor_field(o1, idx1 as usize);
+                            heap.inc(f1);
+                            frame.regs[dst1.0 as usize] = f1.to_bits();
+                            let o2 = ObjRef::from_bits(frame.regs[src2.0 as usize]);
+                            let f2 = heap.ctor_field(o2, idx2 as usize);
+                            heap.inc(f2);
+                            frame.regs[dst2.0 as usize] = f2.to_bits();
+                            let rel = ObjRef::from_bits(frame.regs[dec.0 as usize]);
+                            heap.dec(rel);
+                        }
+                        DecodedInstr::CallBuiltinRet {
+                            builtin,
+                            args,
+                            mask,
+                        } => {
                             if let [ra, rb] = f.arg_regs(args) {
                                 let a = frame.regs[ra.0 as usize];
                                 let b = frame.regs[rb.0 as usize];
                                 if let Some(bits) = builtin_fast2(builtin, a, b) {
                                     *calls += 1;
+                                    if mask & 1 != 0 {
+                                        heap.inc(ObjRef::from_bits(a));
+                                    }
+                                    if mask & 2 != 0 {
+                                        heap.inc(ObjRef::from_bits(b));
+                                    }
                                     heap.dec(ObjRef::from_bits(a));
                                     heap.dec(ObjRef::from_bits(b));
                                     inline_ret!(bits);
@@ -1657,6 +1882,13 @@ impl<'p> Vm<'p> {
                                     .iter()
                                     .map(|&r| ObjRef::from_bits(frame.regs[r.0 as usize])),
                             );
+                            if mask != 0 {
+                                for (i, &v) in scratch_objs.iter().enumerate() {
+                                    if mask & (1 << i) != 0 {
+                                        heap.inc(v);
+                                    }
+                                }
+                            }
                             *calls += 1;
                             let a0 = heap.alloc_count();
                             let out = builtin.call(heap, &*scratch_objs);
@@ -2072,6 +2304,8 @@ static COLD_HANDLERS: [ColdHandler; OpClass::COUNT] = [
     cold_never,  // FusedSwitchDense
     cold_never,  // FusedDec2
     cold_never,  // FusedProjInc2
+    cold_never,  // FusedDec4
+    cold_never,  // FusedProjInc2Dec
 ];
 
 /// Runs `entry` of a pre-decoded program under explicit [`ExecOptions`]
@@ -2222,6 +2456,7 @@ mod tests {
                             dst: Reg(3),
                             builtin: lssa_rt::Builtin::NatSub,
                             args: vec![Reg(0), Reg(2)],
+                            mask: 0,
                         },
                         Instr::TailCall {
                             func: 1,
@@ -2356,6 +2591,7 @@ mod tests {
                             dst: Reg(2),
                             builtin: lssa_rt::Builtin::NatAdd,
                             args: vec![Reg(0), Reg(1)],
+                            mask: 0,
                         },
                         Instr::Ret { src: Reg(2) },
                     ],
@@ -2368,12 +2604,76 @@ mod tests {
         assert!(out.vm_stats.allocs_of(OpClass::Closure) >= 1);
     }
 
+    /// Like [`tail_loop`], but the self-call is non-tail (the countdown
+    /// result returns through a register), so the site keeps its cache
+    /// slot — tail sites no longer get one.
+    fn call_loop(n: i64) -> CompiledProgram {
+        CompiledProgram {
+            fns: vec![
+                CompiledFn {
+                    name: "main".into(),
+                    arity: 0,
+                    n_regs: 2,
+                    code: vec![
+                        Instr::LpInt { dst: Reg(0), v: n },
+                        Instr::Call {
+                            dst: Reg(1),
+                            func: 1,
+                            args: vec![Reg(0)],
+                        },
+                        Instr::Ret { src: Reg(1) },
+                    ],
+                },
+                CompiledFn {
+                    name: "loop".into(),
+                    arity: 1,
+                    n_regs: 4,
+                    code: vec![
+                        Instr::GetLabel {
+                            dst: Reg(1),
+                            src: Reg(0),
+                        },
+                        Instr::ConstInt { dst: Reg(2), v: 0 },
+                        Instr::Cmp {
+                            pred: CmpPred::Eq,
+                            dst: Reg(2),
+                            a: Reg(1),
+                            b: Reg(2),
+                        },
+                        Instr::Branch {
+                            cond: Reg(2),
+                            then_t: 4,
+                            else_t: 6,
+                        },
+                        Instr::LpInt { dst: Reg(3), v: 7 },
+                        Instr::Ret { src: Reg(3) },
+                        Instr::LpInt { dst: Reg(2), v: 1 },
+                        Instr::CallBuiltin {
+                            dst: Reg(3),
+                            builtin: lssa_rt::Builtin::NatSub,
+                            args: vec![Reg(0), Reg(2)],
+                            mask: 0,
+                        },
+                        Instr::Call {
+                            dst: Reg(3),
+                            func: 1,
+                            args: vec![Reg(3)],
+                        },
+                        Instr::Ret { src: Reg(3) },
+                    ],
+                },
+            ],
+            ..CompiledProgram::default()
+        }
+    }
+
     #[test]
     fn inline_caches_hit_on_monomorphic_sites() {
-        // The tail loop's call sites each bind one target, so after the
-        // first-execution miss every iteration must hit — and switching
-        // the caches off must change the counters and nothing else.
-        let p = tail_loop(1_000);
+        // The non-tail loop's call sites each bind one target, so after
+        // the first-execution miss every deeper call must hit — and
+        // switching the caches off must change the counters and nothing
+        // else.
+        let p = call_loop(1_000);
         let run = |cache: bool| {
             run_program_opts(
                 &p,
@@ -2393,13 +2693,27 @@ mod tests {
         assert_eq!(uncached.vm_stats.cache_misses, 0);
         assert!(
             cached.vm_stats.cache_hits >= 999,
-            "the monomorphic tail site must hit on all but its first iteration (got {})",
+            "the monomorphic call site must hit on all but its first execution (got {})",
             cached.vm_stats.cache_hits
         );
         assert!(
             cached.vm_stats.cache_misses <= 3,
             "only first executions may miss (got {})",
             cached.vm_stats.cache_misses
+        );
+    }
+
+    #[test]
+    fn tail_call_sites_probe_no_cache() {
+        // Tail-call cells are skipped by cache-slot assignment (static
+        // target — a probe buys nothing), so a pure tail loop's only
+        // recorded probe is main's entry call missing once.
+        let out = run_program(&tail_loop(1_000), "main", 1_000_000).unwrap();
+        assert_eq!(out.rendered, "7");
+        assert_eq!(out.vm_stats.cache_hits, 0, "tail sites must not probe");
+        assert_eq!(
+            out.vm_stats.cache_misses, 1,
+            "only main's entry call takes a first-execution miss"
         );
     }
 
@@ -2439,6 +2753,7 @@ mod tests {
                             dst: Reg(0),
                             builtin: lssa_rt::Builtin::NatAdd,
                             args: vec![Reg(1), Reg(2)],
+                            mask: 0,
                         },
                         Instr::Ret { src: Reg(0) },
                     ],
@@ -2466,6 +2781,7 @@ mod tests {
                             dst: Reg(1),
                             builtin: lssa_rt::Builtin::NatAdd,
                             args: vec![Reg(0), Reg(0)],
+                            mask: 0,
                         },
                         Instr::Ret { src: Reg(1) },
                     ],
@@ -2480,6 +2796,7 @@ mod tests {
                             dst: Reg(2),
                             builtin: lssa_rt::Builtin::NatAdd,
                             args: vec![Reg(0), Reg(1)],
+                            mask: 0,
                         },
                         Instr::Ret { src: Reg(2) },
                     ],

@@ -62,6 +62,8 @@ fn mnemonic(i: &DecodedInstr) -> &'static str {
         DecodedInstr::SwitchDense { .. } => "switchdense",
         DecodedInstr::Dec2 { .. } => "dec2",
         DecodedInstr::ProjInc2 { .. } => "projinc2",
+        DecodedInstr::Dec4 { .. } => "dec4",
+        DecodedInstr::ProjInc2Dec { .. } => "projinc2dec",
     }
 }
 
