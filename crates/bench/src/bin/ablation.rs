@@ -127,9 +127,16 @@ fn main() {
     for w in all(scale) {
         print!("{:<20}", w.name);
         for (i, (_, opts, decode, exec)) in knobs.iter().enumerate() {
+            // The RC-linearity checker rides along on every knob so the
+            // per-pass tables below report its cost (`verify-rc-us`) — and
+            // every ablation run doubles as a full-matrix RC verification.
+            let opts = PipelineOptions {
+                verify_rc: true,
+                ..*opts
+            };
             let config = CompilerConfig {
                 simplify: Some(SimplifyOptions::all()),
-                backend: Backend::Mlir(*opts),
+                backend: Backend::Mlir(opts),
             };
             let (program, report) = compile_with_report(&w.src, config).expect("compile");
             knob_reports[i].merge(&report.expect("mlir backend reports statistics"));

@@ -53,6 +53,11 @@ pub struct PipelineOptions {
     pub rc_opt: bool,
     /// Verify the module between phases (slow; meant for tests).
     pub verify: bool,
+    /// Run the RC-linearity checker after `rc-opt` and every later pass
+    /// (slow; on under `--pass-stats` and in verification test runs). A
+    /// definite inc/dec imbalance in compiler output panics with the
+    /// offending function and block path.
+    pub verify_rc: bool,
     /// Dump the module to stderr after every pass (the CLI's
     /// `--print-ir-after-all`).
     pub print_ir_after_all: bool,
@@ -73,6 +78,7 @@ impl PipelineOptions {
             guaranteed_tco: true,
             rc_opt: true,
             verify: false,
+            verify_rc: false,
             print_ir_after_all: false,
         }
     }
@@ -189,6 +195,7 @@ pub fn rc_opt_pipeline(opts: PipelineOptions) -> PassManager {
     with_dump(
         PassManager::named("rc-opt")
             .verify_each(opts.verify)
+            .verify_rc(opts.verify_rc)
             .add(RcOptPass::default()),
         opts,
     )
@@ -200,6 +207,7 @@ pub fn cleanup_pipeline(opts: PipelineOptions) -> PassManager {
     with_dump(
         PassManager::named("cleanup")
             .verify_each(opts.verify)
+            .verify_rc(opts.verify_rc)
             .fixpoint(CLEANUP_MAX_ITERS)
             .add(SimplifyCfgPass)
             .add(CanonicalizePass::new())
@@ -267,9 +275,11 @@ pub fn compile_with_report(program: &Program, opts: PipelineOptions) -> (Module,
     // Tail calls (§III-E).
     report.phases.push(
         with_dump(
-            PassManager::named("tco").add(TcoPass {
-                only_self: !opts.guaranteed_tco,
-            }),
+            PassManager::named("tco")
+                .verify_rc(opts.verify_rc)
+                .add(TcoPass {
+                    only_self: !opts.guaranteed_tco,
+                }),
             opts,
         )
         .run(&mut module),

@@ -5,6 +5,7 @@
 //!                 [--no-fuse] [--no-renumber] [--no-inline-cache] [--no-rc-opt]
 //!                 [--dispatch match|threaded] [--print-ir-after-all]
 //! lssa check <file>... [--format human|json]
+//! lssa lint <file>... [--format human|json]
 //! lssa fmt <file>... [--write | --check]
 //! lssa dump <file> [--stage lp|rgn|opt|cfg]
 //! lssa diff <file>
@@ -21,6 +22,15 @@
 //! any are found; `run`/`dump`/`diff`/`bench` on a `.lssa` file report the
 //! *same* codes on the same defects, because the `E01xx` wellformedness
 //! codes are shared with the AST-level checker.
+//!
+//! `lint` accepts what `check` accepts and reports `E02xx` hygiene
+//! findings in the same renderings: source-level lints (dead join points,
+//! unused parameters, unreachable case arms, shadowed join labels) and the
+//! RC-linearity verdicts of the IR analysis framework (`error[E0201]` for
+//! a proven inc/dec imbalance, `warning[E0202]` for an unprovable one).
+//! It exits non-zero only when an *error*-severity finding is present —
+//! warnings alone leave the exit code at zero, so `lint` can gate CI
+//! without legislating style.
 //!
 //! `fmt` reprints a `.lssa` file in canonical form to stdout; `--write`
 //! rewrites the file in place, `--check` exits non-zero when the file is not
@@ -77,6 +87,7 @@ fn main() -> ExitCode {
                 "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--no-renumber] [--no-inline-cache] [--no-rc-opt] [--dispatch match|threaded] [--print-ir-after-all]"
             );
             eprintln!("  lssa check <file>... [--format human|json]");
+            eprintln!("  lssa lint <file>... [--format human|json]");
             eprintln!("  lssa fmt <file>... [--write | --check]");
             eprintln!("  lssa dump <file> [--stage lambda|lp|rgn|opt|cfg]");
             eprintln!("  lssa diff <file>");
@@ -206,6 +217,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     }
                 }
             }
+            // `--pass-stats` doubles as the verification mode: the
+            // RC-linearity checker runs after rc-opt and every later pass,
+            // and its cost shows up as a `verify-rc-us` counter.
+            if want_stats {
+                if let Backend::Mlir(mut opts) = config.backend {
+                    opts.verify_rc = true;
+                    config.backend = Backend::Mlir(opts);
+                }
+            }
             let (out, report) = if is_lssa(file) {
                 let program = match load_lssa(file, &src) {
                     Ok(p) => p,
@@ -259,6 +279,31 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 let diags = lssa_syntax::check_source(&src);
                 if !diags.is_empty() {
                     failed = true;
+                    print!("{}", lssa_syntax::render_all(&diags, file, &src, format));
+                }
+            }
+            Ok(if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "lint" => {
+            let files = file_args(args);
+            if files.is_empty() {
+                return Err("missing file".to_string());
+            }
+            let format = match flag_value(args, "--format") {
+                None | Some("human") => lssa_syntax::RenderFormat::Human,
+                Some("json") => lssa_syntax::RenderFormat::Json,
+                Some(other) => return Err(format!("unknown format `{other}`")),
+            };
+            let mut failed = false;
+            for file in files {
+                let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+                let diags = lssa_driver::lint::lint_source(&src);
+                failed |= lssa_driver::lint::has_errors(&diags);
+                if !diags.is_empty() {
                     print!("{}", lssa_syntax::render_all(&diags, file, &src, format));
                 }
             }

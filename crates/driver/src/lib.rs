@@ -28,6 +28,7 @@ pub mod baseline;
 pub mod benchjson;
 pub mod conformance;
 pub mod diff;
+pub mod lint;
 pub mod par;
 pub mod pipelines;
 pub mod workloads;

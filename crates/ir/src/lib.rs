@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod attr;
 pub mod body;
 pub mod builder;
@@ -48,6 +49,7 @@ pub mod verifier;
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::analysis::{BlockGraph, Liveness, RcVerdict, UseDefChains};
     pub use crate::attr::{Attr, AttrKey, CmpPred};
     pub use crate::body::{Body, OpData, Successor, ValueDef, ROOT_REGION};
     pub use crate::builder::Builder;

@@ -28,6 +28,7 @@
 //! detaches a function's body so the pass can read module-level context
 //! (callee signatures, globals) while mutating the body.
 
+use crate::analysis::rc_check;
 use crate::body::Body;
 use crate::module::Module;
 use crate::verifier::verify_module;
@@ -273,6 +274,7 @@ pub struct PassManager {
     name: String,
     entries: Vec<Entry>,
     verify_each: bool,
+    verify_rc: bool,
     max_iters: usize,
     dump_after: Option<DumpHook>,
 }
@@ -289,6 +291,7 @@ impl std::fmt::Debug for PassManager {
             .field("name", &self.name)
             .field("passes", &self.pipeline())
             .field("verify_each", &self.verify_each)
+            .field("verify_rc", &self.verify_rc)
             .field("max_iters", &self.max_iters)
             .finish()
     }
@@ -306,6 +309,7 @@ impl PassManager {
             name: name.into(),
             entries: Vec::new(),
             verify_each: false,
+            verify_rc: false,
             max_iters: 1,
             dump_after: None,
         }
@@ -319,6 +323,17 @@ impl PassManager {
     /// Enables verification after every pass.
     pub fn verify_each(mut self, yes: bool) -> PassManager {
         self.verify_each = yes;
+        self
+    }
+
+    /// Enables RC-linearity checking after every pass
+    /// ([`rc_check::check_module_strict`]): a pass that unbalances an
+    /// `lp.inc`/`lp.dec` protocol panics with the offending function and
+    /// block path. The check's wall time is recorded as a `verify-rc-us`
+    /// counter on the pass's statistics row. Only meaningful on pipelines
+    /// whose input already follows the λrc protocol (rc-opt and later).
+    pub fn verify_rc(mut self, yes: bool) -> PassManager {
+        self.verify_rc = yes;
         self
     }
 
@@ -450,7 +465,7 @@ impl PassManager {
                     let pass_changed = pass.run_on(module);
                     let duration = start.elapsed();
                     *op_count = module.live_op_count();
-                    let s = PassStatistics {
+                    let mut s = PassStatistics {
                         pass: path.clone(),
                         runs: 1,
                         changed: pass_changed,
@@ -459,6 +474,15 @@ impl PassManager {
                         duration,
                         extra: pass.stat_counters(),
                     };
+                    if self.verify_rc {
+                        let rc_start = Instant::now();
+                        let result = rc_check::check_module_strict(module);
+                        let micros = rc_start.elapsed().as_micros() as u64;
+                        s.extra.push(("verify-rc-us", micros));
+                        if let Err(msg) = result {
+                            panic!("rc verification failed after pass `{path}`: {msg}");
+                        }
+                    }
                     changed |= s.changed;
                     merge_stat(stats, s);
                     if let Some(h) = hook {

@@ -7,10 +7,49 @@
 //! - `E00xx` — lexical / syntactic errors produced by the `.lssa` reader,
 //! - `E01xx` — wellformedness violations, shared verbatim with the AST-level
 //!   checker in [`lssa_lambda::wellformed`] (see its `codes` module), so
-//!   `lssa check` and `lssa run` report identical codes for the same defect.
+//!   `lssa check` and `lssa run` report identical codes for the same defect,
+//! - `E02xx` — IR-level lint findings produced by `lssa lint` (RC-linearity
+//!   verdicts from the `lssa-ir` analysis framework plus source-level
+//!   hygiene checks). Unlike the other families these are mostly
+//!   [`Severity::Warning`]: the program runs, but something is off.
 
 use crate::span::{LineIndex, Span};
 use std::fmt;
+
+/// Lint: the RC-linearity checker proved an inc/dec imbalance — some path
+/// leaks or double-releases a reference.
+pub const E_LINT_RC_UNBALANCED: &str = "E0201";
+/// Lint: the RC-linearity checker could not prove balance (aliasing or a
+/// reference that escaped into a container) — reported, not asserted.
+pub const E_LINT_RC_UNPROVABLE: &str = "E0202";
+/// Lint: a join point is never jumped to.
+pub const E_LINT_DEAD_JOIN: &str = "E0203";
+/// Lint: a function parameter is never referenced.
+pub const E_LINT_UNUSED_PARAM: &str = "E0204";
+/// Lint: a `case` arm repeats an already-handled constructor tag.
+pub const E_LINT_UNREACHABLE_ARM: &str = "E0205";
+/// Lint: a `let`/`jp` rebinds a name already in scope, shadowing it.
+pub const E_LINT_SHADOWED_BINDING: &str = "E0206";
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The input is rejected (or, for `E0201`, provably broken).
+    Error,
+    /// The input is accepted but suspicious; `lssa lint` reports it without
+    /// failing the run.
+    Warning,
+}
+
+impl Severity {
+    /// The lowercase keyword used in both renderings.
+    pub fn word(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
 
 /// Lexical error: a character that cannot start any token.
 pub const E_LEX_CHAR: &str = "E0001";
@@ -29,6 +68,8 @@ pub const E_BAD_TOKEN: &str = "E0005";
 pub struct Diagnostic {
     /// Stable machine-matchable code (`E0xxx`).
     pub code: &'static str,
+    /// Error or warning (warnings come from `lssa lint`).
+    pub severity: Severity,
     /// Human-readable description.
     pub message: String,
     /// Where in the source the defect sits, when known.
@@ -38,23 +79,33 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    /// A diagnostic with a span.
+    /// An error diagnostic with a span.
     pub fn new(code: &'static str, message: impl Into<String>, span: Span) -> Diagnostic {
         Diagnostic {
             code,
+            severity: Severity::Error,
             message: message.into(),
             span: Some(span),
             notes: Vec::new(),
         }
     }
 
-    /// A diagnostic without location information.
+    /// An error diagnostic without location information.
     pub fn spanless(code: &'static str, message: impl Into<String>) -> Diagnostic {
         Diagnostic {
             code,
+            severity: Severity::Error,
             message: message.into(),
             span: None,
             notes: Vec::new(),
+        }
+    }
+
+    /// A warning diagnostic with a span.
+    pub fn warning(code: &'static str, message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::new(code, message, span)
         }
     }
 
@@ -85,7 +136,13 @@ impl Diagnostic {
                 let _ = write!(out, "{file}: ");
             }
         }
-        let _ = write!(out, "error[{}]: {}", self.code, self.message);
+        let _ = write!(
+            out,
+            "{}[{}]: {}",
+            self.severity.word(),
+            self.code,
+            self.message
+        );
         for note in &self.notes {
             let _ = write!(out, "\n  note: {note}");
         }
@@ -95,7 +152,7 @@ impl Diagnostic {
     /// Renders one JSON object (a single line, no trailing newline):
     ///
     /// ```json
-    /// {"code":"E0101","message":"...","file":"f.lssa",
+    /// {"code":"E0101","severity":"error","message":"...","file":"f.lssa",
     ///  "span":{"start":9,"end":11,"line":2,"col":3},"notes":[]}
     /// ```
     ///
@@ -105,8 +162,9 @@ impl Diagnostic {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"code\":\"{}\",\"message\":\"{}\",\"file\":\"{}\",\"span\":",
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"file\":\"{}\",\"span\":",
             self.code,
+            self.severity.word(),
             escape_json(&self.message),
             escape_json(file)
         );
@@ -135,7 +193,13 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error[{}]: {}", self.code, self.message)
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity.word(),
+            self.code,
+            self.message
+        )
     }
 }
 
@@ -209,11 +273,26 @@ mod tests {
         let json = d.render_json("a\\b.lssa", &idx);
         assert_eq!(
             json,
-            "{\"code\":\"E0005\",\"message\":\"bad \\\"tok\\\"\\n\",\"file\":\"a\\\\b.lssa\",\
+            "{\"code\":\"E0005\",\"severity\":\"error\",\"message\":\"bad \\\"tok\\\"\\n\",\
+             \"file\":\"a\\\\b.lssa\",\
              \"span\":{\"start\":3,\"end\":5,\"line\":2,\"col\":1},\"notes\":[\"n1\"]}"
         );
         let d = Diagnostic::spanless(E_BAD_TOKEN, "x");
         assert!(d.render_json("f", &idx).contains("\"span\":null"));
+    }
+
+    #[test]
+    fn warnings_render_with_their_severity() {
+        let idx = LineIndex::new("xy");
+        let d = Diagnostic::warning(E_LINT_UNUSED_PARAM, "unused parameter x", Span::new(0, 1));
+        assert_eq!(
+            d.render_human("f.lssa", &idx),
+            "f.lssa:1:1: warning[E0204]: unused parameter x"
+        );
+        assert_eq!(d.to_string(), "warning[E0204]: unused parameter x");
+        assert!(d
+            .render_json("f.lssa", &idx)
+            .contains("\"severity\":\"warning\""));
     }
 
     #[test]

@@ -195,6 +195,63 @@ fn bad_corpus_diagnostics_are_stable() {
 }
 
 #[test]
+fn lint_corpus_findings_are_stable() {
+    // `tests/corpus/bad/lint/*.lssa` are accepted-but-suspicious programs:
+    // every file passes `check` cleanly, triggers at least one `E02xx`
+    // finding, and its JSON rendering is pinned byte-for-byte — the machine
+    // interface `lssa lint --format json` promises to tooling. Together the
+    // files cover every lint code.
+    let dir = corpus_dir().join("bad/lint");
+    let files = lssa_files(&dir);
+    assert!(
+        files.len() >= 6,
+        "lint corpus shrank: {} files",
+        files.len()
+    );
+    let mut codes_seen: BTreeSet<&'static str> = BTreeSet::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path).expect("read lint corpus file");
+        let name = path
+            .file_name()
+            .and_then(|s| s.to_str())
+            .expect("file name");
+        assert!(
+            syntax::check_source(&src).is_empty(),
+            "{name}: lint corpus files must pass `check` — only lints allowed"
+        );
+        let diags = lambda_ssa::driver::lint::lint_source(&src);
+        assert!(!diags.is_empty(), "{name}: expected lint findings");
+        codes_seen.extend(diags.iter().map(|d| d.code));
+        let got = syntax::render_all(&diags, name, &src, syntax::RenderFormat::Json);
+        let want = std::fs::read_to_string(path.with_extension("expected"))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(got, want, "{name}: findings drifted from the golden");
+    }
+    for code in ["E0201", "E0202", "E0203", "E0204", "E0205", "E0206"] {
+        assert!(
+            codes_seen.contains(code),
+            "lint corpus no longer covers {code}"
+        );
+    }
+}
+
+#[test]
+fn good_corpus_is_lint_error_free() {
+    // The workload corpus must keep linting without error-severity
+    // findings: warnings (e.g. an unprovable RC verdict on rc-opt output)
+    // are allowed, a proven RC imbalance is not.
+    for path in lssa_files(&corpus_dir()) {
+        let src = std::fs::read_to_string(&path).expect("read corpus file");
+        let diags = lambda_ssa::driver::lint::lint_source(&src);
+        assert!(
+            !lambda_ssa::driver::lint::has_errors(&diags),
+            "{}: {diags:?}",
+            path.display()
+        );
+    }
+}
+
+#[test]
 fn bad_corpus_agrees_with_the_ast_checker() {
     // Satellite guarantee: `lssa check` (text frontend) and `lssa run`
     // (AST checker via the pipeline) name defects identically. For every

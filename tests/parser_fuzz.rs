@@ -1,0 +1,183 @@
+//! Invalid-input fuzzing of the `.lssa` text frontend.
+//!
+//! Takes the checked-in corpus (`tests/corpus/*.lssa` and the bad corpus)
+//! as seeds and applies deterministic byte mutations — flips, insertions
+//! from an interesting alphabet, deletions, slice duplication, truncation —
+//! then feeds the result through the whole frontend: lexer, S-expression
+//! reader, lowerer, and the source-level linter. The properties:
+//!
+//! 1. no input panics any of those stages (errors must be *reported*, not
+//!    thrown),
+//! 2. every diagnostic carries a code from the frontend's published
+//!    families (`E00xx` lexical/structural, `E01xx` wellformedness) — the
+//!    codes tooling is allowed to match on,
+//! 3. a clean report means a program was actually produced, and
+//!    rendering never panics in either format.
+
+use lambda_ssa::syntax;
+use proptest::prelude::*;
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// Deterministic 64-bit LCG (MMIX constants) — the mutation stream must be
+/// reproducible from the proptest seed alone.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Bytes that exercise the lexer's interesting paths: structure, token
+/// prefixes, digits, string syntax, comments, and some raw noise.
+const ALPHABET: &[u8] = b"()xj0123456789 \n\t\"\\defcaseletjoinjumpretincbig;\0\xff";
+
+fn seeds() -> &'static Vec<String> {
+    static SEEDS: OnceLock<Vec<String>> = OnceLock::new();
+    SEEDS.get_or_init(|| {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+        let mut out = Vec::new();
+        for dir in [root.clone(), root.join("bad"), root.join("bad/lint")] {
+            let mut files: Vec<_> = std::fs::read_dir(&dir)
+                .expect("corpus dir")
+                .map(|e| e.expect("entry").path())
+                .filter(|p| p.extension().is_some_and(|e| e == "lssa") && p.is_file())
+                .collect();
+            files.sort();
+            for f in files {
+                out.push(std::fs::read_to_string(&f).expect("read seed"));
+            }
+        }
+        assert!(out.len() >= 14, "seed corpus too small: {}", out.len());
+        out
+    })
+}
+
+/// Applies `count` random byte mutations to `src`.
+fn mutate(src: &str, rng: &mut Lcg, count: usize) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    for _ in 0..count {
+        if bytes.is_empty() {
+            bytes.push(ALPHABET[rng.below(ALPHABET.len())]);
+            continue;
+        }
+        match rng.below(5) {
+            0 => {
+                let i = rng.below(bytes.len());
+                bytes[i] = ALPHABET[rng.below(ALPHABET.len())];
+            }
+            1 => {
+                let i = rng.below(bytes.len() + 1);
+                bytes.insert(i, ALPHABET[rng.below(ALPHABET.len())]);
+            }
+            2 => {
+                let i = rng.below(bytes.len());
+                bytes.remove(i);
+            }
+            3 => {
+                // Duplicate a short slice somewhere else (repeats parens,
+                // half-formed tokens, etc.).
+                let start = rng.below(bytes.len());
+                let len = (rng.below(16) + 1).min(bytes.len() - start);
+                let slice: Vec<u8> = bytes[start..start + len].to_vec();
+                let at = rng.below(bytes.len() + 1);
+                bytes.splice(at..at, slice);
+            }
+            _ => {
+                // Truncate: unterminated everything.
+                bytes.truncate(rng.below(bytes.len()));
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Largest char boundary ≤ `i` (the corpus is ASCII, but mutations under
+/// `from_utf8_lossy` can leave multi-byte replacement chars behind).
+fn floor_boundary(s: &str, mut i: usize) -> usize {
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+fn check_families(src: &str) -> Result<(), TestCaseError> {
+    let outcome = syntax::parse_source(src);
+    for d in &outcome.diagnostics {
+        prop_assert!(
+            d.code.starts_with("E00") || d.code.starts_with("E01"),
+            "frontend reported a non-frontend code {}: {}",
+            d.code,
+            d.message
+        );
+        prop_assert_eq!(d.severity, syntax::Severity::Error);
+    }
+    if outcome.diagnostics.is_empty() {
+        prop_assert!(
+            outcome.program.is_some(),
+            "clean report but no program:\n{}",
+            src
+        );
+    }
+    // Rendering must hold up on arbitrary mutated content (escaping).
+    for format in [syntax::RenderFormat::Human, syntax::RenderFormat::Json] {
+        let _ = syntax::render_all(&outcome.diagnostics, "fuzz.lssa", src, format);
+    }
+    // The source-level linter sees the same arbitrary trees; it must skip
+    // what it cannot understand, never panic.
+    let _ = syntax::lint_source(src);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: if cfg!(feature = "slow-tests") { 512 } else { 128 },
+        .. ProptestConfig::default()
+    })]
+
+    /// Corpus files survive arbitrary byte mutations without panicking and
+    /// with diagnostics only from the published code families.
+    #[test]
+    fn mutated_corpus_never_panics_the_frontend(seed in any::<u64>()) {
+        let seeds = seeds();
+        let mut rng = Lcg(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let src = &seeds[rng.below(seeds.len())];
+        let mutations = rng.below(12) + 1;
+        let mutated = mutate(src, &mut rng, mutations);
+        check_families(&mutated)?;
+    }
+
+    /// Splicing two corpus files at random cut points — cross-file
+    /// structure mismatches, half defs, duplicated names.
+    #[test]
+    fn spliced_corpus_never_panics_the_frontend(seed in any::<u64>()) {
+        let seeds = seeds();
+        let mut rng = Lcg(seed ^ 0x5851_f42d_4c95_7f2d);
+        let a = &seeds[rng.below(seeds.len())];
+        let b = &seeds[rng.below(seeds.len())];
+        let cut_a = floor_boundary(a, rng.below(a.len() + 1));
+        let cut_b = floor_boundary(b, rng.below(b.len() + 1));
+        let mut spliced = String::new();
+        spliced.push_str(&a[..cut_a]);
+        spliced.push_str(&b[cut_b..]);
+        check_families(&spliced)?;
+    }
+}
+
+/// The un-mutated seeds themselves: every corpus file either checks clean
+/// or reports only family codes (the bad corpus does both by design).
+#[test]
+fn unmutated_seeds_report_only_family_codes() {
+    for src in seeds() {
+        check_families(src).expect("seed corpus");
+    }
+}
