@@ -1,0 +1,79 @@
+//! Regression tests for the `gauntlet` binary: argument handling, the
+//! fault-injection pass itself on a small case count, and byte-identity of
+//! the per-seed report across `--jobs` values (the executable face of the
+//! determinism the harness also checks internally).
+
+use std::process::Command;
+
+fn gauntlet() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gauntlet"))
+}
+
+#[test]
+fn unparseable_seed_is_rejected() {
+    let out = gauntlet().args(["--seed", "banana"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--seed"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn zero_jobs_is_rejected() {
+    let out = gauntlet().args(["--jobs", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = gauntlet().args(["--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}
+
+#[test]
+fn small_run_passes_with_zero_violations() {
+    let out = gauntlet()
+        .args(["--seed", "7", "--count", "48", "--jobs", "2"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "gauntlet failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("GAUNTLET PASS"), "{stdout}");
+}
+
+#[test]
+fn reports_are_identical_across_job_counts() {
+    let report = |jobs: &str, path: &std::path::Path| {
+        let out = gauntlet()
+            .args(["--seed", "3", "--count", "64", "--no-determinism-check"])
+            .args(["--jobs", jobs])
+            .arg("--out")
+            .arg(path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "gauntlet --jobs {jobs} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let body = std::fs::read_to_string(path).unwrap();
+        // Drop the header line, which records the --jobs value itself.
+        body.lines()
+            .filter(|l| !l.starts_with("gauntlet seed="))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let dir = std::env::temp_dir();
+    let serial = report("1", &dir.join("gauntlet_cli_serial.txt"));
+    let sharded = report("4", &dir.join("gauntlet_cli_sharded.txt"));
+    assert_eq!(
+        serial, sharded,
+        "per-seed report must be byte-identical across --jobs values"
+    );
+}

@@ -4,6 +4,7 @@
 //! lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats]
 //!                 [--no-fuse] [--no-renumber] [--no-inline-cache] [--no-rc-opt]
 //!                 [--dispatch match|threaded] [--print-ir-after-all]
+//!                 [--step-budget N] [--heap-budget BYTES] [--deadline-ms MS]
 //! lssa check <file>... [--format human|json]
 //! lssa lint <file>... [--format human|json]
 //! lssa fmt <file>... [--write | --check]
@@ -51,6 +52,13 @@
 //! knob, for ablation measurements. `--print-ir-after-all` dumps the
 //! module to stderr after every pass, MLIR-style.
 //!
+//! `run` executes under resource governance (see `lssa_driver::jobs`):
+//! `--step-budget N` caps executed instructions, `--heap-budget BYTES`
+//! caps live heap bytes, `--deadline-ms MS` sets a wall-clock deadline.
+//! A run that exhausts any budget exits with code **3** (success is 0,
+//! all other errors 1), so callers can tell "the program is wrong" from
+//! "the program was stopped".
+//!
 //! `bench --json` measures the selected workloads under every knob
 //! configuration (see `lssa_driver::benchjson`) and writes
 //! machine-readable records to `BENCH_<scale>.json` (or `--out FILE`) —
@@ -70,10 +78,16 @@ use lssa_driver::pipelines::{
 };
 use lssa_driver::workloads::{all, by_name, Scale, Workload};
 use lssa_lambda::ast::Program;
-use lssa_vm::{DecodeOptions, DispatchMode, ExecOptions};
+use lssa_vm::{DecodeOptions, DispatchMode, ExecOptions, JobLimits};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const MAX_STEPS: u64 = 2_000_000_000;
+
+/// Exit code for a run that exhausted a resource budget (step, heap,
+/// depth, deadline, cancellation) rather than failing on its own merits.
+/// 0 = success, 1 = any other error, 3 = resource exhaustion.
+const EXIT_RESOURCE: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,7 +98,7 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!(
-                "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--no-renumber] [--no-inline-cache] [--no-rc-opt] [--dispatch match|threaded] [--print-ir-after-all]"
+                "  lssa run <file> [--backend leanc|mlir|rgn-only|none] [--pass-stats] [--vm-stats] [--no-fuse] [--no-renumber] [--no-inline-cache] [--no-rc-opt] [--dispatch match|threaded] [--print-ir-after-all] [--step-budget N] [--heap-budget BYTES] [--deadline-ms MS]"
             );
             eprintln!("  lssa check <file>... [--format human|json]");
             eprintln!("  lssa lint <file>... [--format human|json]");
@@ -124,9 +138,29 @@ fn exec_options(args: &[String]) -> Result<ExecOptions, String> {
         None => DispatchMode::default(),
         Some(s) => DispatchMode::parse(s).ok_or_else(|| format!("unknown dispatch mode `{s}`"))?,
     };
+    let mut limits = JobLimits::default();
+    if let Some(v) = flag_value(args, "--step-budget") {
+        let steps = v
+            .parse::<u64>()
+            .map_err(|_| format!("invalid --step-budget `{v}`"))?;
+        limits = limits.with_steps(steps);
+    }
+    if let Some(v) = flag_value(args, "--heap-budget") {
+        let bytes = v
+            .parse::<u64>()
+            .map_err(|_| format!("invalid --heap-budget `{v}`"))?;
+        limits = limits.with_heap_bytes(bytes);
+    }
+    if let Some(v) = flag_value(args, "--deadline-ms") {
+        let ms = v
+            .parse::<u64>()
+            .map_err(|_| format!("invalid --deadline-ms `{v}`"))?;
+        limits = limits.with_deadline(Some(Duration::from_millis(ms)));
+    }
     Ok(ExecOptions::default()
         .with_dispatch(dispatch)
-        .with_inline_cache(!has_flag(args, "--no-inline-cache")))
+        .with_inline_cache(!has_flag(args, "--no-inline-cache"))
+        .with_limits(limits))
 }
 
 fn config_of(name: &str) -> Result<CompilerConfig, String> {
@@ -233,12 +267,28 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 };
                 let (compiled, report) =
                     compile_ast_with_report(&program, config).map_err(|e| e.to_string())?;
-                let out = lssa_vm::run_program_opts(&compiled, "main", MAX_STEPS, decode, exec)
-                    .map_err(|e| format!("execution error: {e}"))?;
+                let out =
+                    match lssa_vm::run_program_opts(&compiled, "main", MAX_STEPS, decode, exec) {
+                        Ok(out) => out,
+                        // A budget/deadline/cancellation abort is a governed
+                        // outcome, not a usage error: report it plainly and exit
+                        // with the documented resource code.
+                        Err(e) if e.kind.is_resource() => {
+                            eprintln!("execution error: {e}");
+                            return Ok(ExitCode::from(EXIT_RESOURCE));
+                        }
+                        Err(e) => return Err(format!("execution error: {e}")),
+                    };
                 (out, report)
             } else {
-                compile_and_run_with_report_vm(&src, config, MAX_STEPS, decode, exec)
-                    .map_err(|e| e.to_string())?
+                match compile_and_run_with_report_vm(&src, config, MAX_STEPS, decode, exec) {
+                    Ok(pair) => pair,
+                    Err(e) if e.vm_kind().is_some_and(|k| k.is_resource()) => {
+                        eprintln!("{e}");
+                        return Ok(ExitCode::from(EXIT_RESOURCE));
+                    }
+                    Err(e) => return Err(e.to_string()),
+                }
             };
             println!("{}", out.rendered);
             eprintln!(

@@ -11,6 +11,8 @@
 //! - [`workloads`] — the eight benchmarks of §V-B,
 //! - [`benchjson`] — machine-readable benchmark records
 //!   (`lssa bench --json` → `BENCH_<scale>.json`, fused vs `--no-fuse`),
+//! - [`jobs`] — resource-governed, fault-tolerant job execution with
+//!   deterministic fault injection (the `gauntlet` harness),
 //! - [`par`] — the parallel batch executor every sharded run shares (the
 //!   `correctness` binary, [`pipelines::compile_batch`], and the
 //!   integration-test harnesses).
@@ -28,6 +30,7 @@ pub mod baseline;
 pub mod benchjson;
 pub mod conformance;
 pub mod diff;
+pub mod jobs;
 pub mod lint;
 pub mod par;
 pub mod pipelines;

@@ -14,9 +14,15 @@
 //! - **Deterministic output.** Each job's result is tagged with its input
 //!   index and the merged output is in input order — byte-identical
 //!   regardless of `jobs`, chunk size, or scheduling.
-//! - **Panic transparency.** A panicking job does not wedge the batch: every
-//!   worker is joined first, then the first panic is re-raised on the
-//!   caller's thread (exactly what the old hand-rolled sites did).
+//! - **Panic transparency.** Every job runs under `catch_unwind`, so a
+//!   panicking job never wedges the batch or loses its worker's other
+//!   results. In the default mode the panic is re-raised on the caller's
+//!   thread after the whole batch completes — deterministically the
+//!   lowest-input-index panic, with a summary counting *all* panicked jobs
+//!   when there was more than one. In **quarantine mode**
+//!   ([`BatchRunner::map_quarantined`] / [`BatchRunner::run_quarantined`])
+//!   nothing is re-raised: each panic becomes a per-job [`JobPanic`] entry
+//!   and the rest of the batch is unaffected.
 //! - **Aggregation.** [`BatchRunner::run`] wraps each job with wall-clock
 //!   timing and returns a [`BatchReport`] carrying per-job durations, the
 //!   batch wall time, and (for `Result` jobs) failure accounting.
@@ -27,8 +33,40 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// What `catch_unwind` hands back from a panicked job.
+pub(crate) type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads cover
+/// everything `panic!` and the `assert!` family produce).
+pub(crate) fn panic_message(payload: &PanicPayload) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// A job panic captured by the quarantine mode: the panic message, carried
+/// as a per-job failure value instead of an unwinding panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload, rendered to text.
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
 
 /// The number of worker threads the executor uses by default: the
 /// machine's available parallelism, or 1 when that cannot be determined.
@@ -98,7 +136,8 @@ impl BatchRunner {
     ///
     /// # Panics
     ///
-    /// Re-raises the first job panic after all workers have joined.
+    /// Re-raises the lowest-input-index job panic after the whole batch has
+    /// run (see [`BatchRunner::map_with_progress`]).
     pub fn map<T, R>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
     where
         T: Sync,
@@ -113,7 +152,11 @@ impl BatchRunner {
     ///
     /// # Panics
     ///
-    /// Re-raises the first job panic after all workers have joined.
+    /// After the whole batch has run, re-raises the panic of the
+    /// lowest-input-index panicking job — deterministic regardless of thread
+    /// count. When several jobs panicked, the re-raised payload is a summary
+    /// counting all of them (with their input indices), so no failure is
+    /// silently dropped.
     pub fn map_with_progress<T, R>(
         &self,
         items: &[T],
@@ -124,14 +167,77 @@ impl BatchRunner {
         T: Sync,
         R: Send,
     {
+        let results = self.map_caught(items, f, progress);
+        let mut out = Vec::with_capacity(results.len());
+        let mut panics: Vec<(usize, PanicPayload)> = Vec::new();
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(v) => out.push(v),
+                Err(payload) => panics.push((i, payload)),
+            }
+        }
+        if panics.is_empty() {
+            return out;
+        }
+        if panics.len() == 1 {
+            // Single failure: re-raise the original payload untouched.
+            std::panic::resume_unwind(panics.remove(0).1);
+        }
+        let indices: Vec<String> = panics.iter().map(|(i, _)| i.to_string()).collect();
+        let first = panic_message(&panics[0].1);
+        panic!(
+            "{} batch jobs panicked (input indices {}); first: {}",
+            panics.len(),
+            indices.join(", "),
+            first
+        );
+    }
+
+    /// The quarantined sibling of [`BatchRunner::map`]: every panic is
+    /// captured as a per-job [`JobPanic`] and nothing is re-raised, so one
+    /// hostile job cannot take down the batch (or the process).
+    pub fn map_quarantined<T, R>(
+        &self,
+        items: &[T],
+        f: impl Fn(&T) -> R + Sync,
+    ) -> Vec<Result<R, JobPanic>>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.map_caught(items, f, |_, _| {})
+            .into_iter()
+            .map(|r| {
+                r.map_err(|payload| JobPanic {
+                    message: panic_message(&payload),
+                })
+            })
+            .collect()
+    }
+
+    /// The shared engine: applies `f` to every item in parallel with each
+    /// job under `catch_unwind`, returning per-job outcomes in input order.
+    /// A panicking job costs the batch nothing — its worker keeps claiming
+    /// chunks and every other result is retained.
+    fn map_caught<T, R>(
+        &self,
+        items: &[T],
+        f: impl Fn(&T) -> R + Sync,
+        progress: impl Fn(usize, usize) + Sync,
+    ) -> Vec<Result<R, PanicPayload>>
+    where
+        T: Sync,
+        R: Send,
+    {
         let total = items.len();
         let jobs = self.effective_jobs(total);
         let chunk = self.effective_chunk(total, jobs);
+        let guarded = |item: &T| catch_unwind(AssertUnwindSafe(|| f(item)));
         if jobs <= 1 || total <= 1 {
             // Serial fast path — same chunk-grained progress reporting.
             let mut out = Vec::with_capacity(total);
             for (i, item) in items.iter().enumerate() {
-                out.push(f(item));
+                out.push(guarded(item));
                 if (i + 1) % chunk == 0 || i + 1 == total {
                     progress(i + 1, total);
                 }
@@ -140,8 +246,8 @@ impl BatchRunner {
         }
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let (f, progress, next, done) = (&f, &progress, &next, &done);
-        let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let (guarded, progress, next, done) = (&guarded, &progress, &next, &done);
+        let mut buckets: Vec<Vec<(usize, Result<R, PanicPayload>)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..jobs)
                 .map(|w| {
                     std::thread::Builder::new()
@@ -155,7 +261,7 @@ impl BatchRunner {
                                 }
                                 let end = (start + chunk).min(total);
                                 for (i, item) in items[start..end].iter().enumerate() {
-                                    local.push((start + i, f(item)));
+                                    local.push((start + i, guarded(item)));
                                 }
                                 let finished =
                                     done.fetch_add(end - start, Ordering::Relaxed) + (end - start);
@@ -166,26 +272,15 @@ impl BatchRunner {
                         .expect("spawn batch worker")
                 })
                 .collect();
-            // Join *every* worker before re-raising: unwinding out of the
-            // scope with other panicked threads unjoined would double-panic
-            // in the scope's cleanup and abort the process.
-            let mut first_panic = None;
-            let mut buckets = Vec::with_capacity(jobs);
-            for h in handles {
-                match h.join() {
-                    Ok(local) => buckets.push(local),
-                    Err(panic) => {
-                        first_panic.get_or_insert(panic);
-                    }
-                }
-            }
-            if let Some(panic) = first_panic {
-                std::panic::resume_unwind(panic);
-            }
-            buckets
+            // Workers cannot unwind (jobs are caught), so plain joins.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker survives"))
+                .collect()
         });
         // Merge worker-local results back into input order.
-        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(total).collect();
+        let mut slots: Vec<Option<Result<R, PanicPayload>>> =
+            std::iter::repeat_with(|| None).take(total).collect();
         for bucket in &mut buckets {
             for (i, r) in bucket.drain(..) {
                 slots[i] = Some(r);
@@ -202,7 +297,8 @@ impl BatchRunner {
     ///
     /// # Panics
     ///
-    /// Re-raises the first job panic after all workers have joined.
+    /// Re-raises the lowest-input-index job panic after the whole batch has
+    /// run (see [`BatchRunner::map_with_progress`]).
     pub fn run<T, R>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> BatchReport<R>
     where
         T: Sync,
@@ -211,12 +307,49 @@ impl BatchRunner {
         self.run_with_progress(items, f, |_, _| {})
     }
 
+    /// The quarantined sibling of [`BatchRunner::run`]: per-job timing and
+    /// batch accounting, with every job panic captured as a [`JobPanic`]
+    /// failure entry instead of unwinding — the mode the fault-tolerant job
+    /// layer ([`crate::jobs`]) builds on.
+    pub fn run_quarantined<T, R>(
+        &self,
+        items: &[T],
+        f: impl Fn(&T) -> R + Sync,
+    ) -> BatchReport<Result<R, JobPanic>>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let start = Instant::now();
+        let timed = self.map_with_progress(
+            items,
+            |item| {
+                let t = Instant::now();
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| JobPanic {
+                        message: panic_message(&payload),
+                    });
+                (t.elapsed(), result)
+            },
+            |_, _| {},
+        );
+        BatchReport {
+            results: timed
+                .into_iter()
+                .map(|(duration, result)| JobResult { duration, result })
+                .collect(),
+            wall_time: start.elapsed(),
+            jobs: self.effective_jobs(items.len()),
+        }
+    }
+
     /// [`BatchRunner::run`] with a chunk-grained progress callback (see
     /// [`BatchRunner::map_with_progress`]).
     ///
     /// # Panics
     ///
-    /// Re-raises the first job panic after all workers have joined.
+    /// Re-raises the lowest-input-index job panic after the whole batch has
+    /// run (see [`BatchRunner::map_with_progress`]).
     pub fn run_with_progress<T, R>(
         &self,
         items: &[T],
@@ -382,6 +515,80 @@ mod tests {
             .or_else(|| err.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("unlucky job"), "{msg}");
+    }
+
+    #[test]
+    fn multiple_panics_are_all_accounted() {
+        let items: Vec<usize> = (0..64).collect();
+        for jobs in [1, 4] {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                BatchRunner::new().with_jobs(jobs).map(&items, |&n| {
+                    assert!(n % 10 != 3, "bad job {n}");
+                    n
+                });
+            }))
+            .expect_err("the panic must reach the caller");
+            let msg = err
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| err.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            // Jobs 3, 13, 23, 33, 43, 53, 63 all panicked: the summary must
+            // count them and list their input indices, deterministically.
+            assert!(msg.contains("7 batch jobs panicked"), "jobs={jobs}: {msg}");
+            assert!(
+                msg.contains("3, 13, 23, 33, 43, 53, 63"),
+                "jobs={jobs}: {msg}"
+            );
+            assert!(msg.contains("bad job 3"), "jobs={jobs}: {msg}");
+        }
+    }
+
+    #[test]
+    fn quarantine_turns_panics_into_per_job_failures() {
+        let items: Vec<usize> = (0..40).collect();
+        for jobs in [1, 4] {
+            let results = BatchRunner::new()
+                .with_jobs(jobs)
+                .map_quarantined(&items, |&n| {
+                    assert!(n != 7 && n != 19, "poisoned {n}");
+                    n * 2
+                });
+            assert_eq!(results.len(), 40);
+            for (i, r) in results.iter().enumerate() {
+                match r {
+                    Ok(v) => assert_eq!(*v, i * 2),
+                    Err(p) => {
+                        assert!(i == 7 || i == 19, "unexpected panic at {i}");
+                        assert!(p.message.contains(&format!("poisoned {i}")));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_quarantined_reports_are_deterministic_across_jobs() {
+        let items: Vec<usize> = (0..50).collect();
+        let outcome = |jobs: usize| -> Vec<Result<usize, JobPanic>> {
+            BatchRunner::new()
+                .with_jobs(jobs)
+                .run_quarantined(&items, |&n| {
+                    assert!(n % 9 != 4, "nope {n}");
+                    n + 1
+                })
+                .results
+                .into_iter()
+                .map(|j| j.result)
+                .collect()
+        };
+        let serial = outcome(1);
+        assert_eq!(serial, outcome(4), "parallel must match serial");
+        assert_eq!(serial, outcome(13));
+        assert_eq!(
+            serial.iter().filter(|r| r.is_err()).count(),
+            items.iter().filter(|&&n| n % 9 == 4).count()
+        );
     }
 
     #[test]

@@ -111,6 +111,20 @@ pub struct PipelineError {
     pub stage: &'static str,
     /// Description.
     pub message: String,
+    /// The underlying VM error when the failing stage was execution —
+    /// carries the structured [`lssa_vm::VmErrorKind`] so callers (the CLI's
+    /// exit-code mapping, the [`crate::jobs`] taxonomy) can distinguish
+    /// resource-governance aborts from program faults.
+    pub vm: Option<lssa_vm::VmError>,
+}
+
+impl PipelineError {
+    /// The structured kind of the underlying VM error, when execution
+    /// failed ([`lssa_vm::VmErrorKind::Trap`] stands in for compile-stage
+    /// failures, which are never resource aborts).
+    pub fn vm_kind(&self) -> Option<lssa_vm::VmErrorKind> {
+        self.vm.as_ref().map(|e| e.kind)
+    }
 }
 
 impl fmt::Display for PipelineError {
@@ -130,6 +144,7 @@ pub fn frontend(src: &str, config: CompilerConfig) -> Result<Program, PipelineEr
     let program = lssa_lambda::parse_program(src).map_err(|e| PipelineError {
         stage: "parse",
         message: e.to_string(),
+        vm: None,
     })?;
     frontend_ast(&program, config)
 }
@@ -152,6 +167,7 @@ pub fn frontend_ast(program: &Program, config: CompilerConfig) -> Result<Program
             .map(|e| e.to_string())
             .collect::<Vec<_>>()
             .join("; "),
+        vm: None,
     })?;
     let program = match config.simplify {
         Some(opts) => lssa_lambda::simplify_program(program, opts),
@@ -191,6 +207,7 @@ pub fn backend_with_report(
     if let Err(errs) = lssa_ir::verifier::verify_module(&module) {
         return Err(PipelineError {
             stage: "verify",
+            vm: None,
             message: errs
                 .iter()
                 .map(|e| e.to_string())
@@ -201,6 +218,7 @@ pub fn backend_with_report(
     let program = lssa_vm::compile_module(&module).map_err(|e| PipelineError {
         stage: "bytecode",
         message: e.to_string(),
+        vm: None,
     })?;
     Ok((program, report))
 }
@@ -331,6 +349,7 @@ pub fn compile_and_run_ast_vm(
         PipelineError {
             stage: "execution",
             message: e.to_string(),
+            vm: Some(e),
         }
     })
 }
@@ -425,6 +444,7 @@ pub fn compile_and_run_with_report_vm(
             PipelineError {
                 stage: "execution",
                 message: e.to_string(),
+                vm: Some(e),
             }
         })?;
     Ok((outcome, report))

@@ -111,7 +111,10 @@ impl<'p> Interp<'p> {
 
     fn spend(&mut self, n: u64) -> Result<(), InterpError> {
         if self.fuel < n {
-            return Err(err("fuel exhausted (likely non-termination)"));
+            // Same message as the VM's step budget (see
+            // `lssa_rt::STEP_BUDGET_MSG`) so the two engines' resource
+            // failures compare equal in differential harnesses.
+            return Err(err(lssa_rt::STEP_BUDGET_MSG));
         }
         self.fuel -= n;
         Ok(())
@@ -596,7 +599,7 @@ def main() := spin(0)
 "#;
         let p = parse_program(src).unwrap();
         let e = run_program(&p, "main", false, 10_000).unwrap_err();
-        assert!(e.message.contains("fuel"));
+        assert!(e.message.contains(lssa_rt::STEP_BUDGET_MSG));
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct HeapStats {
     pub live: u64,
     /// High-water mark of live objects.
     pub peak_live: u64,
+    /// Approximate bytes held by live objects (see [`obj_bytes`] for the
+    /// size model — a header charge plus payload words).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes`.
+    pub peak_bytes: u64,
 }
 
 impl HeapStats {
@@ -50,7 +55,28 @@ impl HeapStats {
         self.decs += other.decs;
         self.live += other.live;
         self.peak_live = self.peak_live.max(other.peak_live);
+        self.live_bytes += other.live_bytes;
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
     }
+}
+
+/// Approximate size in bytes of one heap object under a fixed cost model:
+/// a 16-byte header (rc + discriminant) plus 8 bytes per payload word
+/// (ctor fields, closure captures, array elements), the byte length for
+/// strings, and a flat 32 bytes for boxed big integers. The model is
+/// deliberately platform-independent so byte budgets trip at the same
+/// allocation on every host.
+pub fn obj_bytes(data: &ObjData) -> u64 {
+    const HEADER: u64 = 16;
+    HEADER
+        + match data {
+            ObjData::Ctor { fields, .. } => 8 * fields.len() as u64,
+            ObjData::Closure { args, .. } => 8 + 8 * args.len() as u64,
+            ObjData::Array(elems) => 8 * elems.len() as u64,
+            ObjData::Str(s) => s.len() as u64,
+            ObjData::BigInt(_) => 32,
+            ObjData::Free(_) => 0,
+        }
 }
 
 /// A reference-counted slot heap.
@@ -76,6 +102,14 @@ pub struct Heap {
     /// frees nothing — the overwhelmingly common case — and even most
     /// frees cost no allocation.
     dec_scratch: Vec<ObjRef>,
+    /// Live-byte cap (`None` = unlimited). Exceeding it sets `tripped`;
+    /// allocation itself never fails, so the VM observes the trip at its
+    /// next budget checkpoint and aborts with a structured error.
+    byte_limit: Option<u64>,
+    /// Fault injection: force a budget trip at the Nth allocation.
+    trip_alloc: Option<u64>,
+    /// Sticky budget-exceeded flag, polled via [`Heap::over_budget`].
+    tripped: bool,
 }
 
 impl Heap {
@@ -92,11 +126,85 @@ impl Heap {
     /// Resets the statistics counters (the heap contents are untouched).
     pub fn reset_stats(&mut self) {
         let live = self.stats.live;
+        let live_bytes = self.stats.live_bytes;
         self.stats = HeapStats {
             live,
             peak_live: live,
+            live_bytes,
+            peak_bytes: live_bytes,
             ..HeapStats::default()
         };
+    }
+
+    // ---- resource governance --------------------------------------------
+
+    /// Caps live heap bytes (`None` lifts the cap). The cap is advisory:
+    /// crossing it sets a sticky flag ([`Heap::over_budget`]) rather than
+    /// failing the allocation, so in-flight operations complete and the VM
+    /// aborts cleanly at its next checkpoint.
+    pub fn set_byte_limit(&mut self, limit: Option<u64>) {
+        self.byte_limit = limit;
+    }
+
+    /// Fault injection: trip the budget flag at the `at`-th allocation
+    /// (counted over the heap's lifetime), as if a byte cap had been hit.
+    pub fn set_trip_alloc(&mut self, at: Option<u64>) {
+        self.trip_alloc = at;
+    }
+
+    /// Whether any byte cap or allocation trip is armed (used by the VM to
+    /// decide if budget checkpoints need to poll the heap at all).
+    pub fn has_byte_budget(&self) -> bool {
+        self.byte_limit.is_some() || self.trip_alloc.is_some()
+    }
+
+    /// Whether the byte cap (or an injected allocation trip) has been hit.
+    /// Sticky until [`Heap::clear_budget_trip`] or [`Heap::free_all`].
+    pub fn over_budget(&self) -> bool {
+        self.tripped
+    }
+
+    /// Clears the sticky budget-exceeded flag.
+    pub fn clear_budget_trip(&mut self) {
+        self.tripped = false;
+    }
+
+    /// Counts live objects by scanning the arena — the ground truth the
+    /// abort-path leak checks compare against `stats().live`.
+    pub fn live_objects(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|o| !matches!(o.data, ObjData::Free(_)))
+            .count() as u64
+    }
+
+    /// Frees every live object unconditionally and rebuilds the free list —
+    /// the drop-all sweep an aborted run uses to reclaim objects still owned
+    /// by abandoned frames. Child references need no recursive dec: the
+    /// sweep visits every slot exactly once. Returns the number of objects
+    /// freed; afterwards `stats().live == 0` and, when the refcount
+    /// machinery was balanced, `stats().allocs == stats().frees`.
+    pub fn free_all(&mut self) -> u64 {
+        let mut freed = 0u64;
+        let mut next = u32::MAX;
+        for slot in (0..self.slots.len()).rev() {
+            let obj = &mut self.slots[slot];
+            if !matches!(obj.data, ObjData::Free(_)) {
+                freed += 1;
+                obj.rc = 0;
+            }
+            obj.data = ObjData::Free(next);
+            next = slot as u32;
+        }
+        self.free_head = (next != u32::MAX).then_some(next);
+        // Set the ledgers directly rather than decrementing per object: if
+        // bookkeeping had drifted, decrements could underflow and mask the
+        // very imbalance the caller is about to assert on via allocs/frees.
+        self.stats.frees += freed;
+        self.stats.live = 0;
+        self.stats.live_bytes = 0;
+        self.tripped = false;
+        freed
     }
 
     /// Objects allocated so far (cheap accessor: the VM samples this around
@@ -117,6 +225,13 @@ impl Heap {
         }
         self.stats.live += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.stats.live);
+        self.stats.live_bytes += obj_bytes(&data);
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+        if self.byte_limit.is_some_and(|l| self.stats.live_bytes > l)
+            || self.trip_alloc.is_some_and(|k| self.stats.allocs >= k)
+        {
+            self.tripped = true;
+        }
         let obj = Object { rc: 1, data };
         match self.free_head.take() {
             Some(slot) => {
@@ -374,6 +489,7 @@ impl Heap {
         self.free_head = Some(slot);
         self.stats.frees += 1;
         self.stats.live -= 1;
+        self.stats.live_bytes -= obj_bytes(&data);
         match data {
             ObjData::Ctor { fields, .. } => {
                 worklist.extend(fields.iter().copied().filter(|f| f.is_heap()));
@@ -453,6 +569,13 @@ impl Heap {
             match &mut self.obj_mut(arr).data {
                 ObjData::Array(elems) => elems.push(v),
                 other => panic!("array_push on non-array {other:?}"),
+            }
+            // The in-place push grew the array by one element word — the
+            // only mutation path that changes an object's size after alloc.
+            self.stats.live_bytes += 8;
+            self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+            if self.byte_limit.is_some_and(|l| self.stats.live_bytes > l) {
+                self.tripped = true;
             }
             arr
         } else {
@@ -754,6 +877,74 @@ mod tests {
         assert_eq!(h.render(arr), "#[1]");
         let clos = h.alloc_closure(FuncId(2), 3, vec![ObjRef::scalar(0)]);
         assert_eq!(h.render(clos), "closure<@fn2/3:1>");
+    }
+
+    #[test]
+    fn byte_accounting_tracks_alloc_free_and_push() {
+        let mut h = Heap::new();
+        let arr = h.alloc_array(vec![ObjRef::scalar(1)]);
+        assert_eq!(h.stats().live_bytes, 16 + 8);
+        let arr = h.array_push(arr, ObjRef::scalar(2));
+        assert_eq!(h.stats().live_bytes, 16 + 16, "in-place push adds a word");
+        let s = h.alloc_str("hello".to_string());
+        assert_eq!(h.stats().live_bytes, 16 + 16 + 16 + 5);
+        assert_eq!(h.stats().peak_bytes, h.stats().live_bytes);
+        h.dec(s);
+        h.dec(arr);
+        assert_eq!(h.stats().live_bytes, 0);
+        assert_eq!(h.stats().peak_bytes, 16 + 16 + 16 + 5);
+    }
+
+    #[test]
+    fn byte_limit_trips_sticky() {
+        let mut h = Heap::new();
+        h.set_byte_limit(Some(64));
+        let mut keep = Vec::new();
+        for i in 0..4 {
+            keep.push(h.alloc_ctor(0, vec![ObjRef::scalar(i)]));
+        }
+        assert!(h.over_budget(), "4 * 24 bytes must exceed the 64-byte cap");
+        // Freeing below the cap does not clear the trip: it is sticky so the
+        // VM's checkpoint can observe it after the fact.
+        for r in keep {
+            h.dec(r);
+        }
+        assert!(h.over_budget());
+        h.clear_budget_trip();
+        assert!(!h.over_budget());
+    }
+
+    #[test]
+    fn trip_alloc_fault_injection() {
+        let mut h = Heap::new();
+        h.set_trip_alloc(Some(3));
+        h.alloc_ctor(0, vec![]);
+        h.alloc_ctor(0, vec![]);
+        assert!(!h.over_budget());
+        h.alloc_ctor(0, vec![]);
+        assert!(h.over_budget(), "third allocation must trip the fault");
+    }
+
+    #[test]
+    fn free_all_reclaims_everything_and_balances() {
+        let mut h = Heap::new();
+        let keep = h.alloc_ctor(0, vec![]);
+        let mut list = h.alloc_ctor(0, vec![]);
+        for i in 0..10 {
+            list = h.alloc_ctor(1, vec![ObjRef::scalar(i), list]);
+        }
+        h.dec(keep); // one slot already on the free list
+        assert_eq!(h.live_objects(), h.stats().live);
+        let freed = h.free_all();
+        assert_eq!(freed, 11);
+        assert_eq!(h.stats().live, 0);
+        assert_eq!(h.live_objects(), 0);
+        assert_eq!(h.stats().allocs, h.stats().frees);
+        assert_eq!(h.stats().live_bytes, 0);
+        // The arena is fully reusable afterwards.
+        let again = h.alloc_ctor(9, vec![]);
+        assert_eq!(h.ctor_tag(again), 9);
+        assert_eq!(h.stats().live, 1);
     }
 
     #[test]

@@ -39,3 +39,8 @@ pub use builtins::Builtin;
 pub use closure::{pap_extend, pap_new, ApplyOutcome};
 pub use heap::{Heap, HeapStats};
 pub use object::{FuncId, ObjData, ObjRef};
+
+/// The shared non-termination diagnostic: the reference interpreter's fuel
+/// counter and the VM's step budget both fail with this exact message, so
+/// differential harnesses can compare the two engines' errors verbatim.
+pub const STEP_BUDGET_MSG: &str = "step budget exhausted (likely non-termination)";

@@ -52,6 +52,8 @@ use lssa_rt::{
     pap_extend, pap_new, ApplyOutcome, Builtin, FuncId, Heap, HeapStats, Int, ObjData, ObjRef,
 };
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which interpreter loop executes the decoded stream.
@@ -84,6 +86,106 @@ impl DispatchMode {
     }
 }
 
+/// Per-job resource limits, threaded through [`ExecOptions`] into the VM.
+///
+/// Every limit defaults to "unlimited". Steps, heap bytes and frame depth
+/// are deterministic (counted in VM events, identical across dispatch
+/// modes); the deadline is wall-clock and therefore host-dependent — use it
+/// for operational protection, not for reproducible failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobLimits {
+    /// Maximum instructions executed (`u64::MAX` = unlimited). Combined
+    /// with the `max_steps` constructor argument by `min`.
+    pub steps: u64,
+    /// Cap on approximate live heap bytes (`u64::MAX` = unlimited); see
+    /// `lssa_rt::heap::obj_bytes` for the size model.
+    pub heap_bytes: u64,
+    /// Maximum frame-stack depth (`u64::MAX` = unlimited).
+    pub max_depth: u64,
+    /// Wall-clock budget, armed at each [`Vm::call`] entry.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for JobLimits {
+    fn default() -> JobLimits {
+        JobLimits {
+            steps: u64::MAX,
+            heap_bytes: u64::MAX,
+            max_depth: u64::MAX,
+            deadline: None,
+        }
+    }
+}
+
+impl JobLimits {
+    /// Same limits with the step budget replaced.
+    pub fn with_steps(self, steps: u64) -> JobLimits {
+        JobLimits { steps, ..self }
+    }
+
+    /// Same limits with the live-heap-byte cap replaced.
+    pub fn with_heap_bytes(self, heap_bytes: u64) -> JobLimits {
+        JobLimits { heap_bytes, ..self }
+    }
+
+    /// Same limits with the frame-depth cap replaced.
+    pub fn with_max_depth(self, max_depth: u64) -> JobLimits {
+        JobLimits { max_depth, ..self }
+    }
+
+    /// Same limits with the wall-clock deadline replaced.
+    pub fn with_deadline(self, deadline: Option<Duration>) -> JobLimits {
+        JobLimits { deadline, ..self }
+    }
+}
+
+/// A deterministic fault-injection plan, for exercising the abort paths.
+///
+/// All trigger points are counted in VM events (steps or allocations), so a
+/// plan produces the identical failure at the identical point on every run
+/// and under every dispatch mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Force step-budget exhaustion once this many instructions executed.
+    pub exhaust_at: Option<u64>,
+    /// Trip the heap budget at the Nth allocation.
+    pub trip_alloc: Option<u64>,
+    /// Plant a panic at the checkpoint following this instruction count.
+    pub panic_at: Option<u64>,
+    /// Trigger cancellation at the checkpoint following this count.
+    pub cancel_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+}
+
+/// A shared cooperative-cancellation flag: clone it into a job, flip it from
+/// any thread, and the VM aborts with [`VmErrorKind::Cancelled`] at its next
+/// budget checkpoint (at most ~1024 instructions later).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (sticky).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Execution-time options (the run-side sibling of
 /// [`crate::decode::DecodeOptions`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +195,10 @@ pub struct ExecOptions {
     /// Use the per-call-site inline caches (default on; `--no-inline-cache`
     /// disables them for ablation).
     pub inline_cache: bool,
+    /// Per-job resource limits (default: unlimited).
+    pub limits: JobLimits,
+    /// Deterministic fault injection (default: none).
+    pub fault: FaultPlan,
 }
 
 impl Default for ExecOptions {
@@ -100,6 +206,8 @@ impl Default for ExecOptions {
         ExecOptions {
             dispatch: DispatchMode::Threaded,
             inline_cache: true,
+            limits: JobLimits::default(),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -117,7 +225,23 @@ impl ExecOptions {
             ..self
         }
     }
+
+    /// Same options with the resource limits replaced.
+    pub fn with_limits(self, limits: JobLimits) -> ExecOptions {
+        ExecOptions { limits, ..self }
+    }
+
+    /// Same options with the fault plan replaced.
+    pub fn with_fault(self, fault: FaultPlan) -> ExecOptions {
+        ExecOptions { fault, ..self }
+    }
 }
+
+/// How many instructions may execute between budget checkpoints when any
+/// polled feature (deadline, cancellation, heap budget, injected fault) is
+/// armed. The hot loops compare `steps` against a precomputed `stop_at`, so
+/// polling costs nothing on the per-instruction path.
+const POLL_INTERVAL: u64 = 1024;
 
 /// Inline-cache slot states (see [`CacheSlot::state`]).
 const SLOT_COLD: u8 = 0;
@@ -155,11 +279,53 @@ impl Default for CacheSlot {
     }
 }
 
-/// A runtime failure (trap, stack/step limits, type confusion).
+/// Structured classification of a [`VmError`] — what killed the run, as a
+/// machine-readable kind alongside the human-readable message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmErrorKind {
+    /// A genuine runtime fault (type confusion, bad arity, missing entry…).
+    Trap,
+    /// The step budget ([`JobLimits::steps`] or the `max_steps` argument)
+    /// was exhausted.
+    StepBudget,
+    /// The live-heap-byte cap ([`JobLimits::heap_bytes`]) was exceeded.
+    HeapBudget,
+    /// The frame-depth cap ([`JobLimits::max_depth`]) was exceeded.
+    DepthBudget,
+    /// The wall-clock deadline ([`JobLimits::deadline`]) passed.
+    Deadline,
+    /// A [`CancelToken`] was flipped (or a planned cancellation fired).
+    Cancelled,
+}
+
+impl VmErrorKind {
+    /// Whether this kind is a resource-governance abort (budget, deadline or
+    /// cancellation) rather than a program fault — the distinction the CLI
+    /// maps to exit code 3.
+    pub fn is_resource(self) -> bool {
+        !matches!(self, VmErrorKind::Trap)
+    }
+
+    /// Stable kebab-case name (used in JSON reports).
+    pub fn code(self) -> &'static str {
+        match self {
+            VmErrorKind::Trap => "trap",
+            VmErrorKind::StepBudget => "step-budget",
+            VmErrorKind::HeapBudget => "heap-budget",
+            VmErrorKind::DepthBudget => "depth-budget",
+            VmErrorKind::Deadline => "deadline",
+            VmErrorKind::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// A runtime failure (trap, resource budgets, type confusion).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VmError {
     /// Description.
     pub message: String,
+    /// Structured failure class.
+    pub kind: VmErrorKind,
 }
 
 impl fmt::Display for VmError {
@@ -173,6 +339,36 @@ impl std::error::Error for VmError {}
 fn err(message: impl Into<String>) -> VmError {
     VmError {
         message: message.into(),
+        kind: VmErrorKind::Trap,
+    }
+}
+
+impl VmError {
+    fn of_kind(kind: VmErrorKind, message: impl Into<String>) -> VmError {
+        VmError {
+            message: message.into(),
+            kind,
+        }
+    }
+
+    fn step_budget() -> VmError {
+        VmError::of_kind(VmErrorKind::StepBudget, lssa_rt::STEP_BUDGET_MSG)
+    }
+
+    fn heap_budget() -> VmError {
+        VmError::of_kind(VmErrorKind::HeapBudget, "heap budget exhausted")
+    }
+
+    fn depth_budget() -> VmError {
+        VmError::of_kind(VmErrorKind::DepthBudget, "frame depth budget exhausted")
+    }
+
+    fn deadline() -> VmError {
+        VmError::of_kind(VmErrorKind::Deadline, "deadline exceeded")
+    }
+
+    fn cancelled() -> VmError {
+        VmError::of_kind(VmErrorKind::Cancelled, "job cancelled")
     }
 }
 
@@ -521,6 +717,23 @@ pub struct Vm<'p> {
     /// (program-wide indexing via [`DecodedFn::cache_base`]).
     caches: Vec<CacheSlot>,
     opts: ExecOptions,
+    /// Frame-depth cap from [`JobLimits::max_depth`].
+    depth_limit: u64,
+    /// Absolute wall-clock deadline, armed at each [`Vm::call`].
+    deadline: Option<Instant>,
+    /// Cooperative cancellation flag, polled at budget checkpoints.
+    cancel: Option<CancelToken>,
+    /// Injected fault: panic at the checkpoint after this step count.
+    panic_at: Option<u64>,
+    /// Injected fault: cancel at the checkpoint after this step count.
+    cancel_at: Option<u64>,
+    /// Whether any checkpoint-polled feature (deadline, cancellation, heap
+    /// budget, planned fault) is armed. When false, `stop_at == max_steps`
+    /// and the hot loops pay nothing beyond the pre-existing step compare.
+    poll: bool,
+    /// The step count at which the interpreter loops leave the hot path for
+    /// [`Vm::checkpoint`]: `max_steps` itself, or the next poll boundary.
+    stop_at: u64,
 }
 
 impl<'p> Vm<'p> {
@@ -532,9 +745,17 @@ impl<'p> Vm<'p> {
 
     /// Creates a VM with explicit [`ExecOptions`].
     pub fn with_options(program: &'p DecodedProgram, max_steps: u64, opts: ExecOptions) -> Vm<'p> {
-        Vm {
+        let mut heap = Heap::new();
+        if opts.limits.heap_bytes != u64::MAX {
+            heap.set_byte_limit(Some(opts.limits.heap_bytes));
+        }
+        heap.set_trip_alloc(opts.fault.trip_alloc);
+        let max_steps = max_steps
+            .min(opts.limits.steps)
+            .min(opts.fault.exhaust_at.unwrap_or(u64::MAX));
+        let mut vm = Vm {
             program,
-            heap: Heap::new(),
+            heap,
             globals: vec![ObjRef::scalar(0); program.globals.len()],
             max_steps,
             steps: 0,
@@ -556,7 +777,118 @@ impl<'p> Vm<'p> {
             scratch_objs: Vec::new(),
             caches: vec![CacheSlot::default(); program.cache_slots as usize],
             opts,
+            depth_limit: opts.limits.max_depth,
+            deadline: None,
+            cancel: None,
+            panic_at: opts.fault.panic_at,
+            cancel_at: opts.fault.cancel_at,
+            poll: false,
+            stop_at: 0,
+        };
+        vm.refresh_schedule();
+        vm
+    }
+
+    /// Installs a cooperative cancellation token (see [`CancelToken`]).
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+        self.refresh_schedule();
+    }
+
+    /// Removes any installed cancellation token.
+    pub fn clear_cancel_token(&mut self) {
+        self.cancel = None;
+        self.refresh_schedule();
+    }
+
+    /// Replaces the absolute step budget — e.g. to grant an aborted VM a
+    /// fresh allowance before a reuse probe.
+    pub fn set_step_budget(&mut self, max_steps: u64) {
+        self.max_steps = max_steps;
+        self.refresh_schedule();
+    }
+
+    /// Disarms any injected [`FaultPlan`] triggers and clears a tripped heap
+    /// budget, so a post-abort probe run observes a fault-free VM.
+    pub fn clear_fault(&mut self) {
+        self.panic_at = None;
+        self.cancel_at = None;
+        self.heap.set_trip_alloc(None);
+        self.heap.clear_budget_trip();
+        self.refresh_schedule();
+    }
+
+    /// Recycles every residual frame, resets the globals, and force-frees
+    /// all live heap objects — the drop-all cleanup after an aborted run
+    /// (error or caught panic), after which the VM (frame pool, caches and
+    /// the shared decoded program) is reusable for the next job. Returns the
+    /// number of heap objects reclaimed.
+    pub fn purge(&mut self) -> u64 {
+        while let Some(fi) = self.stack.pop() {
+            self.pool[fi as usize].after_ret.clear();
+            self.free.push(fi);
         }
+        for g in &mut self.globals {
+            *g = ObjRef::scalar(0);
+        }
+        self.heap.free_all()
+    }
+
+    /// Recomputes `poll` and `stop_at` after any limit/fault/token change.
+    fn refresh_schedule(&mut self) {
+        self.poll = self.deadline.is_some()
+            || self.cancel.is_some()
+            || self.panic_at.is_some()
+            || self.cancel_at.is_some()
+            || self.heap.has_byte_budget();
+        self.stop_at = self.next_stop();
+    }
+
+    /// The next step count at which the loops must checkpoint: `max_steps`
+    /// when nothing is polled, otherwise at most [`POLL_INTERVAL`] ahead and
+    /// never past a planned fault trigger.
+    fn next_stop(&self) -> u64 {
+        if !self.poll {
+            return self.max_steps;
+        }
+        let mut stop = self.max_steps.min(self.steps.saturating_add(POLL_INTERVAL));
+        for at in [self.panic_at, self.cancel_at].into_iter().flatten() {
+            if at > self.steps {
+                stop = stop.min(at);
+            }
+        }
+        stop
+    }
+
+    /// The slow half of the budget check, entered when `steps` reaches
+    /// `stop_at`: decides between a structured abort, an injected fault and
+    /// simply scheduling the next checkpoint. Consumes no steps and mutates
+    /// no statistics, so dispatch modes stay observably identical.
+    #[cold]
+    #[inline(never)]
+    fn checkpoint(&mut self) -> Result<(), VmError> {
+        if self.steps >= self.max_steps {
+            return Err(VmError::step_budget());
+        }
+        if self.panic_at.is_some_and(|at| self.steps >= at) {
+            panic!("fault injection: planted panic at step {}", self.steps);
+        }
+        if self.cancel_at.is_some_and(|at| self.steps >= at)
+            || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+        {
+            return Err(VmError::cancelled());
+        }
+        if self.heap.over_budget() {
+            return Err(VmError::heap_budget());
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(VmError::deadline());
+            }
+        }
+        self.stop_at = self.next_stop();
+        debug_assert!(self.stop_at > self.steps);
+        Ok(())
     }
 
     /// Runs `entry` (zero-argument) to completion and returns the result.
@@ -578,6 +910,10 @@ impl<'p> Vm<'p> {
     ///
     /// See [`Vm::run`].
     pub fn call(&mut self, idx: usize, args: Vec<ObjRef>) -> Result<ObjRef, VmError> {
+        if let Some(budget) = self.opts.limits.deadline {
+            self.deadline = Some(Instant::now() + budget);
+            self.refresh_schedule();
+        }
         let start = Instant::now();
         let result = match self.opts.dispatch {
             DispatchMode::Match => self.run_match(idx, args),
@@ -617,8 +953,8 @@ impl<'p> Vm<'p> {
         let prog = self.program;
         loop {
             self.max_depth = self.max_depth.max(self.stack.len() as u64);
-            if self.steps >= self.max_steps {
-                return Err(err("step budget exhausted (likely non-termination)"));
+            if self.steps >= self.stop_at {
+                self.checkpoint()?;
             }
             self.steps += 1;
             let fi = *self.stack.last().expect("empty stack") as usize;
@@ -725,7 +1061,7 @@ impl<'p> Vm<'p> {
                             scratch
                                 .extend(f.arg_regs(args).iter().map(|&r| frame.regs[r.0 as usize]));
                             self.heap.dec(c);
-                            let nfi = self.push_frame_fast(s.func, s.n_regs, dst);
+                            let nfi = self.push_frame_fast(s.func, s.n_regs, dst)?;
                             self.stack.push(nfi);
                             continue;
                         }
@@ -791,7 +1127,7 @@ impl<'p> Vm<'p> {
                         Some(g) if self.caches[g].state == SLOT_CALL => {
                             self.cache_hits += 1;
                             let n_regs = self.caches[g].n_regs;
-                            self.push_frame_fast(func, n_regs, dst)
+                            self.push_frame_fast(func, n_regs, dst)?
                         }
                         _ => {
                             if let Some(g) = slot {
@@ -1170,8 +1506,11 @@ impl<'p> Vm<'p> {
             // The step counter lives in a register for the whole
             // activation (`self.steps` is only re-synced below): the
             // per-cell budget check is then a two-register compare
-            // instead of two loads and a read-modify-write.
-            let max_steps = self.max_steps;
+            // instead of two loads and a read-modify-write. `stop_at` is
+            // `max_steps` unless deadline/cancellation/heap-budget polling
+            // is armed, in which case it is the next checkpoint boundary.
+            let stop_at = self.stop_at;
+            let depth_limit = self.depth_limit;
             let mut steps = self.steps;
             let transfer = 'act: {
                 // Field-disjoint borrows for the whole activation.
@@ -1214,6 +1553,11 @@ impl<'p> Vm<'p> {
                     ($func:expr, $n_regs:expr, $dst:expr) => {{
                         let (func, n_regs, dst) = ($func, $n_regs, $dst);
                         frame.pc = pc as u32;
+                        // Same observation point as [`Vm::push_frame_fast`]:
+                        // before the push, after the call step was counted.
+                        if stack.len() as u64 >= depth_limit {
+                            break 'act Transfer::Error(VmError::depth_budget());
+                        }
                         match free.pop() {
                             Some(nfi) => {
                                 *calls += 1;
@@ -1266,11 +1610,9 @@ impl<'p> Vm<'p> {
                     }};
                 }
                 loop {
-                    if steps >= max_steps {
+                    if steps >= stop_at {
                         frame.pc = pc as u32;
-                        break 'act Transfer::Error(err(
-                            "step budget exhausted (likely non-termination)",
-                        ));
+                        break 'act Transfer::Checkpoint;
                     }
                     steps += 1;
                     let Some(&instr) = f.code.get(pc) else {
@@ -1946,7 +2288,7 @@ impl<'p> Vm<'p> {
             self.steps = steps;
             match transfer {
                 Transfer::Push { func, n_regs, dst } => {
-                    let nfi = self.push_frame_fast(func, n_regs, dst);
+                    let nfi = self.push_frame_fast(func, n_regs, dst)?;
                     self.stack.push(nfi);
                 }
                 Transfer::Ret { bits } => {
@@ -1955,6 +2297,7 @@ impl<'p> Vm<'p> {
                     }
                 }
                 Transfer::Apply { dst, outcome } => self.apply(dst, outcome)?,
+                Transfer::Checkpoint => self.checkpoint()?,
                 Transfer::Error(e) => return Err(e),
             }
         }
@@ -2025,14 +2368,18 @@ impl<'p> Vm<'p> {
             )));
         }
         let n_regs = f.n_regs;
-        Ok(self.push_frame_fast(func as u32, n_regs, ret_dst))
+        self.push_frame_fast(func as u32, n_regs, ret_dst)
     }
 
     /// The validated tail of [`Vm::alloc_frame`]: wires a pooled frame to
     /// `func` with the staged arguments, skipping the function lookup and
     /// the arity check — the inline caches take this path directly on a
-    /// monomorphic hit (the site proved both on its first execution).
-    fn push_frame_fast(&mut self, func: u32, n_regs: u16, ret_dst: Reg) -> u32 {
+    /// monomorphic hit (the site proved both on its first execution). Fails
+    /// only on the [`JobLimits::max_depth`] cap.
+    fn push_frame_fast(&mut self, func: u32, n_regs: u16, ret_dst: Reg) -> Result<u32, VmError> {
+        if self.stack.len() as u64 >= self.depth_limit {
+            return Err(VmError::depth_budget());
+        }
         self.calls += 1;
         let fi = match self.free.pop() {
             Some(fi) => {
@@ -2052,7 +2399,7 @@ impl<'p> Vm<'p> {
         debug_assert!(frame.after_ret.is_empty(), "recycled frame carries state");
         wire_regs(&mut frame.regs, &self.scratch, n_regs);
         self.max_frame_width = self.max_frame_width.max(u64::from(n_regs));
-        fi
+        Ok(fi)
     }
 
     /// Handles a pap/papextend outcome: either a value, or a frame to push.
@@ -2131,6 +2478,8 @@ enum Transfer {
     Ret { bits: u64 },
     /// Apply a closure outcome to `dst` (may push a frame).
     Apply { dst: Reg, outcome: ApplyOutcome },
+    /// `steps` hit `stop_at`: run [`Vm::checkpoint`] and resume (or abort).
+    Checkpoint,
     /// The run failed.
     Error(VmError),
 }
@@ -2918,5 +3267,321 @@ mod tests {
         for needle in ["opcode class", "tail-call", "frames:", "heap:"] {
             assert!(table.contains(needle), "missing {needle}\n{table}");
         }
+    }
+
+    // ---- resource governance & fault injection ---------------------------
+
+    /// `rec(n): if n == 0 ret 7 else ret 1 + rec(n - 1)` — a non-tail
+    /// recursion whose frame depth grows with `n`.
+    fn deep_recursion(n: i64) -> CompiledProgram {
+        CompiledProgram {
+            fns: vec![
+                CompiledFn {
+                    name: "main".into(),
+                    arity: 0,
+                    n_regs: 2,
+                    code: vec![
+                        Instr::LpInt { dst: Reg(0), v: n },
+                        Instr::Call {
+                            dst: Reg(1),
+                            func: 1,
+                            args: vec![Reg(0)],
+                        },
+                        Instr::Ret { src: Reg(1) },
+                    ],
+                },
+                CompiledFn {
+                    name: "rec".into(),
+                    arity: 1,
+                    n_regs: 4,
+                    code: vec![
+                        Instr::GetLabel {
+                            dst: Reg(1),
+                            src: Reg(0),
+                        },
+                        Instr::ConstInt { dst: Reg(2), v: 0 },
+                        Instr::Cmp {
+                            pred: CmpPred::Eq,
+                            dst: Reg(2),
+                            a: Reg(1),
+                            b: Reg(2),
+                        },
+                        Instr::Branch {
+                            cond: Reg(2),
+                            then_t: 4,
+                            else_t: 6,
+                        },
+                        Instr::LpInt { dst: Reg(3), v: 7 },
+                        Instr::Ret { src: Reg(3) },
+                        Instr::LpInt { dst: Reg(2), v: 1 },
+                        Instr::CallBuiltin {
+                            dst: Reg(3),
+                            builtin: lssa_rt::Builtin::NatSub,
+                            args: vec![Reg(0), Reg(2)],
+                            mask: 0,
+                        },
+                        Instr::Call {
+                            dst: Reg(3),
+                            func: 1,
+                            args: vec![Reg(3)],
+                        },
+                        Instr::LpInt { dst: Reg(2), v: 1 },
+                        Instr::CallBuiltin {
+                            dst: Reg(3),
+                            builtin: lssa_rt::Builtin::NatAdd,
+                            args: vec![Reg(2), Reg(3)],
+                            mask: 0,
+                        },
+                        Instr::Ret { src: Reg(3) },
+                    ],
+                },
+            ],
+            ..CompiledProgram::default()
+        }
+    }
+
+    /// `build(n, acc): if n == 0 ret acc else tail build(n-1, Cons(n, acc))`
+    /// — allocates one constructor cell per iteration.
+    fn alloc_loop(n: i64) -> CompiledProgram {
+        CompiledProgram {
+            fns: vec![
+                CompiledFn {
+                    name: "main".into(),
+                    arity: 0,
+                    n_regs: 3,
+                    code: vec![
+                        Instr::LpInt { dst: Reg(0), v: n },
+                        Instr::Construct {
+                            dst: Reg(1),
+                            tag: 0,
+                            args: vec![],
+                        },
+                        Instr::Call {
+                            dst: Reg(2),
+                            func: 1,
+                            args: vec![Reg(0), Reg(1)],
+                        },
+                        Instr::Ret { src: Reg(2) },
+                    ],
+                },
+                CompiledFn {
+                    name: "build".into(),
+                    arity: 2,
+                    n_regs: 5,
+                    code: vec![
+                        Instr::GetLabel {
+                            dst: Reg(2),
+                            src: Reg(0),
+                        },
+                        Instr::ConstInt { dst: Reg(3), v: 0 },
+                        Instr::Cmp {
+                            pred: CmpPred::Eq,
+                            dst: Reg(3),
+                            a: Reg(2),
+                            b: Reg(3),
+                        },
+                        Instr::Branch {
+                            cond: Reg(3),
+                            then_t: 4,
+                            else_t: 5,
+                        },
+                        Instr::Ret { src: Reg(1) },
+                        Instr::Construct {
+                            dst: Reg(4),
+                            tag: 1,
+                            args: vec![Reg(0), Reg(1)],
+                        },
+                        Instr::LpInt { dst: Reg(3), v: 1 },
+                        Instr::CallBuiltin {
+                            dst: Reg(3),
+                            builtin: lssa_rt::Builtin::NatSub,
+                            args: vec![Reg(0), Reg(3)],
+                            mask: 0,
+                        },
+                        Instr::TailCall {
+                            func: 1,
+                            args: vec![Reg(3), Reg(4)],
+                        },
+                    ],
+                },
+            ],
+            ..CompiledProgram::default()
+        }
+    }
+
+    fn both_dispatch_modes() -> [ExecOptions; 2] {
+        [
+            ExecOptions::default().with_dispatch(DispatchMode::Match),
+            ExecOptions::default().with_dispatch(DispatchMode::Threaded),
+        ]
+    }
+
+    #[test]
+    fn step_budget_error_is_structured() {
+        let p = single(vec![Instr::Jump { target: 0 }], 1);
+        let d = decode_program(&p);
+        for opts in both_dispatch_modes() {
+            let mut vm = Vm::with_options(&d, 100, opts);
+            let e = vm.run("main").unwrap_err();
+            assert_eq!(e.kind, VmErrorKind::StepBudget);
+            assert_eq!(e.message, lssa_rt::STEP_BUDGET_MSG);
+            assert_eq!(vm.stats().instructions, 100, "fails exactly at budget");
+        }
+    }
+
+    #[test]
+    fn limits_steps_tightens_the_constructor_budget() {
+        let p = single(vec![Instr::Jump { target: 0 }], 1);
+        let d = decode_program(&p);
+        let opts = ExecOptions::default().with_limits(JobLimits::default().with_steps(37));
+        let mut vm = Vm::with_options(&d, 1_000_000, opts);
+        let e = vm.run("main").unwrap_err();
+        assert_eq!(e.kind, VmErrorKind::StepBudget);
+        assert_eq!(vm.stats().instructions, 37);
+    }
+
+    #[test]
+    fn heap_budget_aborts_and_purge_rebalances() {
+        let d = decode_program(&alloc_loop(1_000_000));
+        for opts in both_dispatch_modes() {
+            let opts = opts.with_limits(JobLimits::default().with_heap_bytes(4096));
+            let mut vm = Vm::with_options(&d, u64::MAX, opts);
+            let e = vm.run("main").unwrap_err();
+            assert_eq!(e.kind, VmErrorKind::HeapBudget, "{e}");
+            let stats = vm.heap.stats();
+            assert!(stats.live > 0, "abort leaves the list alive");
+            assert_eq!(stats.live, vm.heap.live_objects());
+            vm.purge();
+            let after = vm.heap.stats();
+            assert_eq!(after.live, 0);
+            assert_eq!(after.allocs, after.frees, "drop-all must balance");
+        }
+    }
+
+    #[test]
+    fn depth_budget_identical_across_dispatch_modes() {
+        let d = decode_program(&deep_recursion(1_000_000));
+        let mut reference = None;
+        for opts in both_dispatch_modes() {
+            let opts = opts.with_limits(JobLimits::default().with_max_depth(64));
+            let mut vm = Vm::with_options(&d, u64::MAX, opts);
+            let e = vm.run("main").unwrap_err();
+            assert_eq!(e.kind, VmErrorKind::DepthBudget, "{e}");
+            let steps = vm.stats().instructions;
+            match reference {
+                None => reference = Some((e, steps)),
+                Some((ref re, rs)) => {
+                    assert_eq!(*re, e);
+                    assert_eq!(rs, steps, "modes must fail at the same step");
+                }
+            }
+            // Within budget the same VM still works after the abort.
+            vm.purge();
+            assert!(vm.heap.stats().live == 0);
+        }
+    }
+
+    #[test]
+    fn cancel_token_aborts_within_a_poll_interval() {
+        let p = single(vec![Instr::Jump { target: 0 }], 1);
+        let d = decode_program(&p);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut vm = Vm::new(&d, u64::MAX);
+        vm.set_cancel_token(token);
+        let e = vm.run("main").unwrap_err();
+        assert_eq!(e.kind, VmErrorKind::Cancelled);
+        assert!(vm.stats().instructions <= POLL_INTERVAL);
+    }
+
+    #[test]
+    fn planned_cancellation_is_deterministic() {
+        let p = single(vec![Instr::Jump { target: 0 }], 1);
+        let d = decode_program(&p);
+        for opts in both_dispatch_modes() {
+            let opts = opts.with_fault(FaultPlan {
+                cancel_at: Some(5000),
+                ..FaultPlan::default()
+            });
+            let mut vm = Vm::with_options(&d, u64::MAX, opts);
+            let e = vm.run("main").unwrap_err();
+            assert_eq!(e.kind, VmErrorKind::Cancelled);
+            assert_eq!(vm.stats().instructions, 5000);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_trips_at_first_checkpoint() {
+        let p = single(vec![Instr::Jump { target: 0 }], 1);
+        let d = decode_program(&p);
+        let opts = ExecOptions::default()
+            .with_limits(JobLimits::default().with_deadline(Some(Duration::ZERO)));
+        let mut vm = Vm::with_options(&d, u64::MAX, opts);
+        let e = vm.run("main").unwrap_err();
+        assert_eq!(e.kind, VmErrorKind::Deadline);
+        assert_eq!(vm.stats().instructions, POLL_INTERVAL);
+    }
+
+    #[test]
+    fn planted_panic_fires_and_vm_survives() {
+        let p = single(vec![Instr::Jump { target: 0 }], 1);
+        let d = decode_program(&p);
+        let opts = ExecOptions::default().with_fault(FaultPlan {
+            panic_at: Some(2048),
+            ..FaultPlan::default()
+        });
+        let mut vm = Vm::with_options(&d, u64::MAX, opts);
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| vm.run("main"))).unwrap_err();
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("planted panic at step 2048"), "{msg}");
+        // The VM object itself survived: purge and probe it.
+        vm.purge();
+        assert_eq!(vm.heap.stats().live, 0);
+        vm.clear_fault();
+        vm.set_step_budget(vm.stats().instructions + 10);
+        let e = vm.run("main").unwrap_err();
+        assert_eq!(e.kind, VmErrorKind::StepBudget, "probe hits the budget");
+    }
+
+    #[test]
+    fn exhaust_at_forces_step_budget() {
+        let d = decode_program(&tail_loop(1_000_000));
+        let opts = ExecOptions::default().with_fault(FaultPlan {
+            exhaust_at: Some(1234),
+            ..FaultPlan::default()
+        });
+        let mut vm = Vm::with_options(&d, u64::MAX, opts);
+        let e = vm.run("main").unwrap_err();
+        assert_eq!(e.kind, VmErrorKind::StepBudget);
+        assert_eq!(vm.stats().instructions, 1234);
+    }
+
+    #[test]
+    fn governed_success_is_unchanged() {
+        // Limits far above what the program needs: result and statistics
+        // must be identical to the ungoverned run.
+        let d = decode_program(&tail_loop(500));
+        let plain = {
+            let mut vm = Vm::new(&d, u64::MAX);
+            let r = vm.run("main").unwrap();
+            let rendered = vm.heap.render(r);
+            vm.heap.dec(r);
+            (rendered, vm.stats().instructions)
+        };
+        let limits = JobLimits::default()
+            .with_steps(1_000_000)
+            .with_heap_bytes(1 << 20)
+            .with_max_depth(1 << 20);
+        let mut vm = Vm::with_options(&d, u64::MAX, ExecOptions::default().with_limits(limits));
+        let r = vm.run("main").unwrap();
+        assert_eq!(vm.heap.render(r), plain.0);
+        vm.heap.dec(r);
+        assert_eq!(vm.stats().instructions, plain.1);
+        assert_eq!(vm.heap.stats().live, 0);
     }
 }

@@ -33,6 +33,7 @@ pub use decode::{
     FusionStats, OpClass, RenumberStats,
 };
 pub use exec::{
-    run_decoded, run_decoded_with, run_program, run_program_opts, run_program_with, DispatchMode,
-    ExecOptions, ExecStats, RunOutcome, Vm, VmError, VmStatistics,
+    run_decoded, run_decoded_with, run_program, run_program_opts, run_program_with, CancelToken,
+    DispatchMode, ExecOptions, ExecStats, FaultPlan, JobLimits, RunOutcome, Vm, VmError,
+    VmErrorKind, VmStatistics,
 };

@@ -268,3 +268,56 @@ fn conformance_cases_agree_across_dispatch_matrix() {
         assert_matrix_agrees(&case.name, &program);
     });
 }
+
+#[test]
+fn step_budget_exhaustion_is_identical_across_dispatch_matrix() {
+    // Resource governance must be dispatch-invariant: capping the step
+    // budget below a workload's total must abort every strategy at the
+    // *identical* step count with the *identical* structured error. A
+    // checkpoint scheme that consumed steps, or polled differently per
+    // dispatch mode, would diverge here.
+    let workloads = all(Scale::Test);
+    par::par_map(&workloads, |w| {
+        let program =
+            compile(&w.src, CompilerConfig::mlir()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        // Learn the fused total; cap at half of it. Fused decode executes
+        // the fewest cells, so the cap undershoots every decode mode.
+        let full = run_program_opts(
+            &program,
+            "main",
+            MAX_STEPS,
+            DecodeOptions::fused(),
+            ExecOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: uncapped run failed: {e}", w.name));
+        let budget = full.stats.instructions / 2;
+        if budget == 0 {
+            return;
+        }
+        for (name, decode, exec) in matrix() {
+            let decoded = program.decoded(decode);
+            let mut vm = lambda_ssa::vm::Vm::with_options(&decoded, budget, exec);
+            let err = vm
+                .run("main")
+                .expect_err(&format!("{} [{name}]: capped run must exhaust", w.name));
+            assert_eq!(
+                err.kind,
+                lambda_ssa::vm::VmErrorKind::StepBudget,
+                "{} [{name}]: wrong error kind",
+                w.name
+            );
+            assert_eq!(
+                err.message,
+                lambda_ssa::rt::STEP_BUDGET_MSG,
+                "{} [{name}]: wrong error message",
+                w.name
+            );
+            assert_eq!(
+                vm.stats().instructions,
+                budget,
+                "{} [{name}]: aborted at a different step count",
+                w.name
+            );
+        }
+    });
+}
